@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test vet bench cover experiments experiments-full examples clean
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-race:
+	go test -race ./...
+
+cover:
+	go test -cover ./internal/...
+
+bench:
+	go test -bench=. -benchmem .
+
+# Regenerate the paper's tables and figures (quick scale: tens of seconds).
+experiments:
+	go run ./cmd/strg-bench -scale quick
+
+# Paper-sized magnitudes (minutes).
+experiments-full:
+	go run ./cmd/strg-bench -scale full
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/patterns
+	go run ./examples/traffic
+	go run ./examples/surveillance
+	go run ./examples/live
+
+clean:
+	go clean ./...

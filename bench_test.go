@@ -1,0 +1,493 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure, plus micro-benchmarks of the hot operations underneath them.
+// The experiment-level benchmarks use reduced scales so `go test -bench=.`
+// completes in minutes; `cmd/strg-bench -scale full` runs the paper-sized
+// versions.
+package strgindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"strgindex/internal/cluster"
+	"strgindex/internal/core"
+	"strgindex/internal/dist"
+	"strgindex/internal/experiments"
+	"strgindex/internal/geom"
+	"strgindex/internal/graph"
+	"strgindex/internal/index"
+	"strgindex/internal/mtree"
+	"strgindex/internal/rtree"
+	"strgindex/internal/shot"
+	"strgindex/internal/strg"
+	"strgindex/internal/synth"
+	"strgindex/internal/video"
+)
+
+// benchScale is the reduced experiment scale used by the table/figure
+// benchmarks.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		StreamDivisor:  40,
+		Fig5PerPattern: 3,
+		Fig5Noises:     []float64{0.15},
+		Fig7Sizes:      []int{240},
+		Fig7Queries:    8,
+		Fig7Clusters:   48,
+		Fig7Patterns:   12,
+		MaxK:           6,
+		EMMaxIter:      12,
+		Seed:           1,
+	}
+}
+
+// benchSequences returns a deterministic synthetic trajectory set.
+func benchSequences(b *testing.B, perPattern int, patterns int) *synth.Dataset {
+	b.Helper()
+	ds, err := synth.Generate(synth.Config{
+		PerPattern:  perPattern,
+		NoisePct:    0.10,
+		Seed:        7,
+		NumPatterns: patterns,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// --- Micro-benchmarks: distance kernels -------------------------------
+
+func benchPair(b *testing.B) (dist.Sequence, dist.Sequence) {
+	b.Helper()
+	ds := benchSequences(b, 1, 48)
+	return ds.Items[3], ds.Items[29]
+}
+
+func BenchmarkEGED(b *testing.B) {
+	x, y := benchPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.EGED(x, y)
+	}
+}
+
+func BenchmarkEGEDM(b *testing.B) {
+	x, y := benchPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.EGEDMZero(x, y)
+	}
+}
+
+func BenchmarkDTW(b *testing.B) {
+	x, y := benchPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.DTW(x, y)
+	}
+}
+
+func BenchmarkLCS(b *testing.B) {
+	x, y := benchPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.LCSLength(x, y, 12)
+	}
+}
+
+// --- Micro-benchmarks: pipeline stages --------------------------------
+
+// BenchmarkSTRGBuild measures RAG construction plus graph-based tracking
+// (Algorithm 1) for one 24-frame segment with two moving objects.
+func BenchmarkSTRGBuild(b *testing.B) {
+	p := video.StreamProfile{Name: "B", Kind: video.KindLab, NumObjects: 2, SegmentFrames: 24, ObjectsPerSegment: 2}
+	stream, err := video.GenerateStream(p, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg := stream.Segments[0]
+	cfg := strg.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := strg.Build(seg, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompose measures ORG extraction, OG merging and BG collapse.
+func BenchmarkDecompose(b *testing.B) {
+	p := video.StreamProfile{Name: "B", Kind: video.KindLab, NumObjects: 2, SegmentFrames: 24, ObjectsPerSegment: 2}
+	stream, err := video.GenerateStream(p, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := strg.DefaultConfig()
+	s, err := strg.Build(stream.Segments[0], cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Decompose(cfg)
+	}
+}
+
+// --- Table 1: stream ingest through the full pipeline -----------------
+
+func BenchmarkTable1Ingest(b *testing.B) {
+	p := video.StreamProfile{Name: "Lab2", Kind: video.KindLab, NumObjects: 4, SegmentFrames: 24, ObjectsPerSegment: 2}
+	stream, err := video.GenerateStream(p, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := core.Open(core.DefaultConfig())
+		if err := db.IngestStream(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5: the clustering grid's dominant cell --------------------
+
+func BenchmarkFigure5ClusteringGrid(b *testing.B) {
+	ds := benchSequences(b, 3, 48)
+	cfg := cluster.Config{K: 48, MaxIter: 12, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.EM(ds.Items, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6(b): cluster building under a fixed iteration budget -----
+
+func BenchmarkFigure6ClusterBuild(b *testing.B) {
+	ds := benchSequences(b, 3, 48)
+	for _, tc := range []struct {
+		name string
+		run  func([]dist.Sequence, cluster.Config) (*cluster.Result, error)
+	}{
+		{"EM", cluster.EM},
+		{"KM", cluster.KMeans},
+		{"KHM", cluster.KHarmonicMeans},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := cluster.Config{K: 48, MaxIter: 8, Tol: 1e-12, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.run(ds.Items, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 7(a): index building --------------------------------------
+
+func BenchmarkFigure7IndexBuild(b *testing.B) {
+	ds := benchSequences(b, 20, 12)
+	items := make([]index.Item[int], len(ds.Items))
+	for i, seq := range ds.Items {
+		items[i] = index.Item[int]{Seq: seq, Payload: i}
+	}
+	b.Run("STRG-Index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := index.New[int](index.Config{NumClusters: 12, EMMaxIter: 12, Seed: 1})
+			if err := tr.AddSegment(nil, items); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, tc := range []struct {
+		name   string
+		policy mtree.PromotePolicy
+	}{
+		{"MT-RA", mtree.PromoteRandom},
+		{"MT-SA", mtree.PromoteSampling},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr, err := mtree.New[int](mtree.Config{Metric: dist.EGEDMZero, Policy: tc.policy, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, seq := range ds.Items {
+					tr.Insert(seq, j)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 7(b): k-NN query cost --------------------------------------
+
+func BenchmarkFigure7KNN(b *testing.B) {
+	ds := benchSequences(b, 20, 12)
+	items := make([]index.Item[int], len(ds.Items))
+	for i, seq := range ds.Items {
+		items[i] = index.Item[int]{Seq: seq, Payload: i}
+	}
+	strgTree := index.New[int](index.Config{NumClusters: 12, EMMaxIter: 12, Seed: 1})
+	if err := strgTree.AddSegment(nil, items); err != nil {
+		b.Fatal(err)
+	}
+	mt, err := mtree.New[int](mtree.Config{Metric: dist.EGEDMZero, Policy: mtree.PromoteRandom, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j, seq := range ds.Items {
+		mt.Insert(seq, j)
+	}
+	queries := benchSequences(b, 1, 12).Items
+	rng := rand.New(rand.NewSource(9))
+	b.Run("STRG-Index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			strgTree.KNN(nil, queries[rng.Intn(len(queries))], 10)
+		}
+	})
+	b.Run("MT-RA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mt.KNN(queries[rng.Intn(len(queries))], 10)
+		}
+	})
+	b.Run("STRG-Index-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			strgTree.KNNExact(nil, queries[rng.Intn(len(queries))], 10)
+		}
+	})
+}
+
+// --- Figure 7(c) end-to-end + Figure 8 + Table 2 ----------------------
+
+// BenchmarkFigure7EndToEnd runs the whole Figure 7 experiment (all three
+// panels) at the bench scale.
+func BenchmarkFigure7EndToEnd(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8BIC measures the BIC scan over K for one ingested
+// stream.
+func BenchmarkFigure8BIC(b *testing.B) {
+	ds := benchSequences(b, 8, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.OptimalK(ds.Items, 1, 6, cluster.Config{MaxIter: 12, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2SizeAccounting measures the decomposition size accounting
+// path (Equations 9 and 10) over an ingested stream.
+func BenchmarkTable2SizeAccounting(b *testing.B) {
+	p := video.StreamProfile{Name: "Lab2", Kind: video.KindLab, NumObjects: 4, SegmentFrames: 24, ObjectsPerSegment: 2}
+	stream, err := video.GenerateStream(p, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := core.Open(core.DefaultConfig())
+	if err := db.IngestStream(stream); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = db.Stats()
+	}
+}
+
+// --- Ablations ----------------------------------------------------------
+
+// BenchmarkAblationLeafSearch compares Algorithm 3's key-pruned leaf
+// search against a full linear scan of the database, isolating the value
+// of the metric key.
+func BenchmarkAblationLeafSearch(b *testing.B) {
+	ds := benchSequences(b, 20, 12)
+	items := make([]index.Item[int], len(ds.Items))
+	for i, seq := range ds.Items {
+		items[i] = index.Item[int]{Seq: seq, Payload: i}
+	}
+	tr := index.New[int](index.Config{NumClusters: 12, EMMaxIter: 12, Seed: 1})
+	if err := tr.AddSegment(nil, items); err != nil {
+		b.Fatal(err)
+	}
+	q := benchSequences(b, 1, 12).Items[5]
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.KNN(nil, q, 10)
+		}
+	})
+	b.Run("linear-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			best := -1.0
+			for _, it := range ds.Items {
+				if d := dist.EGEDMZero(q, it); best < 0 || d < best {
+					best = d
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGapModels compares the three gap models of the EGED
+// family on the same pair.
+func BenchmarkAblationGapModels(b *testing.B) {
+	x, y := benchPair(b)
+	for _, tc := range []struct {
+		name  string
+		model dist.GapModel
+	}{
+		{"midpoint", dist.GapMidpoint},
+		{"previous", dist.GapPrevious},
+		{"constant", dist.GapConstant},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dist.EGEDWith(x, y, tc.model, dist.Vec{0, 0})
+			}
+		})
+	}
+}
+
+// BenchmarkAblation3DRTree quantifies the paper's Section 1 critique of
+// the 3DR-tree: for motion-similarity queries it must generate and verify
+// candidates, spending far more metric evaluations than the STRG-Index's
+// clustered descent — while remaining excellent at the window queries it
+// was built for.
+func BenchmarkAblation3DRTree(b *testing.B) {
+	ds := benchSequences(b, 20, 12)
+	items := make([]index.Item[int], len(ds.Items))
+	for i, seq := range ds.Items {
+		items[i] = index.Item[int]{Seq: seq, Payload: i}
+	}
+	strgTree := index.New[int](index.Config{NumClusters: 12, EMMaxIter: 12, Seed: 1})
+	if err := strgTree.AddSegment(nil, items); err != nil {
+		b.Fatal(err)
+	}
+	ti, err := rtree.NewTrajectoryIndex[int](16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, seq := range ds.Items {
+		ti.Insert(seq, 0, i)
+	}
+	q := benchSequences(b, 1, 12).Items[5]
+	b.Run("similar-strg-index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			strgTree.KNN(nil, q, 10)
+		}
+	})
+	b.Run("similar-3dr-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ti.SimilarK(q, 0, 10, 60, dist.EGEDMZero)
+		}
+	})
+	b.Run("window-3dr-tree", func(b *testing.B) {
+		area := geom.Rect{Min: geom.Pt(100, 0), Max: geom.Pt(200, 240)}
+		for i := 0; i < b.N; i++ {
+			ti.Window(area, 0, 8)
+		}
+	})
+}
+
+// BenchmarkOnlineIngest measures the streaming builder's per-frame cost.
+func BenchmarkOnlineIngest(b *testing.B) {
+	p := video.StreamProfile{Name: "B", Kind: video.KindLab, NumObjects: 2, SegmentFrames: 24, ObjectsPerSegment: 2}
+	stream, err := video.GenerateStream(p, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg := stream.Segments[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ob := strg.NewOnlineBuilder(strg.DefaultConfig())
+		for _, f := range seg.Frames {
+			ob.AddFrame(f)
+		}
+		ob.Flush()
+	}
+}
+
+// BenchmarkShotDetection measures boundary detection over a multi-scene
+// recording.
+func BenchmarkShotDetection(b *testing.B) {
+	var parts []*video.Segment
+	for i := 0; i < 3; i++ {
+		seg, err := video.Generate(video.SceneConfig{
+			Name: "s", Width: 320, Height: 240, FPS: 12, Frames: 16,
+			BackgroundRows: 3, BackgroundCols: 4, Jitter: 0.8,
+			BackgroundShade: float64(i) * 0.3, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parts = append(parts, seg)
+	}
+	movie, err := video.Concat("m", parts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cuts := shot.DetectBoundaries(movie.Frames, shot.Config{}); len(cuts) != 2 {
+			b.Fatalf("cuts = %d", len(cuts))
+		}
+	}
+}
+
+// BenchmarkAblationBridging compares tracking with and without occlusion
+// gap bridging on an occlusion-heavy scene.
+func BenchmarkAblationBridging(b *testing.B) {
+	seg, err := video.Generate(video.SceneConfig{
+		Name: "occl", Width: 320, Height: 240, FPS: 12, Frames: 16,
+		BackgroundRows: 3, BackgroundCols: 4, Jitter: 0.3, Seed: 12,
+		Occlusion: true,
+		Objects: []video.ObjectSpec{
+			{
+				Label: "truck",
+				Parts: []video.PartSpec{{Size: 5200, Color: graphColor(0.9, 0.8, 0.1)}},
+				Path:  []geom.Point{geom.Pt(150, 120), geom.Pt(170, 120)},
+				Start: 0, End: 16,
+			},
+			{
+				Label: "runner",
+				Parts: []video.PartSpec{{Size: 260, Color: graphColor(0.1, 0.9, 0.9)}},
+				Path:  []geom.Point{geom.Pt(20, 122), geom.Pt(300, 122)},
+				Start: 0, End: 16,
+			},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		bridge int
+	}{
+		{"no-bridge", 0},
+		{"bridge-5", 5},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := strg.DefaultConfig()
+			cfg.BridgeFrames = tc.bridge
+			for i := 0; i < b.N; i++ {
+				s, err := strg.Build(seg, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Decompose(cfg)
+			}
+		})
+	}
+}
+
+func graphColor(r, g, bl float64) graph.Color { return graph.Color{R: r, G: g, B: bl} }

@@ -1,0 +1,114 @@
+// Command strg-bench regenerates every table and figure of the paper's
+// evaluation section and prints them as aligned text tables.
+//
+// Usage:
+//
+//	strg-bench [-scale quick|full] [-only table1,fig5,fig6,fig7,fig8,table2]
+//
+// The quick scale (default) runs in tens of seconds; full approaches the
+// paper's magnitudes and takes minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"strgindex/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	onlyFlag := flag.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,table2,ablations")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "strg-bench: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+
+	start := time.Now()
+	fmt.Printf("STRG-Index experiment suite (scale=%s)\n\n", *scaleFlag)
+
+	var streams []*experiments.StreamData
+	needStreams := run("table1") || run("fig8") || run("table2")
+	if needStreams {
+		var err error
+		step := time.Now()
+		streams, err = experiments.IngestStreams(scale)
+		fail(err)
+		fmt.Printf("[ingested 4 streams through the full pipeline in %v]\n\n", time.Since(step).Round(time.Millisecond))
+	}
+
+	if run("table1") {
+		fmt.Println(experiments.Table1(streams).Render())
+	}
+
+	var grid *experiments.Fig5Result
+	if run("fig5") || run("fig6") {
+		var err error
+		grid, err = experiments.Figure5(scale)
+		fail(err)
+	}
+	if run("fig5") {
+		fmt.Println(grid.RenderPanels())
+	}
+	if run("fig6") {
+		fig6, err := experiments.Figure6(scale, grid)
+		fail(err)
+		fmt.Println(fig6.Render())
+		fmt.Println()
+	}
+	if run("fig7") {
+		fig7, err := experiments.Figure7(scale)
+		fail(err)
+		fmt.Println(fig7.Render())
+		fmt.Println()
+	}
+
+	var fig8 *experiments.Fig8Result
+	if run("fig8") || run("table2") {
+		var err error
+		fig8, err = experiments.Figure8(streams, scale)
+		fail(err)
+	}
+	if run("fig8") {
+		fmt.Println(fig8.Render())
+	}
+	if run("table2") {
+		t2, err := experiments.Table2(streams, fig8, scale)
+		fail(err)
+		fmt.Println(t2.Render())
+	}
+
+	if run("ablations") {
+		abl, err := experiments.Ablations(scale)
+		fail(err)
+		fmt.Println(abl.Render())
+	}
+
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strg-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

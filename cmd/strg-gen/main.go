@@ -1,0 +1,93 @@
+// Command strg-gen emits synthetic datasets as JSON: either the 48-pattern
+// trajectory data of Section 6.1 (-kind synth) or a full segmented video
+// stream (-kind stream).
+//
+// Usage:
+//
+//	strg-gen -kind synth  -per 10 -noise 0.10 -seed 1 > synth.json
+//	strg-gen -kind stream -profile Lab2 -objects 40 -seed 1 > stream.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"strgindex/internal/synth"
+	"strgindex/internal/video"
+)
+
+func main() {
+	kind := flag.String("kind", "synth", "dataset kind: synth or stream")
+	per := flag.Int("per", 10, "synth: items per pattern")
+	noise := flag.Float64("noise", 0.10, "synth: noise fraction (0..1)")
+	patterns := flag.Int("patterns", 48, "synth: number of patterns (1..48)")
+	profile := flag.String("profile", "Lab1", "stream: profile name (Lab1, Lab2, Traffic1, Traffic2)")
+	objects := flag.Int("objects", 0, "stream: override the object count (0 = profile default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	switch *kind {
+	case "synth":
+		ds, err := synth.Generate(synth.Config{
+			PerPattern:  *per,
+			NoisePct:    *noise,
+			NumPatterns: *patterns,
+			Seed:        *seed,
+		})
+		fail(err)
+		type item struct {
+			Label   int         `json:"label"`
+			Pattern string      `json:"pattern"`
+			Samples [][]float64 `json:"samples"`
+		}
+		out := make([]item, ds.Len())
+		for i := range ds.Items {
+			samples := make([][]float64, len(ds.Items[i]))
+			for j, v := range ds.Items[i] {
+				samples[j] = []float64(v)
+			}
+			out[i] = item{
+				Label:   ds.Labels[i],
+				Pattern: ds.Patterns[ds.Labels[i]].Name,
+				Samples: samples,
+			}
+		}
+		fail(enc.Encode(out))
+
+	case "stream":
+		p, ok := findProfile(*profile)
+		if !ok {
+			fail(fmt.Errorf("unknown profile %q", *profile))
+		}
+		if *objects > 0 {
+			p.NumObjects = *objects
+		}
+		stream, err := video.GenerateStream(p, *seed)
+		fail(err)
+		fail(enc.Encode(stream))
+
+	default:
+		fail(fmt.Errorf("unknown kind %q (want synth or stream)", *kind))
+	}
+}
+
+func findProfile(name string) (video.StreamProfile, bool) {
+	for _, p := range video.StreamProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return video.StreamProfile{}, false
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strg-gen: %v\n", err)
+		os.Exit(1)
+	}
+}

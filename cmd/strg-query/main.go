@@ -1,0 +1,101 @@
+// Command strg-query runs k-NN and range queries against a database
+// persisted by strg-ingest.
+//
+// The query trajectory is given as semicolon-separated x,y samples:
+//
+//	strg-query -db db.gob -traj "20,120; 160,120; 300,120" -k 5
+//	strg-query -db db.gob -traj "160,10; 160,230" -range 400
+//	strg-query -db db.gob -traj "..." -k 5 -exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"strgindex/internal/core"
+	"strgindex/internal/dist"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file written by strg-ingest (required)")
+	traj := flag.String("traj", "", "query trajectory: \"x,y; x,y; ...\" (required)")
+	k := flag.Int("k", 5, "number of nearest neighbors")
+	radius := flag.Float64("range", 0, "if positive, run a range query with this radius instead of k-NN")
+	exact := flag.Bool("exact", false, "use the exact all-cluster search instead of Algorithm 3")
+	samples := flag.Int("samples", 16, "resample the query trajectory to this many samples (0 = use waypoints as-is); EGED_M penalizes length differences, so queries should be about as long as indexed OGs")
+	flag.Parse()
+
+	if *dbPath == "" || *traj == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	seq, err := parseTrajectory(*traj)
+	fail(err)
+	if *samples > 0 && len(seq) > 1 {
+		seq = dist.Resample(seq, *samples)
+	}
+
+	f, err := os.Open(*dbPath)
+	fail(err)
+	db, err := core.Load(f, core.DefaultConfig())
+	fail(err)
+	fail(f.Close())
+
+	s := db.Stats()
+	fmt.Printf("loaded database: %d OGs in %d clusters under %d backgrounds\n\n", s.OGs, s.Clusters, s.Roots)
+
+	var matches []core.Match
+	switch {
+	case *radius > 0:
+		matches = db.QueryRange(seq, *radius)
+		fmt.Printf("range query (radius %.1f): %d hits\n", *radius, len(matches))
+	case *exact:
+		matches = db.QueryTrajectoryExact(seq, *k)
+		fmt.Printf("exact %d-NN:\n", *k)
+	default:
+		matches = db.QueryTrajectory(seq, *k)
+		fmt.Printf("%d-NN (Algorithm 3):\n", *k)
+	}
+	for i, m := range matches {
+		fmt.Printf("%3d. dist %8.2f  og %-4d %-28s label=%s\n",
+			i+1, m.Distance, m.Record.OGID, m.Record.Clip, m.Record.Label)
+	}
+}
+
+// parseTrajectory parses "x,y; x,y; ..." into a 2-D sequence.
+func parseTrajectory(s string) (dist.Sequence, error) {
+	var seq dist.Sequence
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		xy := strings.Split(part, ",")
+		if len(xy) != 2 {
+			return nil, fmt.Errorf("bad sample %q (want x,y)", part)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(xy[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad x in %q: %v", part, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(xy[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad y in %q: %v", part, err)
+		}
+		seq = append(seq, dist.Vec{x, y})
+	}
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("empty trajectory")
+	}
+	return seq, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strg-query: %v\n", err)
+		os.Exit(1)
+	}
+}

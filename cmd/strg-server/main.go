@@ -1,0 +1,50 @@
+// Command strg-server serves a video database over HTTP (JSON API).
+//
+//	strg-server -addr :8080 [-db db.gob]
+//
+// Endpoints:
+//
+//	POST /v1/segments       ingest a segmented video segment
+//	POST /v1/query/knn      motion-similarity search
+//	POST /v1/query/range    radius search
+//	POST /v1/query/select   predicate search (region / heading / speed / U-turn)
+//	GET  /v1/stats          database statistics
+//
+// See internal/server for the request formats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"strgindex/internal/core"
+	"strgindex/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dbPath := flag.String("db", "", "optional database file written by strg-ingest to preload")
+	flag.Parse()
+
+	srv := server.New(core.DefaultConfig())
+	if *dbPath != "" {
+		// Preload by replaying into the shared DB via core.Load.
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			log.Fatalf("strg-server: %v", err)
+		}
+		loaded, err := server.NewFromReader(f, core.DefaultConfig())
+		f.Close()
+		if err != nil {
+			log.Fatalf("strg-server: loading %s: %v", *dbPath, err)
+		}
+		srv = loaded
+		st := srv.DB().Stats()
+		fmt.Printf("loaded %s: %d OGs in %d clusters\n", *dbPath, st.OGs, st.Clusters)
+	}
+	fmt.Printf("strg-server listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,104 @@
+// Command strg-viz renders what the pipeline sees.
+//
+//	strg-viz -mode rag  -frames 3 > rags.dot   # RAGs as Graphviz DOT (neato -n)
+//	strg-viz -mode traj -objects 24 > traj.svg # extracted OGs as SVG, colored by cluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strgindex/internal/cluster"
+	"strgindex/internal/dist"
+	"strgindex/internal/geom"
+	"strgindex/internal/graph"
+	"strgindex/internal/rag"
+	"strgindex/internal/render"
+	"strgindex/internal/strg"
+	"strgindex/internal/video"
+)
+
+func main() {
+	mode := flag.String("mode", "rag", "rag (DOT per frame) or traj (SVG of clustered trajectories)")
+	frames := flag.Int("frames", 1, "rag: number of frames to render")
+	objects := flag.Int("objects", 24, "traj: number of objects to generate")
+	seed := flag.Int64("seed", 1, "scene seed")
+	jitter := flag.Float64("jitter", 0.8, "segmentation jitter")
+	flag.Parse()
+
+	if *mode == "traj" {
+		renderTrajectories(*objects, *seed)
+		return
+	}
+
+	seg, err := video.Generate(video.SceneConfig{
+		Name: "viz", Width: 320, Height: 240, FPS: 12, Frames: *frames,
+		BackgroundRows: 3, BackgroundCols: 4, Jitter: *jitter, Seed: *seed,
+		Objects: []video.ObjectSpec{{
+			Label: "walker",
+			Parts: []video.PartSpec{
+				{Offset: geom.Vec(0, -16), Size: 100, Color: graph.Color{R: 0.85, G: 0.68, B: 0.55}},
+				{Offset: geom.Vec(0, 0), Size: 350, Color: graph.Color{R: 0.8, G: 0.2, B: 0.2}},
+				{Offset: geom.Vec(0, 17), Size: 250, Color: graph.Color{R: 0.2, G: 0.22, B: 0.28}},
+			},
+			Path:  []geom.Point{geom.Pt(30, 120), geom.Pt(290, 120)},
+			Start: 0, End: *frames,
+		}},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strg-viz: %v\n", err)
+		os.Exit(1)
+	}
+	base := graph.NodeID(0)
+	for i, f := range seg.Frames {
+		g := rag.Build(f, rag.DefaultConfig(), base)
+		base += graph.NodeID(len(f.Regions))
+		if err := g.WriteDOT(os.Stdout, fmt.Sprintf("frame%03d", i)); err != nil {
+			fmt.Fprintf(os.Stderr, "strg-viz: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// renderTrajectories generates a lab stream, extracts its OGs, clusters
+// them and writes an SVG colored by cluster.
+func renderTrajectories(objects int, seed int64) {
+	p := video.StreamProfile{
+		Name: "viz", Kind: video.KindLab,
+		NumObjects: objects, SegmentFrames: 24, ObjectsPerSegment: 2,
+	}
+	stream, err := video.GenerateStream(p, seed)
+	fail(err)
+	cfg := strg.DefaultConfig()
+	var ogs []*strg.OG
+	for _, seg := range stream.Segments {
+		s, err := strg.Build(seg, cfg)
+		fail(err)
+		ogs = append(ogs, s.Decompose(cfg).OGs...)
+	}
+	if len(ogs) == 0 {
+		fail(fmt.Errorf("no object graphs extracted"))
+	}
+	seqs := make([]dist.Sequence, len(ogs))
+	for i, og := range ogs {
+		seqs[i] = og.Sequence()
+	}
+	k := 8
+	if k > len(seqs) {
+		k = len(seqs)
+	}
+	res, err := cluster.EM(seqs, cluster.Config{K: k, Seed: seed})
+	fail(err)
+	fail(render.SVG(os.Stdout, ogs, render.Options{
+		Clusters: res.Assignments,
+		Labels:   false,
+	}))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strg-viz: %v\n", err)
+		os.Exit(1)
+	}
+}

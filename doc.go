@@ -1,0 +1,16 @@
+// Package strgindex is a from-scratch Go reproduction of "STRG-Index:
+// Spatio-Temporal Region Graph Indexing for Large Video Databases"
+// (Lee, Oh, Hwang — SIGMOD 2005).
+//
+// The implementation lives under internal/: the attributed graph engine
+// and matching algorithms (graph), the synthetic segmented-video substrate
+// (video), RAG and STRG construction with graph-based tracking (rag,
+// strg), the EGED distance family (dist), EM/KM/KHM clustering with BIC
+// model selection (cluster), the STRG-Index tree (index), the M-tree
+// baseline (mtree), the Section 6.1 synthetic data (synth), evaluation
+// measures (eval), the high-level VideoDB API (core) and the experiment
+// runners regenerating every table and figure (experiments).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced evaluation.
+package strgindex

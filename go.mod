@@ -1,0 +1,3 @@
+module strgindex
+
+go 1.22

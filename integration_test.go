@@ -1,0 +1,166 @@
+package strgindex
+
+import (
+	"bytes"
+	"testing"
+
+	"strgindex/internal/core"
+	"strgindex/internal/dist"
+	"strgindex/internal/geom"
+	"strgindex/internal/graph"
+	"strgindex/internal/video"
+)
+
+// TestEndToEndRetrievalQuality is the repository's cross-module smoke
+// test: generate a stream, ingest it through the whole pipeline, query
+// with fresh (unseen) instances of each motion class and check that
+// retrieval surfaces the right clips.
+func TestEndToEndRetrievalQuality(t *testing.T) {
+	profile := video.StreamProfile{
+		Name: "IT", Kind: video.KindLab,
+		NumObjects: 24, SegmentFrames: 24, ObjectsPerSegment: 2,
+	}
+	stream, err := video.GenerateStream(profile, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.Open(core.DefaultConfig())
+	if err := db.IngestStream(stream); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().OGs < 16 {
+		t.Fatalf("only %d OGs extracted from 24 objects", db.Stats().OGs)
+	}
+
+	// Fresh queries: straight-line trajectories along the lab corridors
+	// (the classes the stream's objects walk).
+	queries := []struct {
+		name string
+		path [2]geom.Point
+	}{
+		{"horizontal-east", [2]geom.Point{geom.Pt(16, 72), geom.Pt(304, 72)}},
+		{"horizontal-west", [2]geom.Point{geom.Pt(304, 168), geom.Pt(16, 168)}},
+		{"vertical-south", [2]geom.Point{geom.Pt(80, 12), geom.Pt(80, 228)}},
+		{"vertical-north", [2]geom.Point{geom.Pt(240, 228), geom.Pt(240, 12)}},
+	}
+	for _, q := range queries {
+		pts := geom.ResamplePath([]geom.Point{q.path[0], q.path[1]}, 20)
+		seq := make(dist.Sequence, len(pts))
+		for i, p := range pts {
+			seq[i] = dist.Vec{p.X, p.Y}
+		}
+		// Skip classes the small stream happens not to contain.
+		present := false
+		for _, class := range stream.Classes {
+			if class == q.name {
+				present = true
+			}
+		}
+		if !present {
+			continue
+		}
+		matches := db.QueryTrajectoryExact(seq, 3)
+		if len(matches) == 0 {
+			t.Errorf("%s: no matches", q.name)
+			continue
+		}
+		if got := stream.Classes[matches[0].Record.Label]; got != q.name {
+			t.Errorf("%s: top match has class %q", q.name, got)
+		}
+	}
+}
+
+// TestEndToEndPersistenceAndRequery round-trips a whole database through
+// Save/Load and requires byte-identical retrieval behavior.
+func TestEndToEndPersistenceAndRequery(t *testing.T) {
+	profile := video.StreamProfile{
+		Name: "P", Kind: video.KindTraffic,
+		NumObjects: 12, SegmentFrames: 24, ObjectsPerSegment: 2,
+	}
+	stream, err := video.GenerateStream(profile, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.Open(core.DefaultConfig())
+	if err := db.IngestStream(stream); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.Load(&buf, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dist.Sequence{{10, 90}, {160, 92}, {310, 94}}
+	a := db.QueryTrajectory(q, 4)
+	b := loaded.QueryTrajectory(q, 4)
+	if len(a) != len(b) {
+		t.Fatalf("match counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("match %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEndToEndQueryByExampleSegment ingests a stream, then queries with a
+// video segment containing a known motion (Section 5.5's full flow) and
+// checks the result classes.
+func TestEndToEndQueryByExampleSegment(t *testing.T) {
+	profile := video.StreamProfile{
+		Name: "QBE", Kind: video.KindLab,
+		NumObjects: 20, SegmentFrames: 24, ObjectsPerSegment: 2,
+	}
+	stream, err := video.GenerateStream(profile, 555)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.Open(core.DefaultConfig())
+	if err := db.IngestStream(stream); err != nil {
+		t.Fatal(err)
+	}
+	// Query segment: one person walking the horizontal-east corridor.
+	qseg, err := video.Generate(video.SceneConfig{
+		Name: "q", Width: 320, Height: 240, FPS: 12, Frames: 24,
+		BackgroundRows: 3, BackgroundCols: 4, Jitter: 0.8, Seed: 9,
+		Objects: []video.ObjectSpec{{
+			Label: "probe",
+			Parts: []video.PartSpec{
+				{Offset: geom.Vec(0, -16), Size: 110, Color: graph.Color{R: 0.7, G: 0.55, B: 0.45}},
+				{Offset: geom.Vec(0, 0), Size: 340, Color: graph.Color{R: 0.3, G: 0.8, B: 0.3}},
+				{Offset: geom.Vec(0, 17), Size: 260, Color: graph.Color{R: 0.25, G: 0.3, B: 0.5}},
+			},
+			Path:  []geom.Point{geom.Pt(16, 72), geom.Pt(304, 72)},
+			Start: 0, End: 24,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perOG, err := db.QuerySegment(qseg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perOG) != 1 {
+		t.Fatalf("query segment extracted %d OGs, want 1", len(perOG))
+	}
+	if len(perOG[0]) == 0 {
+		t.Fatal("no matches for the probe")
+	}
+	// Relevance: the stream must contain horizontal-east objects for the
+	// probe to match; verify the seed provides some, then check the hit.
+	hasEast := false
+	for _, class := range stream.Classes {
+		if class == "horizontal-east" {
+			hasEast = true
+		}
+	}
+	if hasEast {
+		if got := stream.Classes[perOG[0][0].Record.Label]; got != "horizontal-east" {
+			t.Errorf("probe's top match class = %q, want horizontal-east", got)
+		}
+	}
+}

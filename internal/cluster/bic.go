@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"strgindex/internal/dist"
+)
+
+// BIC evaluates Equation 8 for a fitted model:
+//
+//	BIC(M_K) = l̂_K(Y) − η_MK · log(M)
+//
+// η_MK counts the independent parameters of the fitted model: the paper's
+// formula η = (K−1) + K·d(d+3)/2 with d = 1 (Section 4.2) gives 3K−1 —
+// K−1 mixture weights plus one mean and one variance per component, which
+// is exactly what EM fits here. Larger BIC is better under this sign
+// convention (the paper maximizes).
+func BIC(r *Result, numItems int) float64 {
+	const d = 1
+	eta := float64(r.K-1) + float64(r.K)*d*(d+3)/2
+	return r.LogLikelihood - eta*math.Log(float64(numItems))
+}
+
+// KScan holds the BIC curve of an OptimalK scan.
+type KScan struct {
+	Ks      []int
+	BICs    []float64
+	Results []*Result
+	// BestK is the K maximizing BIC.
+	BestK int
+}
+
+// OptimalK fits EM models for K = kMin..kMax and picks the K with maximal
+// BIC (Section 4.2, Figure 8). cfg.K is ignored.
+func OptimalK(items []dist.Sequence, kMin, kMax int, cfg Config) (*KScan, error) {
+	if kMin < 1 || kMax < kMin {
+		return nil, fmt.Errorf("cluster: invalid K range [%d, %d]", kMin, kMax)
+	}
+	// Cap the scan well below the item count: as K approaches M each
+	// component holds a single item, σ collapses to the floor and the
+	// likelihood spikes into a meaningless overfit peak.
+	if cap := len(items) / 3; kMax > cap {
+		kMax = cap
+	}
+	if kMax < 1 {
+		kMax = 1
+	}
+	if kMax < kMin {
+		kMax = kMin
+		if kMax > len(items) {
+			return nil, fmt.Errorf("cluster: only %d items for kMin %d", len(items), kMin)
+		}
+	}
+	scan := &KScan{}
+	bestBIC := math.Inf(-1)
+	for k := kMin; k <= kMax; k++ {
+		c := cfg
+		c.K = k
+		res, err := EM(items, c)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: EM with K=%d: %w", k, err)
+		}
+		b := BIC(res, len(items))
+		scan.Ks = append(scan.Ks, k)
+		scan.BICs = append(scan.BICs, b)
+		scan.Results = append(scan.Results, res)
+		if b > bestBIC {
+			bestBIC = b
+			scan.BestK = k
+		}
+	}
+	return scan, nil
+}

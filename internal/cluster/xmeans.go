@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+
+	"strgindex/internal/dist"
+)
+
+// XMeans implements Pelleg & Moore's X-means — the optimal-K method the
+// paper cites ([24]) alongside its own BIC scan. Structure improvement
+// alternates with parameter improvement: starting from kMin centroids,
+// every cluster is test-split in two and the split is kept when the local
+// BIC (computed on the cluster's own members) improves; Lloyd iterations
+// then re-stabilize the global model. The search stops when no split
+// survives or kMax is reached.
+//
+// Compared with OptimalK's exhaustive scan, X-means fits far fewer models
+// (each split decision sees only one cluster's members), at the price of a
+// greedier search.
+func XMeans(items []dist.Sequence, kMin, kMax int, cfg Config) (*Result, error) {
+	if kMin < 1 || kMax < kMin {
+		return nil, fmt.Errorf("cluster: invalid K range [%d, %d]", kMin, kMax)
+	}
+	if kMin > len(items) {
+		return nil, fmt.Errorf("cluster: kMin %d exceeds %d items", kMin, len(items))
+	}
+	if kMax > len(items) {
+		kMax = len(items)
+	}
+	cfg.K = kMin
+	cfg, err := cfg.withDefaults(len(items))
+	if err != nil {
+		return nil, err
+	}
+
+	km, err := KMeans(items, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cents := km.Centroids
+	assign := km.Assignments
+	totalIter := km.Iterations
+
+	for len(cents) < kMax {
+		split := false
+		var next []dist.Sequence
+		for c := 0; c < len(cents); c++ {
+			var members []dist.Sequence
+			for j, a := range assign {
+				if a == c {
+					members = append(members, items[j])
+				}
+			}
+			if len(members) < 4 || len(cents)+boolToInt(split) >= kMax {
+				next = append(next, cents[c])
+				continue
+			}
+			if child1, child2, ok := trySplit(members, cfg); ok {
+				next = append(next, child1, child2)
+				split = true
+			} else {
+				next = append(next, cents[c])
+			}
+			if len(next) >= kMax {
+				// Absorb remaining clusters unchanged.
+				for cc := c + 1; cc < len(cents); cc++ {
+					next = append(next, cents[cc])
+				}
+				break
+			}
+		}
+		if !split {
+			break
+		}
+		cents = next
+		lcfg := cfg
+		lcfg.K = len(cents)
+		assign, cents, _ = lloyd(items, cents, lcfg)
+		totalIter++
+	}
+	fcfg := cfg
+	fcfg.K = len(cents)
+	return finalizeHard(items, cents, assign, fcfg, totalIter), nil
+}
+
+// trySplit fits one- and two-component models to a cluster's members and
+// returns the two child centroids when the split's local BIC wins.
+func trySplit(members []dist.Sequence, cfg Config) (dist.Sequence, dist.Sequence, bool) {
+	one := cfg
+	one.K = 1
+	res1, err1 := EM(members, one)
+	two := cfg
+	two.K = 2
+	res2, err2 := EM(members, two)
+	if err1 != nil || err2 != nil {
+		return nil, nil, false
+	}
+	if BIC(res2, len(members)) <= BIC(res1, len(members)) {
+		return nil, nil, false
+	}
+	if len(res2.Members(0)) == 0 || len(res2.Members(1)) == 0 {
+		return nil, nil, false
+	}
+	return res2.Centroids[0], res2.Centroids[1], true
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

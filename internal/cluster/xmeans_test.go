@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestXMeansRecoversBlobs(t *testing.T) {
+	items, labels := threeBlobsLen(90, 1, 61, false)
+	res, err := XMeans(items, 1, 8, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 3 || res.K > 4 {
+		t.Errorf("XMeans K = %d, want 3 or 4", res.K)
+	}
+	if got := agreement(res.Assignments, labels, res.K); got < 0.9 {
+		t.Errorf("agreement = %.2f, want >= 0.9", got)
+	}
+}
+
+func TestXMeansStopsAtKMax(t *testing.T) {
+	items, _ := threeBlobs(60, 1, 62)
+	res, err := XMeans(items, 1, 2, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 2 {
+		t.Errorf("K = %d exceeds kMax 2", res.K)
+	}
+}
+
+func TestXMeansSingleClusterData(t *testing.T) {
+	// Homogeneous data: no split should survive the local BIC test.
+	items, _ := threeBlobsLen(30, 1, 63, false)
+	onlyFlat := items[:0:0]
+	for i := range items {
+		if i%3 == 0 { // keep one blob only
+			onlyFlat = append(onlyFlat, items[i])
+		}
+	}
+	res, err := XMeans(onlyFlat, 1, 6, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 2 {
+		t.Errorf("single-cluster data split into %d", res.K)
+	}
+}
+
+func TestXMeansValidation(t *testing.T) {
+	items, _ := threeBlobs(9, 1, 64)
+	if _, err := XMeans(items, 0, 3, Config{}); err == nil {
+		t.Error("kMin 0 accepted")
+	}
+	if _, err := XMeans(items, 5, 3, Config{}); err == nil {
+		t.Error("kMax < kMin accepted")
+	}
+	if _, err := XMeans(items, 99, 99, Config{}); err == nil {
+		t.Error("kMin > items accepted")
+	}
+	// kMax beyond item count is clamped.
+	res, err := XMeans(items, 1, 99, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 9 {
+		t.Errorf("K = %d exceeds item count", res.K)
+	}
+}
+
+func TestXMeansAgreesWithOptimalKOnCleanData(t *testing.T) {
+	items, _ := threeBlobsLen(90, 1, 65, false)
+	xm, err := XMeans(items, 1, 8, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := OptimalK(items, 1, 8, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := xm.K - scan.BestK; diff < -1 || diff > 1 {
+		t.Errorf("X-means K=%d vs BIC scan K=%d differ by more than 1", xm.K, scan.BestK)
+	}
+}

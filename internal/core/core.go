@@ -1,0 +1,245 @@
+// Package core exposes the system's high-level API: a VideoDB that ingests
+// video segments through the full STRG pipeline (RAG construction, graph
+// tracking, decomposition into Object Graphs and a Background Graph,
+// EM clustering) into an STRG-Index, and answers similarity queries over
+// object motion (Algorithm 3).
+//
+// This is the surface a downstream application uses; the papers' internals
+// live in the substrate packages (rag, strg, dist, cluster, index).
+package core
+
+import (
+	"fmt"
+
+	"strgindex/internal/dist"
+	"strgindex/internal/graph"
+	"strgindex/internal/index"
+	"strgindex/internal/query"
+	"strgindex/internal/shot"
+	"strgindex/internal/strg"
+	"strgindex/internal/video"
+)
+
+// ClipRecord is the leaf payload: where the matched object graph lives.
+type ClipRecord struct {
+	Stream string
+	Clip   video.ClipRef
+	// Label is the OG's dominant ground-truth label when the source
+	// provides one; retrieval never reads it.
+	Label string
+	// OGID numbers the OG within the database ingest order.
+	OGID int
+}
+
+// Match is one similarity query hit.
+type Match struct {
+	Record   ClipRecord
+	Distance float64
+}
+
+// Config assembles the pipeline configuration.
+type Config struct {
+	// STRG controls RAG construction, tracking and decomposition.
+	STRG strg.Config
+	// Index controls clustering and the STRG-Index tree.
+	Index index.Config
+}
+
+// DefaultConfig is the configuration used by the examples and experiments.
+func DefaultConfig() Config {
+	return Config{STRG: strg.DefaultConfig()}
+}
+
+// Stats summarizes database contents and the size accounting of
+// Section 5.4.
+type Stats struct {
+	Segments int
+	OGs      int
+	Roots    int
+	Clusters int
+	// STRGBytes is Equation 9 aggregated over segments: the decomposed
+	// STRG with the background repeated per frame.
+	STRGBytes int
+	// RawSTRGBytes is the undecomposed STRG footprint (every frame's RAG).
+	RawSTRGBytes int
+	// IndexBytes is Equation 10: the STRG-Index footprint.
+	IndexBytes int
+}
+
+// IngestStats reports one segment's ingest.
+type IngestStats struct {
+	Frames        int
+	TemporalEdges int
+	OGs           int
+	BGNodes       int
+}
+
+// VideoDB is an indexed video database. Not safe for concurrent use.
+type VideoDB struct {
+	cfg       Config
+	tree      *index.Tree[ClipRecord]
+	segments  int
+	ogCount   int
+	strgBytes int
+	rawBytes  int
+	// ogs retains the decomposed Object Graphs (aligned with their
+	// ClipRecords) for predicate queries.
+	ogs     []*strg.OG
+	records []ClipRecord
+}
+
+// Open creates an empty database.
+func Open(cfg Config) *VideoDB {
+	if cfg.STRG.SimThreshold <= 0 {
+		cfg.STRG = strg.DefaultConfig()
+	}
+	return &VideoDB{cfg: cfg, tree: index.New[ClipRecord](cfg.Index)}
+}
+
+// IngestSegment runs the full pipeline on one segment and indexes its OGs.
+func (db *VideoDB) IngestSegment(stream string, seg *video.Segment) (*IngestStats, error) {
+	s, err := strg.Build(seg, db.cfg.STRG)
+	if err != nil {
+		return nil, fmt.Errorf("core: building STRG for %s: %w", seg.Name, err)
+	}
+	d := s.Decompose(db.cfg.STRG)
+	items := make([]index.Item[ClipRecord], len(d.OGs))
+	for i, og := range d.OGs {
+		clip := og.Clip
+		clip.Stream = stream
+		items[i] = index.Item[ClipRecord]{
+			Seq: og.Sequence(),
+			Payload: ClipRecord{
+				Stream: stream,
+				Clip:   clip,
+				Label:  og.Label,
+				OGID:   db.ogCount + i,
+			},
+		}
+	}
+	if err := db.tree.AddSegment(d.BG, items); err != nil {
+		return nil, fmt.Errorf("core: indexing %s: %w", seg.Name, err)
+	}
+	for i, og := range d.OGs {
+		db.ogs = append(db.ogs, og)
+		db.records = append(db.records, items[i].Payload)
+	}
+	db.segments++
+	db.ogCount += len(d.OGs)
+	db.strgBytes += d.STRGSizeBytes()
+	db.rawBytes += s.MemoryBytes()
+	return &IngestStats{
+		Frames:        len(seg.Frames),
+		TemporalEdges: s.NumTemporalEdges(),
+		OGs:           len(d.OGs),
+		BGNodes:       d.BG.Order(),
+	}, nil
+}
+
+// IngestVideo parses a long recording into single-background shots
+// (Section 1's "issue 1") and ingests each shot as its own segment. It
+// returns the number of shots.
+func (db *VideoDB) IngestVideo(stream string, seg *video.Segment, shotCfg shot.Config) (int, error) {
+	shots := shot.Split(seg, shotCfg)
+	for _, s := range shots {
+		if _, err := db.IngestSegment(stream, s); err != nil {
+			return 0, err
+		}
+	}
+	return len(shots), nil
+}
+
+// IngestStream ingests every segment of a generated stream.
+func (db *VideoDB) IngestStream(s *video.Stream) error {
+	for _, seg := range s.Segments {
+		if _, err := db.IngestSegment(s.Profile.Name, seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QuerySegment extracts the query segment's OGs and background (Section
+// 5.5: "From a query video segment q, we extract the background graph BG_q
+// and object graphs OG_q") and returns the k nearest indexed OGs for each
+// extracted query OG.
+func (db *VideoDB) QuerySegment(seg *video.Segment, k int) ([][]Match, error) {
+	s, err := strg.Build(seg, db.cfg.STRG)
+	if err != nil {
+		return nil, fmt.Errorf("core: building query STRG: %w", err)
+	}
+	d := s.Decompose(db.cfg.STRG)
+	out := make([][]Match, len(d.OGs))
+	for i, og := range d.OGs {
+		out[i] = db.knn(d.BG, og.Sequence(), k, false)
+	}
+	return out, nil
+}
+
+// QueryTrajectory returns the k indexed OGs most similar to a raw
+// trajectory, ignoring backgrounds (Algorithm 3's background-less mode).
+func (db *VideoDB) QueryTrajectory(seq dist.Sequence, k int) []Match {
+	return db.knn(nil, seq, k, false)
+}
+
+// QueryTrajectoryExact is QueryTrajectory with the exact (all-cluster)
+// search instead of Algorithm 3's single-cluster descent.
+func (db *VideoDB) QueryTrajectoryExact(seq dist.Sequence, k int) []Match {
+	return db.knn(nil, seq, k, true)
+}
+
+// QueryRange returns every indexed OG within radius of the trajectory.
+func (db *VideoDB) QueryRange(seq dist.Sequence, radius float64) []Match {
+	return toMatches(db.tree.Range(nil, seq, radius))
+}
+
+func (db *VideoDB) knn(bg *graph.Graph, seq dist.Sequence, k int, exact bool) []Match {
+	if exact {
+		return toMatches(db.tree.KNNExact(bg, seq, k))
+	}
+	return toMatches(db.tree.KNN(bg, seq, k))
+}
+
+// Stats returns the current database statistics.
+func (db *VideoDB) Stats() Stats {
+	return Stats{
+		Segments:     db.segments,
+		OGs:          db.tree.Len(),
+		Roots:        db.tree.NumRoots(),
+		Clusters:     db.tree.NumClusters(),
+		STRGBytes:    db.strgBytes,
+		RawSTRGBytes: db.rawBytes,
+		IndexBytes:   db.tree.MemoryBytes(),
+	}
+}
+
+// Index exposes the underlying STRG-Index for advanced use (experiments,
+// invariant checks).
+func (db *VideoDB) Index() *index.Tree[ClipRecord] { return db.tree }
+
+// Select returns the clip records of every indexed Object Graph satisfying
+// the predicate — the "queries on moving objects" surface (e.g. everything
+// that passed through a region heading east). Scans the retained OGs;
+// unlike the similarity queries it does not use the index. Records are
+// returned in ingest order with distance 0.
+func (db *VideoDB) Select(p query.Predicate) []Match {
+	var out []Match
+	for i, og := range db.ogs {
+		if p(og) {
+			out = append(out, Match{Record: db.records[i]})
+		}
+	}
+	return out
+}
+
+// OGs exposes the retained Object Graphs (aligned with Records order) for
+// analysis tooling. Callers must not mutate them.
+func (db *VideoDB) OGs() []*strg.OG { return db.ogs }
+
+func toMatches(rs []index.Result[ClipRecord]) []Match {
+	out := make([]Match, len(rs))
+	for i, r := range rs {
+		out[i] = Match{Record: r.Payload, Distance: r.Distance}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"strgindex/internal/index"
+)
+
+// dbImage is the gob-encoded form of a VideoDB.
+type dbImage struct {
+	Segments  int
+	OGCount   int
+	STRGBytes int
+	RawBytes  int
+	Index     index.Snapshot[ClipRecord]
+}
+
+// Save writes the database to w (gob encoding). The configuration is not
+// persisted — metrics are functions — so Load must be given the same
+// Config the database was built with.
+func (db *VideoDB) Save(w io.Writer) error {
+	img := dbImage{
+		Segments:  db.segments,
+		OGCount:   db.ogCount,
+		STRGBytes: db.strgBytes,
+		RawBytes:  db.rawBytes,
+		Index:     db.tree.Snapshot(),
+	}
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("core: encoding database: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database previously written by Save, under cfg (which must
+// match the saving configuration — leaf keys are verified against the
+// configured metric).
+func Load(r io.Reader, cfg Config) (*VideoDB, error) {
+	var img dbImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("core: decoding database: %w", err)
+	}
+	db := Open(cfg)
+	tree, err := index.FromSnapshot(img.Index, db.cfg.Index)
+	if err != nil {
+		return nil, err
+	}
+	db.tree = tree
+	db.segments = img.Segments
+	db.ogCount = img.OGCount
+	db.strgBytes = img.STRGBytes
+	db.rawBytes = img.RawBytes
+	return db, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"strgindex/internal/dist"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := Open(DefaultConfig())
+	if err := db.IngestStream(miniStream(t, 10, 21)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := db.Stats(), loaded.Stats()
+	if a != b {
+		t.Errorf("stats differ after round trip:\n  saved:  %+v\n  loaded: %+v", a, b)
+	}
+	// Queries must return identical results.
+	q := make(dist.Sequence, 10)
+	for i := range q {
+		q[i] = dist.Vec{20 + float64(i)*28, 120}
+	}
+	got1 := db.QueryTrajectory(q, 3)
+	got2 := loaded.QueryTrajectory(q, 3)
+	if len(got1) != len(got2) {
+		t.Fatalf("result counts differ: %d vs %d", len(got1), len(got2))
+	}
+	for i := range got1 {
+		if got1[i].Record.OGID != got2[i].Record.OGID || got1[i].Distance != got2[i].Distance {
+			t.Errorf("result %d differs: %+v vs %+v", i, got1[i], got2[i])
+		}
+	}
+	if err := loaded.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream")), DefaultConfig()); err == nil {
+		t.Error("loading garbage did not error")
+	}
+}
+
+func TestLoadEmptyDatabase(t *testing.T) {
+	db := Open(DefaultConfig())
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats().OGs != 0 {
+		t.Errorf("empty round trip has %d OGs", loaded.Stats().OGs)
+	}
+}

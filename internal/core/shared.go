@@ -1,0 +1,99 @@
+package core
+
+import (
+	"io"
+	"sync"
+
+	"strgindex/internal/dist"
+	"strgindex/internal/query"
+	"strgindex/internal/shot"
+	"strgindex/internal/video"
+)
+
+// SharedDB wraps a VideoDB for concurrent use: similarity and predicate
+// queries run in parallel with each other; ingest and persistence take the
+// write lock. A live deployment ingests from one camera goroutine while
+// serving queries from many.
+type SharedDB struct {
+	mu sync.RWMutex
+	db *VideoDB
+}
+
+// OpenShared creates an empty concurrent database.
+func OpenShared(cfg Config) *SharedDB {
+	return &SharedDB{db: Open(cfg)}
+}
+
+// LoadShared reads a database persisted with Save.
+func LoadShared(r io.Reader, cfg Config) (*SharedDB, error) {
+	db, err := Load(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedDB{db: db}, nil
+}
+
+// IngestSegment runs the pipeline on one segment under the write lock.
+func (s *SharedDB) IngestSegment(stream string, seg *video.Segment) (*IngestStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.IngestSegment(stream, seg)
+}
+
+// IngestStream ingests a whole stream under the write lock.
+func (s *SharedDB) IngestStream(stream *video.Stream) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.IngestStream(stream)
+}
+
+// IngestVideo shot-parses and ingests a long recording under the write
+// lock.
+func (s *SharedDB) IngestVideo(stream string, seg *video.Segment, shotCfg shot.Config) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.IngestVideo(stream, seg, shotCfg)
+}
+
+// QueryTrajectory is VideoDB.QueryTrajectory under a read lock.
+func (s *SharedDB) QueryTrajectory(seq dist.Sequence, k int) []Match {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.QueryTrajectory(seq, k)
+}
+
+// QueryTrajectoryExact is VideoDB.QueryTrajectoryExact under a read lock.
+func (s *SharedDB) QueryTrajectoryExact(seq dist.Sequence, k int) []Match {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.QueryTrajectoryExact(seq, k)
+}
+
+// QueryRange is VideoDB.QueryRange under a read lock.
+func (s *SharedDB) QueryRange(seq dist.Sequence, radius float64) []Match {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.QueryRange(seq, radius)
+}
+
+// Select is VideoDB.Select under a read lock.
+func (s *SharedDB) Select(p query.Predicate) []Match {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Select(p)
+}
+
+// Stats is VideoDB.Stats under a read lock.
+func (s *SharedDB) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Stats()
+}
+
+// Save persists the database under the write lock (the snapshot must not
+// race with ingest).
+func (s *SharedDB) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Save(w)
+}

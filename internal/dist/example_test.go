@@ -1,0 +1,34 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"strgindex/internal/dist"
+)
+
+// The paper's Section 3.1 example: the non-metric EGED violates the
+// triangle inequality, its constant-gap variant EGED_M restores it.
+func ExampleEGED() {
+	r := dist.Sequence{{0}}
+	s := dist.Sequence{{1}, {1}}
+	t := dist.Sequence{{2}, {2}, {3}}
+	fmt.Printf("EGED(r,t)=%.0f EGED(r,s)+EGED(s,t)=%.0f\n",
+		dist.EGED(r, t), dist.EGED(r, s)+dist.EGED(s, t))
+	fmt.Printf("EGEDM(r,t)=%.0f EGEDM(r,s)+EGEDM(s,t)=%.0f\n",
+		dist.EGEDMZero(r, t), dist.EGEDMZero(r, s)+dist.EGEDMZero(s, t))
+	// Output:
+	// EGED(r,t)=7 EGED(r,s)+EGED(s,t)=6
+	// EGEDM(r,t)=7 EGEDM(r,s)+EGEDM(s,t)=7
+}
+
+// Counting distance evaluations, the paper's query cost model.
+func ExampleCounted() {
+	var c dist.Counter
+	metric := dist.Counted(dist.EGEDMZero, &c)
+	a := dist.Sequence{{0, 0}, {10, 0}}
+	b := dist.Sequence{{0, 1}, {10, 1}}
+	metric(a, b)
+	metric(a, b)
+	fmt.Println(c.Count())
+	// Output: 2
+}

@@ -1,0 +1,127 @@
+package dist
+
+import "math"
+
+// This file holds the wider trajectory-distance family surrounding the
+// paper: LCSS with a time window (Vlachos, Gunopulos, Kollios — the noise
+// model of Section 6.1 comes from the same paper), EDR (Chen's Edit
+// Distance on Real sequences) and the discrete Fréchet distance. They are
+// baselines and ablation material, not used by the index itself.
+
+// LCSSLength is the windowed Longest Common SubSequence of Vlachos et al.:
+// samples a[i] and b[j] may match only when |i − j| <= delta and their
+// distance is at most eps. delta < 0 disables the window (plain LCS).
+func LCSSLength(a, b Sequence, eps float64, delta int) int {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			inWindow := delta < 0 || abs(i-j) <= delta
+			if inWindow && Norm(a[i-1], b[j-1]) <= eps {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for k := range cur {
+			cur[k] = 0
+		}
+	}
+	return prev[n]
+}
+
+// LCSSDist converts windowed LCSS into a dissimilarity in [0, 1].
+func LCSSDist(a, b Sequence, eps float64, delta int) float64 {
+	m, n := len(a), len(b)
+	if m == 0 && n == 0 {
+		return 0
+	}
+	if m == 0 || n == 0 {
+		return 1
+	}
+	minLen := m
+	if n < minLen {
+		minLen = n
+	}
+	return 1 - float64(LCSSLength(a, b, eps, delta))/float64(minLen)
+}
+
+// LCSSMetric returns LCSSDist as a Metric.
+func LCSSMetric(eps float64, delta int) Metric {
+	return func(a, b Sequence) float64 { return LCSSDist(a, b, eps, delta) }
+}
+
+// EDR is Chen's Edit Distance on Real sequence: unit-cost edit distance
+// where two samples match (cost 0) when within eps, substitution costs 1,
+// and insertions/deletions cost 1. Robust to noise; not a metric.
+func EDR(a, b Sequence, eps float64) int {
+	return EditDistance(a, b, eps)
+}
+
+// EDRMetric returns EDR normalized by the longer length, as a Metric in
+// [0, 1].
+func EDRMetric(eps float64) Metric {
+	return func(a, b Sequence) float64 {
+		m, n := len(a), len(b)
+		longest := m
+		if n > longest {
+			longest = n
+		}
+		if longest == 0 {
+			return 0
+		}
+		return float64(EDR(a, b, eps)) / float64(longest)
+	}
+}
+
+// Frechet is the discrete Fréchet distance (the "dog leash" distance over
+// sampled curves): the minimax coupling cost. It is a metric on sequences
+// up to reparameterization and very sensitive to single outliers — a
+// useful contrast to EGED in the ablations.
+func Frechet(a, b Sequence) float64 {
+	m, n := len(a), len(b)
+	if m == 0 && n == 0 {
+		return 0
+	}
+	if m == 0 || n == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	for j := 0; j < n; j++ {
+		d := Norm(a[0], b[j])
+		if j == 0 {
+			prev[0] = d
+		} else {
+			prev[j] = math.Max(prev[j-1], d)
+		}
+	}
+	for i := 1; i < m; i++ {
+		for j := 0; j < n; j++ {
+			d := Norm(a[i], b[j])
+			switch {
+			case j == 0:
+				cur[0] = math.Max(prev[0], d)
+			default:
+				best := math.Min(prev[j], math.Min(prev[j-1], cur[j-1]))
+				cur[j] = math.Max(best, d)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n-1]
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

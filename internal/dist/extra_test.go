@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLCSSWindow(t *testing.T) {
+	a := seq1(1, 2, 3, 4, 5, 6, 7, 8)
+	b := seq1(5, 6, 7, 8, 1, 2, 3, 4)
+	// Without a window the common subsequence 5,6,7,8 (or 1,2,3,4) matches.
+	if got := LCSSLength(a, b, 0.1, -1); got != 4 {
+		t.Errorf("unwindowed LCSS = %d, want 4", got)
+	}
+	// With delta = 1 the far-shifted matches are forbidden.
+	if got := LCSSLength(a, b, 0.1, 1); got >= 4 {
+		t.Errorf("windowed LCSS = %d, want < 4", got)
+	}
+	// Identical sequences are unaffected by the window.
+	if got := LCSSLength(a, a, 0.1, 0); got != 8 {
+		t.Errorf("self LCSS with delta 0 = %d, want 8", got)
+	}
+}
+
+func TestLCSSDistBounds(t *testing.T) {
+	a := seq1(1, 2, 3)
+	if got := LCSSDist(a, a, 0.1, -1); got != 0 {
+		t.Errorf("LCSSDist(self) = %v", got)
+	}
+	if got := LCSSDist(a, seq1(100, 200), 0.1, -1); got != 1 {
+		t.Errorf("LCSSDist(disjoint) = %v", got)
+	}
+	if got := LCSSDist(nil, nil, 0.1, -1); got != 0 {
+		t.Errorf("LCSSDist(nil, nil) = %v", got)
+	}
+	if got := LCSSDist(nil, a, 0.1, -1); got != 1 {
+		t.Errorf("LCSSDist(nil, x) = %v", got)
+	}
+	m := LCSSMetric(0.1, 2)
+	if got := m(a, a); got != 0 {
+		t.Errorf("LCSSMetric(self) = %v", got)
+	}
+}
+
+func TestLCSSAgreesWithLCSWhenUnwindowed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		mk := func() Sequence {
+			n := 1 + rng.Intn(8)
+			s := make(Sequence, n)
+			for i := range s {
+				s[i] = Vec{float64(rng.Intn(6))}
+			}
+			return s
+		}
+		a, b := mk(), mk()
+		if LCSSLength(a, b, 0.5, -1) != LCSLength(a, b, 0.5) {
+			t.Fatalf("trial %d: windowless LCSS != LCS", trial)
+		}
+	}
+}
+
+func TestEDR(t *testing.T) {
+	a := seq1(1, 2, 3)
+	if got := EDR(a, a, 0.1); got != 0 {
+		t.Errorf("EDR(self) = %d", got)
+	}
+	if got := EDR(a, seq1(1, 9, 3), 0.1); got != 1 {
+		t.Errorf("EDR one substitution = %d", got)
+	}
+	m := EDRMetric(0.1)
+	if got := m(a, seq1(1, 9, 3)); math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("EDRMetric = %v, want 1/3", got)
+	}
+	if got := m(nil, nil); got != 0 {
+		t.Errorf("EDRMetric(nil, nil) = %v", got)
+	}
+}
+
+func TestFrechetKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Sequence
+		want float64
+	}{
+		{"identical", seq1(1, 2, 3), seq1(1, 2, 3), 0},
+		{"constant offset", seq1(0, 0, 0), seq1(2, 2, 2), 2},
+		{"single spike dominates", seq1(0, 0, 0, 0), seq1(0, 50, 0, 0), 50},
+		{"stretched copy", seq1(1, 2, 3), seq1(1, 1, 2, 2, 3, 3), 0},
+		{"both empty", nil, nil, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Frechet(tt.a, tt.b); !almostEq(got, tt.want) {
+				t.Errorf("Frechet = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if got := Frechet(seq1(1), nil); !math.IsInf(got, 1) {
+		t.Errorf("Frechet(x, empty) = %v", got)
+	}
+}
+
+func TestFrechetMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func() Sequence {
+		n := 1 + rng.Intn(6)
+		s := make(Sequence, n)
+		for i := range s {
+			s[i] = Vec{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		return s
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := mk(), mk(), mk()
+		dab, dba := Frechet(a, b), Frechet(b, a)
+		if !almostEq(dab, dba) {
+			t.Fatalf("trial %d: not symmetric", trial)
+		}
+		if Frechet(a, a) != 0 {
+			t.Fatalf("trial %d: self distance non-zero", trial)
+		}
+		if Frechet(a, c) > dab+Frechet(b, c)+1e-9 {
+			t.Fatalf("trial %d: triangle violation", trial)
+		}
+	}
+}
+
+func TestOutlierSensitivityContrast(t *testing.T) {
+	// A single amplitude spike: Fréchet and EGED both pay roughly the
+	// spike height (Fréchet as a minimax, EGED as one edit), while LCSS
+	// caps the damage at one unmatched sample — the amplitude-robustness
+	// contrast. EGED's own robustness is to local TIME shifts, which is
+	// tested separately (TestEGEDLocalTimeShift).
+	clean := seq1(0, 1, 2, 3, 4, 5, 6, 7)
+	spiked := seq1(0, 1, 2, 100, 4, 5, 6, 7)
+	if f := Frechet(clean, spiked); f < 90 {
+		t.Errorf("Frechet spike response = %v, want ~97", f)
+	}
+	if e := EGED(clean, spiked); e < 90 || e > 110 {
+		t.Errorf("EGED spike response = %v, want ~97 (one edit)", e)
+	}
+	if l := LCSSDist(clean, spiked, 0.5, 2); math.Abs(l-1.0/8.0) > 1e-9 {
+		t.Errorf("LCSS spike response = %v, want 1/8 (one unmatched sample)", l)
+	}
+}

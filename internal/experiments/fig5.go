@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"strgindex/internal/cluster"
+	"strgindex/internal/eval"
+	"strgindex/internal/synth"
+)
+
+// Fig5Cell is one grid point of the clustering comparison: algorithm ×
+// distance × noise level.
+type Fig5Cell struct {
+	Algo      string
+	Distance  string
+	Noise     float64
+	ErrorRate float64
+	// BuildTime and Iterations feed Figure 6(b).
+	BuildTime  time.Duration
+	Iterations int
+	// Distortion feeds Figure 6(c).
+	Distortion float64
+}
+
+// Fig5Result carries the whole grid; Figures 5 and 6(a,c) are slices of
+// it.
+type Fig5Result struct {
+	Noises []float64
+	Cells  []Fig5Cell
+}
+
+// Cell returns the grid point for (algo, distance, noise).
+func (r *Fig5Result) Cell(algo, distance string, noise float64) (Fig5Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Algo == algo && c.Distance == distance && c.Noise == noise {
+			return c, true
+		}
+	}
+	return Fig5Cell{}, false
+}
+
+// Figure5 runs the clustering error-rate grid of Figure 5: {EM, KM, KHM} ×
+// {EGED, LCS, DTW} over the synthetic 48-pattern data at each noise level.
+// K is fixed to the true pattern count, as in the paper's synthetic setup.
+func Figure5(scale Scale) (*Fig5Result, error) {
+	res := &Fig5Result{Noises: scale.Fig5Noises}
+	for _, noise := range scale.Fig5Noises {
+		ds, err := synth.Generate(synth.Config{
+			PerPattern: scale.Fig5PerPattern,
+			NoisePct:   noise,
+			Seed:       scale.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 5 data at noise %v: %w", noise, err)
+		}
+		k := ds.NumClusters()
+		truth := ds.TrueCentroids(12)
+		for _, algo := range clusterAlgos() {
+			for _, dc := range distanceChoices() {
+				cfg := cluster.Config{
+					K:        k,
+					MaxIter:  scale.EMMaxIter,
+					Seed:     scale.Seed,
+					Distance: dc.metric,
+				}
+				var cr *cluster.Result
+				var runErr error
+				elapsed := timed(func() { cr, runErr = algo.run(ds.Items, cfg) })
+				if runErr != nil {
+					return nil, fmt.Errorf("experiments: %s-%s at noise %v: %w", algo.name, dc.name, noise, runErr)
+				}
+				rate, err := eval.ErrorRate(cr.Assignments, ds.Labels)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, Fig5Cell{
+					Algo:       algo.name,
+					Distance:   dc.name,
+					Noise:      noise,
+					ErrorRate:  rate,
+					BuildTime:  elapsed,
+					Iterations: cr.Iterations,
+					Distortion: eval.Distortion(cr.Centroids, truth),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// RenderPanels prints the three panels of Figure 5 (one per algorithm,
+// distances as columns, noise levels as rows).
+func (r *Fig5Result) RenderPanels() string {
+	var out string
+	for _, algo := range []string{"EM", "KM", "KHM"} {
+		t := Table{
+			Title:  fmt.Sprintf("Figure 5: clustering error rate (%%) — %s with EGED vs LCS vs DTW", algo),
+			Header: []string{"noise", algo + "-EGED", algo + "-LCS", algo + "-DTW"},
+		}
+		for _, noise := range r.Noises {
+			row := []string{pct(noise * 100)}
+			for _, d := range []string{"EGED", "LCS", "DTW"} {
+				if c, ok := r.Cell(algo, d, noise); ok {
+					row = append(row, f1(c.ErrorRate))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out += t.Render() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"strgindex/internal/cluster"
+	"strgindex/internal/synth"
+)
+
+// Fig6bPoint is one point of Figure 6(b): cluster building time after a
+// fixed number of iterations.
+type Fig6bPoint struct {
+	Algo       string
+	Iterations int
+	BuildTime  time.Duration
+}
+
+// Fig6Result carries the EM vs KM vs KHM comparison of Figure 6. Panels
+// (a) and (c) reuse the EGED column of the Figure 5 grid; panel (b) is the
+// iteration sweep.
+type Fig6Result struct {
+	Grid  *Fig5Result
+	TimeB []Fig6bPoint
+}
+
+// Figure6 runs the EM-EGED vs KM-EGED vs KHM-EGED comparison. grid may be
+// a previously computed Figure5 result to avoid rerunning it; pass nil to
+// compute it here.
+func Figure6(scale Scale, grid *Fig5Result) (*Fig6Result, error) {
+	if grid == nil {
+		var err error
+		grid, err = Figure5(scale)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Fig6Result{Grid: grid}
+	// Panel (b): building time vs iteration budget on a fixed mid-noise
+	// dataset (the paper plots 2..16 iterations).
+	ds, err := synth.Generate(synth.Config{
+		PerPattern: scale.Fig5PerPattern,
+		NoisePct:   0.15,
+		Seed:       scale.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 6(b) data: %w", err)
+	}
+	k := ds.NumClusters()
+	for _, iters := range []int{2, 4, 8, 12, 16} {
+		for _, algo := range clusterAlgos() {
+			cfg := cluster.Config{
+				K:         k,
+				MaxIter:   iters,
+				ForceIter: true, // measure exactly `iters` rounds
+				Seed:      scale.Seed,
+			}
+			var runErr error
+			elapsed := timed(func() { _, runErr = algo.run(ds.Items, cfg) })
+			if runErr != nil {
+				return nil, fmt.Errorf("experiments: figure 6(b) %s: %w", algo.name, runErr)
+			}
+			res.TimeB = append(res.TimeB, Fig6bPoint{Algo: algo.name, Iterations: iters, BuildTime: elapsed})
+		}
+	}
+	return res, nil
+}
+
+// timeFor returns panel (b)'s build time for (algo, iterations).
+func (r *Fig6Result) timeFor(algo string, iters int) (time.Duration, bool) {
+	for _, p := range r.TimeB {
+		if p.Algo == algo && p.Iterations == iters {
+			return p.BuildTime, true
+		}
+	}
+	return 0, false
+}
+
+// Render prints the three panels of Figure 6.
+func (r *Fig6Result) Render() string {
+	a := Table{
+		Title:  "Figure 6(a): clustering error rate (%) — EM vs KM vs KHM, all with EGED",
+		Header: []string{"noise", "EM-EGED", "KM-EGED", "KHM-EGED"},
+	}
+	c := Table{
+		Title:  "Figure 6(c): distortion (px) — EM vs KM vs KHM, all with EGED",
+		Header: []string{"noise", "EM-EGED", "KM-EGED", "KHM-EGED"},
+	}
+	for _, noise := range r.Grid.Noises {
+		rowA := []string{pct(noise * 100)}
+		rowC := []string{pct(noise * 100)}
+		for _, algo := range []string{"EM", "KM", "KHM"} {
+			if cell, ok := r.Grid.Cell(algo, "EGED", noise); ok {
+				rowA = append(rowA, f1(cell.ErrorRate))
+				rowC = append(rowC, f1(cell.Distortion))
+			} else {
+				rowA = append(rowA, "-")
+				rowC = append(rowC, "-")
+			}
+		}
+		a.Rows = append(a.Rows, rowA)
+		c.Rows = append(c.Rows, rowC)
+	}
+	b := Table{
+		Title:  "Figure 6(b): cluster building time (ms) vs iterations",
+		Header: []string{"iterations", "EM-EGED", "KM-EGED", "KHM-EGED"},
+	}
+	for _, iters := range []int{2, 4, 8, 12, 16} {
+		row := []string{fmt.Sprintf("%d", iters)}
+		for _, algo := range []string{"EM", "KM", "KHM"} {
+			if d, ok := r.timeFor(algo, iters); ok {
+				row = append(row, f2(float64(d.Microseconds())/1000))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	return a.Render() + "\n" + b.Render() + "\n" + c.Render()
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"strgindex/internal/cluster"
+	"strgindex/internal/eval"
+)
+
+// Fig8Curve is one stream's BIC-vs-K curve (Figure 8).
+type Fig8Curve struct {
+	Stream string
+	Ks     []int
+	BICs   []float64
+	BestK  int
+}
+
+// Fig8Result carries every stream's curve.
+type Fig8Result struct {
+	Curves []Fig8Curve
+}
+
+// Figure8 computes the BIC value for K = 1..MaxK per stream and reports
+// the maximizing K — the paper's optimal-cluster-count selection.
+func Figure8(streams []*StreamData, scale Scale) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	for _, s := range streams {
+		maxK := scale.MaxK
+		if maxK > len(s.Seqs) {
+			maxK = len(s.Seqs)
+		}
+		scan, err := cluster.OptimalK(s.Seqs, 1, maxK, cluster.Config{
+			MaxIter: scale.EMMaxIter,
+			Seed:    scale.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 8 scan for %s: %w", s.Profile.Name, err)
+		}
+		res.Curves = append(res.Curves, Fig8Curve{
+			Stream: s.Profile.Name,
+			Ks:     scan.Ks,
+			BICs:   scan.BICs,
+			BestK:  scan.BestK,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the BIC curves, one column per stream.
+func (r *Fig8Result) Render() string {
+	if len(r.Curves) == 0 {
+		return "Figure 8: no curves\n"
+	}
+	t := Table{
+		Title:  "Figure 8: BIC value vs number of clusters (peak = chosen K)",
+		Header: []string{"K"},
+	}
+	for _, c := range r.Curves {
+		t.Header = append(t.Header, c.Stream)
+	}
+	maxLen := 0
+	for _, c := range r.Curves {
+		if len(c.Ks) > maxLen {
+			maxLen = len(c.Ks)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		row := []string{fmt.Sprintf("%d", i+1)}
+		for _, c := range r.Curves {
+			if i < len(c.BICs) {
+				cell := f1(c.BICs[i])
+				if c.Ks[i] == c.BestK {
+					cell += " *"
+				}
+				row = append(row, cell)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.Render()
+}
+
+// Table2Row is one stream's row of Table 2.
+type Table2Row struct {
+	Stream       string
+	ErrorRate    float64
+	OptimalK     int // ground-truth class count
+	FoundK       int // BIC-selected K
+	STRGBytes    int
+	IndexBytes   int
+	RawSTRGBytes int
+}
+
+// Table2Result carries the Table 2 rows.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 regenerates the paper's Table 2: per-stream EM-EGED clustering
+// error rate, the true vs BIC-found cluster counts, and the STRG vs
+// STRG-Index sizes.
+func Table2(streams []*StreamData, fig8 *Fig8Result, scale Scale) (*Table2Result, error) {
+	res := &Table2Result{}
+	for i, s := range streams {
+		foundK := fig8.Curves[i].BestK
+		cr, err := cluster.EM(s.Seqs, cluster.Config{
+			K:       min(foundK, len(s.Seqs)),
+			MaxIter: scale.EMMaxIter,
+			Seed:    scale.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 2 clustering for %s: %w", s.Profile.Name, err)
+		}
+		rate, err := eval.ErrorRate(cr.Assignments, s.ClassIDs)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Stream:       s.Profile.Name,
+			ErrorRate:    rate,
+			OptimalK:     s.NumClasses(),
+			FoundK:       foundK,
+			STRGBytes:    s.Stats.STRGBytes,
+			IndexBytes:   s.Stats.IndexBytes,
+			RawSTRGBytes: s.Stats.RawSTRGBytes,
+		})
+	}
+	return res, nil
+}
+
+// Render prints Table 2.
+func (r *Table2Result) Render() string {
+	t := Table{
+		Title: "Table 2: clustering error rate, cluster counts and index sizes",
+		Header: []string{
+			"Video", "EM-EGED", "Optimal K", "Found K", "STRG size", "STRG-Idx size", "ratio",
+		},
+	}
+	for _, row := range r.Rows {
+		ratio := "-"
+		if row.IndexBytes > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(row.STRGBytes)/float64(row.IndexBytes))
+		}
+		t.Rows = append(t.Rows, []string{
+			row.Stream,
+			pct(row.ErrorRate),
+			fmt.Sprintf("%d", row.OptimalK),
+			fmt.Sprintf("%d", row.FoundK),
+			formatBytes(row.STRGBytes),
+			formatBytes(row.IndexBytes),
+			ratio,
+		})
+	}
+	return t.Render()
+}
+
+func formatBytes(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

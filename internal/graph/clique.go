@@ -1,0 +1,91 @@
+package graph
+
+// maxClique returns one maximum clique of the graph given by the dense
+// adjacency matrix adj, as a list of vertex indices. It runs Bron–Kerbosch
+// with pivoting, keeping only the largest clique found.
+//
+// The association graphs produced by MostCommonSubgraph are small (the
+// neighborhood graphs of Definition 7 are stars of a region and its
+// adjacent regions), so exponential worst case is not a concern in
+// practice; a work cap still bounds pathological inputs.
+func maxClique(adj [][]bool) []int {
+	n := len(adj)
+	if n == 0 {
+		return nil
+	}
+	var best []int
+	r := make([]int, 0, n)
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	x := make([]int, 0, n)
+
+	const workCap = 2_000_000
+	work := 0
+
+	var bk func(r, p, x []int)
+	bk = func(r, p, x []int) {
+		work++
+		if work > workCap {
+			return
+		}
+		if len(p) == 0 && len(x) == 0 {
+			if len(r) > len(best) {
+				best = append(best[:0], r...)
+			}
+			return
+		}
+		if len(r)+len(p) <= len(best) {
+			return // cannot beat the incumbent
+		}
+		// Pivot: vertex from p ∪ x with most neighbors in p.
+		pivot, maxDeg := -1, -1
+		for _, u := range p {
+			d := countNeighbors(adj, u, p)
+			if d > maxDeg {
+				pivot, maxDeg = u, d
+			}
+		}
+		for _, u := range x {
+			d := countNeighbors(adj, u, p)
+			if d > maxDeg {
+				pivot, maxDeg = u, d
+			}
+		}
+		for i := 0; i < len(p); i++ {
+			v := p[i]
+			if pivot >= 0 && adj[pivot][v] {
+				continue // skip neighbors of the pivot
+			}
+			var p2, x2 []int
+			for _, w := range p {
+				if adj[v][w] {
+					p2 = append(p2, w)
+				}
+			}
+			for _, w := range x {
+				if adj[v][w] {
+					x2 = append(x2, w)
+				}
+			}
+			bk(append(r, v), p2, x2)
+			// Move v from p to x.
+			p = append(p[:i], p[i+1:]...)
+			i--
+			x = append(x, v)
+		}
+	}
+	bk(r, p, x)
+	return best
+}
+
+func countNeighbors(adj [][]bool, u int, set []int) int {
+	c := 0
+	for _, v := range set {
+		if adj[u][v] {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format: one node per region
+// (labelled with size and colored by its mean RGB), one edge per spatial
+// adjacency (labelled with the centroid distance). Node positions pin the
+// layout to the frame geometry via pos attributes (use neato -n to honor
+// them).
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n  node [shape=circle style=filled];\n", name); err != nil {
+		return err
+	}
+	ids := g.NodeIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n, _ := g.Node(id)
+		label := fmt.Sprintf("%d", id)
+		if n.Attr.Label != "" {
+			label = n.Attr.Label
+		}
+		_, err := fmt.Fprintf(w, "  n%d [label=%q fillcolor=\"#%02x%02x%02x\" pos=\"%.0f,%.0f\"];\n",
+			id, label,
+			colorByte(n.Attr.Color.R), colorByte(n.Attr.Color.G), colorByte(n.Attr.Color.B),
+			n.Attr.Centroid.X, -n.Attr.Centroid.Y)
+		if err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d [label=\"%.0f\"];\n", e.U, e.V, e.Attr.Dist); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func colorByte(v float64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return int(v * 255)
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := buildTriangle(t, 0)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, "frame105"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`graph "frame105" {`,
+		"n0 [label=",
+		"n0 -- n1",
+		"n1 -- n2",
+		"n0 -- n2",
+		"fillcolor=\"#",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Three node lines, three edge lines.
+	if got := strings.Count(out, " -- "); got != 3 {
+		t.Errorf("edges in DOT = %d, want 3", got)
+	}
+}
+
+func TestWriteDOTEmptyGraph(t *testing.T) {
+	var b strings.Builder
+	if err := New().WriteDOT(&b, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "graph \"empty\" {") {
+		t.Error("empty DOT header missing")
+	}
+}
+
+func TestColorByteClamps(t *testing.T) {
+	if colorByte(-1) != 0 || colorByte(2) != 255 || colorByte(0.5) != 127 {
+		t.Error("colorByte clamping wrong")
+	}
+}

@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// EditCosts prices the elementary graph edit operations for GED. The
+// paper's Section 3 builds EGED on top of graph edit distance ("the
+// minimum cost of graph edit operations such as adding, deleting, and
+// changing nodes, to transform one graph to the other"); this is the
+// general-graph realization, usable on RAGs and neighborhood graphs
+// directly.
+type EditCosts struct {
+	// NodeSub returns the cost of substituting node attributes a with b.
+	NodeSub func(a, b NodeAttr) float64
+	// NodeIns is the cost of inserting or deleting a node.
+	NodeIns func(a NodeAttr) float64
+	// EdgeSub returns the cost of substituting edge attributes.
+	EdgeSub func(a, b SpatialAttr) float64
+	// EdgeIns is the cost of inserting or deleting an edge.
+	EdgeIns func(a SpatialAttr) float64
+}
+
+// DefaultEditCosts prices operations on the region-attribute scales used
+// throughout the pipeline: node substitution combines relative size,
+// color and centroid displacement; insertion/deletion is a unit cost.
+func DefaultEditCosts() EditCosts {
+	return EditCosts{
+		NodeSub: func(a, b NodeAttr) float64 {
+			maxSize := math.Max(math.Max(a.Size, b.Size), 1)
+			return math.Abs(a.Size-b.Size)/maxSize + a.Color.Dist(b.Color)
+		},
+		NodeIns: func(NodeAttr) float64 { return 1 },
+		EdgeSub: func(a, b SpatialAttr) float64 {
+			return math.Abs(a.Dist-b.Dist) / 100
+		},
+		EdgeIns: func(SpatialAttr) float64 { return 0.5 },
+	}
+}
+
+// gedState is one node of the A* search tree: a partial assignment of a's
+// first `depth` nodes.
+type gedState struct {
+	depth   int
+	mapping []int // mapping[i] = index into bIDs, or -1 for deletion
+	g       float64
+	f       float64
+}
+
+type gedQueue []*gedState
+
+func (q gedQueue) Len() int            { return len(q) }
+func (q gedQueue) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q gedQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *gedQueue) Push(x interface{}) { *q = append(*q, x.(*gedState)) }
+func (q *gedQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	s := old[n-1]
+	*q = old[:n-1]
+	return s
+}
+
+// GED computes the exact graph edit distance between a and b under the
+// given costs, using A* over node assignments with an admissible
+// unmatched-nodes heuristic. Exponential in the worst case — intended for
+// the small graphs of this pipeline (RAGs, neighborhood graphs, BGs).
+// A budget caps the explored states; if exhausted, the best f-value found
+// is returned as a lower bound along with ok = false.
+func GED(a, b *Graph, costs EditCosts, budget int) (distance float64, ok bool) {
+	if costs.NodeSub == nil || costs.NodeIns == nil || costs.EdgeSub == nil || costs.EdgeIns == nil {
+		costs = DefaultEditCosts()
+	}
+	if budget <= 0 {
+		budget = 200_000
+	}
+	aIDs := sortedNodeIDs(a)
+	bIDs := sortedNodeIDs(b)
+	n, m := len(aIDs), len(bIDs)
+
+	attrA := make([]NodeAttr, n)
+	for i, id := range aIDs {
+		node, _ := a.Node(id)
+		attrA[i] = node.Attr
+	}
+	attrB := make([]NodeAttr, m)
+	for j, id := range bIDs {
+		node, _ := b.Node(id)
+		attrB[j] = node.Attr
+	}
+
+	// h: admissible completion estimate — by counting alone, any
+	// completion must insert max(0, remainingB - remainingA) b-nodes, each
+	// costing at least the cheapest node insertion.
+	minIns := math.Inf(1)
+	for _, attr := range attrB {
+		minIns = math.Min(minIns, costs.NodeIns(attr))
+	}
+	if math.IsInf(minIns, 1) {
+		minIns = 0
+	}
+	h := func(depth int, used int) float64 {
+		excess := (m - used) - (n - depth)
+		if excess <= 0 {
+			return 0
+		}
+		return float64(excess) * minIns
+	}
+
+	start := &gedState{mapping: []int{}}
+	pq := &gedQueue{start}
+	heap.Init(pq)
+	explored := 0
+	bestBound := math.Inf(1)
+
+	for pq.Len() > 0 {
+		s := heap.Pop(pq).(*gedState)
+		explored++
+		if explored > budget {
+			return math.Min(bestBound, s.f), false
+		}
+		if s.depth == n {
+			// Complete: pay for unmatched b-nodes and their edges.
+			total := s.g
+			usedB := make(map[int]bool, len(s.mapping))
+			for _, j := range s.mapping {
+				if j >= 0 {
+					usedB[j] = true
+				}
+			}
+			for j := 0; j < m; j++ {
+				if !usedB[j] {
+					total += costs.NodeIns(attrB[j])
+				}
+			}
+			total += unmatchedEdgeCost(b, bIDs, usedB, costs)
+			return total, true
+		}
+		i := s.depth
+		usedB := make(map[int]bool, len(s.mapping))
+		for _, j := range s.mapping {
+			if j >= 0 {
+				usedB[j] = true
+			}
+		}
+		// Option 1: substitute a[i] with each unused b[j].
+		for j := 0; j < m; j++ {
+			if usedB[j] {
+				continue
+			}
+			g := s.g + costs.NodeSub(attrA[i], attrB[j]) + edgeDelta(a, b, aIDs, bIDs, s.mapping, i, j, costs)
+			child := &gedState{
+				depth:   i + 1,
+				mapping: append(append([]int{}, s.mapping...), j),
+				g:       g,
+			}
+			child.f = g + h(child.depth, len(usedB)+1)
+			if child.f < bestBound {
+				heap.Push(pq, child)
+			}
+		}
+		// Option 2: delete a[i] (and its edges to already-mapped nodes).
+		g := s.g + costs.NodeIns(attrA[i]) + deletedEdgeCost(a, aIDs, s.mapping, i, costs)
+		child := &gedState{
+			depth:   i + 1,
+			mapping: append(append([]int{}, s.mapping...), -1),
+			g:       g,
+		}
+		child.f = g + h(child.depth, len(usedB))
+		heap.Push(pq, child)
+	}
+	return bestBound, false
+}
+
+// edgeDelta prices the edge edits implied by mapping a[i] -> b[j], against
+// every previously assigned a-node.
+func edgeDelta(a, b *Graph, aIDs, bIDs []NodeID, mapping []int, i, j int, costs EditCosts) float64 {
+	var total float64
+	for prev, pj := range mapping {
+		ae, aok := a.EdgeAttr(aIDs[i], aIDs[prev])
+		if pj < 0 {
+			// Partner was deleted: a's edge (if any) dies with it — priced
+			// in deletedEdgeCost at deletion time? No: deletion happened
+			// before i existed in the mapping, so price a's edge here.
+			if aok {
+				total += costs.EdgeIns(ae)
+			}
+			continue
+		}
+		be, bok := b.EdgeAttr(bIDs[j], bIDs[pj])
+		switch {
+		case aok && bok:
+			total += costs.EdgeSub(ae, be)
+		case aok && !bok:
+			total += costs.EdgeIns(ae)
+		case !aok && bok:
+			total += costs.EdgeIns(be)
+		}
+	}
+	return total
+}
+
+// deletedEdgeCost prices deleting a[i]'s edges toward already-processed
+// a-nodes.
+func deletedEdgeCost(a *Graph, aIDs []NodeID, mapping []int, i int, costs EditCosts) float64 {
+	var total float64
+	for prev := range mapping {
+		if ae, ok := a.EdgeAttr(aIDs[i], aIDs[prev]); ok {
+			total += costs.EdgeIns(ae)
+		}
+	}
+	return total
+}
+
+// unmatchedEdgeCost prices inserting the edges of b incident to inserted
+// (unmatched) b-nodes, counting each edge once.
+func unmatchedEdgeCost(b *Graph, bIDs []NodeID, usedB map[int]bool, costs EditCosts) float64 {
+	idx := make(map[NodeID]int, len(bIDs))
+	for j, id := range bIDs {
+		idx[id] = j
+	}
+	var total float64
+	for _, e := range b.Edges() {
+		ui, vi := idx[e.U], idx[e.V]
+		if !usedB[ui] || !usedB[vi] {
+			total += costs.EdgeIns(e.Attr)
+		}
+	}
+	return total
+}
+
+func sortedNodeIDs(g *Graph) []NodeID {
+	ids := g.NodeIDs()
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"strgindex/internal/geom"
+)
+
+// unitCosts makes every operation cost 1 (edges 0.5) so expected values
+// are countable by hand.
+func unitCosts() EditCosts {
+	return EditCosts{
+		NodeSub: func(a, b NodeAttr) float64 {
+			if a.Size == b.Size && a.Color == b.Color {
+				return 0
+			}
+			return 1
+		},
+		NodeIns: func(NodeAttr) float64 { return 1 },
+		EdgeSub: func(a, b SpatialAttr) float64 {
+			if a.Dist == b.Dist {
+				return 0
+			}
+			return 1
+		},
+		EdgeIns: func(SpatialAttr) float64 { return 0.5 },
+	}
+}
+
+func gedNode(id NodeID, size float64) Node {
+	return Node{ID: id, Attr: NodeAttr{Size: size, Color: Gray(0.5), Centroid: geom.Pt(0, 0)}}
+}
+
+func TestGEDIdenticalGraphsIsZero(t *testing.T) {
+	a := buildTriangle(t, 0)
+	b := buildTriangle(t, 100)
+	got, ok := GED(a, b, unitCosts(), 0)
+	if !ok {
+		t.Fatal("budget exhausted on tiny graphs")
+	}
+	if got != 0 {
+		t.Errorf("GED(identical) = %v, want 0", got)
+	}
+}
+
+func TestGEDSingleNodeSubstitution(t *testing.T) {
+	a := New()
+	a.MustAddNode(gedNode(0, 100))
+	b := New()
+	b.MustAddNode(gedNode(1, 200))
+	got, ok := GED(a, b, unitCosts(), 0)
+	if !ok || got != 1 {
+		t.Errorf("GED = %v (ok=%v), want 1 (one substitution)", got, ok)
+	}
+}
+
+func TestGEDInsertion(t *testing.T) {
+	a := New()
+	a.MustAddNode(gedNode(0, 100))
+	b := New()
+	b.MustAddNode(gedNode(1, 100))
+	b.MustAddNode(gedNode(2, 100))
+	_ = b.AddEdge(1, 2, SpatialAttr{Dist: 10})
+	// Match the identical node free, insert one node (1) and one edge (0.5).
+	got, ok := GED(a, b, unitCosts(), 0)
+	if !ok || math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("GED = %v (ok=%v), want 1.5", got, ok)
+	}
+}
+
+func TestGEDDeletion(t *testing.T) {
+	a := New()
+	a.MustAddNode(gedNode(0, 100))
+	a.MustAddNode(gedNode(1, 100))
+	_ = a.AddEdge(0, 1, SpatialAttr{Dist: 10})
+	b := New()
+	b.MustAddNode(gedNode(5, 100))
+	got, ok := GED(a, b, unitCosts(), 0)
+	if !ok || math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("GED = %v (ok=%v), want 1.5 (delete node + edge)", got, ok)
+	}
+}
+
+func TestGEDEmptyGraphs(t *testing.T) {
+	a, b := New(), New()
+	got, ok := GED(a, b, unitCosts(), 0)
+	if !ok || got != 0 {
+		t.Errorf("GED(empty, empty) = %v (ok=%v), want 0", got, ok)
+	}
+	c := New()
+	c.MustAddNode(gedNode(0, 100))
+	c.MustAddNode(gedNode(1, 50))
+	got, ok = GED(a, c, unitCosts(), 0)
+	if !ok || got != 2 {
+		t.Errorf("GED(empty, 2 nodes) = %v (ok=%v), want 2", got, ok)
+	}
+	got, ok = GED(c, a, unitCosts(), 0)
+	if !ok || got != 2 {
+		t.Errorf("GED(2 nodes, empty) = %v (ok=%v), want 2", got, ok)
+	}
+}
+
+func TestGEDEdgeSubstitution(t *testing.T) {
+	a := New()
+	a.MustAddNode(gedNode(0, 100))
+	a.MustAddNode(gedNode(1, 200))
+	_ = a.AddEdge(0, 1, SpatialAttr{Dist: 10})
+	b := New()
+	b.MustAddNode(gedNode(5, 100))
+	b.MustAddNode(gedNode(6, 200))
+	_ = b.AddEdge(5, 6, SpatialAttr{Dist: 99})
+	// Nodes match free; the edge attribute differs -> one edge sub.
+	got, ok := GED(a, b, unitCosts(), 0)
+	if !ok || got != 1 {
+		t.Errorf("GED = %v (ok=%v), want 1", got, ok)
+	}
+}
+
+func TestGEDSymmetricOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mk := func(base NodeID) *Graph {
+		g := New()
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			g.MustAddNode(gedNode(base+NodeID(i), float64(50*(1+rng.Intn(4)))))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					_ = g.AddEdge(base+NodeID(i), base+NodeID(j), SpatialAttr{Dist: float64(10 * (1 + rng.Intn(3)))})
+				}
+			}
+		}
+		return g
+	}
+	for trial := 0; trial < 20; trial++ {
+		a, b := mk(0), mk(100)
+		d1, ok1 := GED(a, b, unitCosts(), 0)
+		d2, ok2 := GED(b, a, unitCosts(), 0)
+		if !ok1 || !ok2 {
+			t.Fatalf("trial %d: budget exhausted", trial)
+		}
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("trial %d: GED not symmetric: %v vs %v", trial, d1, d2)
+		}
+	}
+}
+
+func TestGEDTriangleInequalityOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	mk := func(base NodeID) *Graph {
+		g := New()
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			g.MustAddNode(gedNode(base+NodeID(i), float64(50*(1+rng.Intn(3)))))
+		}
+		if n >= 2 && rng.Float64() < 0.6 {
+			_ = g.AddEdge(base, base+1, SpatialAttr{Dist: 10})
+		}
+		return g
+	}
+	for trial := 0; trial < 20; trial++ {
+		a, b, c := mk(0), mk(100), mk(200)
+		dab, _ := GED(a, b, unitCosts(), 0)
+		dbc, _ := GED(b, c, unitCosts(), 0)
+		dac, _ := GED(a, c, unitCosts(), 0)
+		if dac > dab+dbc+1e-9 {
+			t.Fatalf("trial %d: triangle violation %v > %v + %v", trial, dac, dab, dbc)
+		}
+	}
+}
+
+func TestGEDBudgetExhaustion(t *testing.T) {
+	// Two 7-node graphs with identical attributes force a wide search;
+	// budget 1 must bail out with ok=false and a finite bound.
+	mk := func(base NodeID) *Graph {
+		g := New()
+		for i := 0; i < 7; i++ {
+			g.MustAddNode(gedNode(base+NodeID(i), 100))
+		}
+		return g
+	}
+	_, ok := GED(mk(0), mk(100), unitCosts(), 1)
+	if ok {
+		t.Error("budget 1 reported an exact result")
+	}
+}
+
+func TestGEDDefaultCosts(t *testing.T) {
+	a := buildTriangle(t, 0)
+	b := buildTriangle(t, 100)
+	got, ok := GED(a, b, EditCosts{}, 0) // zero costs fall back to defaults
+	if !ok {
+		t.Fatal("budget exhausted")
+	}
+	if got != 0 {
+		t.Errorf("GED(identical, default costs) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"strgindex/internal/geom"
+)
+
+// buildTriangle returns a 3-node triangle graph with distinct sizes.
+func buildTriangle(t *testing.T, base NodeID) *Graph {
+	t.Helper()
+	g := New()
+	for i := 0; i < 3; i++ {
+		g.MustAddNode(Node{
+			ID: base + NodeID(i),
+			Attr: NodeAttr{
+				Size:     float64(100 * (i + 1)),
+				Color:    Gray(float64(i) * 0.3),
+				Centroid: geom.Pt(float64(i*10), 0),
+			},
+		})
+	}
+	edges := []struct {
+		u, v NodeID
+		attr SpatialAttr
+	}{
+		{base, base + 1, SpatialAttr{Dist: 10, Orient: 0}},
+		{base + 1, base + 2, SpatialAttr{Dist: 10, Orient: 0}},
+		{base, base + 2, SpatialAttr{Dist: 20, Orient: 0}},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.u, e.v, e.attr); err != nil {
+			t.Fatalf("AddEdge(%d, %d): %v", e.u, e.v, err)
+		}
+	}
+	return g
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	g := New()
+	if err := g.AddNode(Node{ID: 1}); err != nil {
+		t.Fatalf("first AddNode: %v", err)
+	}
+	if err := g.AddNode(Node{ID: 1}); err == nil {
+		t.Error("duplicate AddNode did not error")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New()
+	g.MustAddNode(Node{ID: 1})
+	g.MustAddNode(Node{ID: 2})
+	tests := []struct {
+		name string
+		u, v NodeID
+	}{
+		{"self edge", 1, 1},
+		{"missing u", 7, 2},
+		{"missing v", 1, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddEdge(tt.u, tt.v, SpatialAttr{}); err == nil {
+				t.Error("AddEdge did not error")
+			}
+		})
+	}
+	if err := g.AddEdge(1, 2, SpatialAttr{}); err != nil {
+		t.Fatalf("valid AddEdge: %v", err)
+	}
+	if err := g.AddEdge(2, 1, SpatialAttr{}); err == nil {
+		t.Error("duplicate edge (reversed) did not error")
+	}
+}
+
+func TestOrderAndSize(t *testing.T) {
+	g := buildTriangle(t, 0)
+	if g.Order() != 3 {
+		t.Errorf("Order = %d, want 3", g.Order())
+	}
+	if g.Size() != 3 {
+		t.Errorf("Size = %d, want 3", g.Size())
+	}
+}
+
+func TestEdgeAttrReverseOrientation(t *testing.T) {
+	g := New()
+	g.MustAddNode(Node{ID: 1})
+	g.MustAddNode(Node{ID: 2})
+	if err := g.AddEdge(1, 2, SpatialAttr{Dist: 5, Orient: math.Pi / 4}); err != nil {
+		t.Fatal(err)
+	}
+	fwd, ok := g.EdgeAttr(1, 2)
+	if !ok || fwd.Orient != math.Pi/4 {
+		t.Errorf("forward orient = %v, want pi/4", fwd.Orient)
+	}
+	rev, ok := g.EdgeAttr(2, 1)
+	if !ok {
+		t.Fatal("reverse edge missing")
+	}
+	if want := math.Pi/4 + math.Pi; math.Abs(rev.Orient-want) > 1e-9 {
+		t.Errorf("reverse orient = %v, want %v", rev.Orient, want)
+	}
+	if rev.Dist != 5 {
+		t.Errorf("reverse dist = %v, want 5", rev.Dist)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := buildTriangle(t, 0)
+	got := g.Neighbors(0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Neighbors(0) = %v, want [1 2]", got)
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+	if got := g.Neighbors(99); got != nil {
+		t.Errorf("Neighbors of missing node = %v, want nil", got)
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := buildTriangle(t, 0)
+	e1 := g.Edges()
+	e2 := g.Edges()
+	if len(e1) != 3 {
+		t.Fatalf("len(Edges) = %d, want 3", len(e1))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Errorf("Edges not deterministic at %d: %v vs %v", i, e1[i], e2[i])
+		}
+		if e1[i].U >= e1[i].V {
+			t.Errorf("edge %v not normalized U < V", e1[i])
+		}
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := buildTriangle(t, 0)
+	sub := g.Subgraph([]NodeID{0, 1})
+	if sub.Order() != 2 {
+		t.Errorf("Order = %d, want 2", sub.Order())
+	}
+	if sub.Size() != 1 {
+		t.Errorf("Size = %d, want 1", sub.Size())
+	}
+	if !sub.HasEdge(0, 1) {
+		t.Error("induced edge (0,1) missing")
+	}
+	// Unknown and duplicate IDs are tolerated.
+	sub2 := g.Subgraph([]NodeID{0, 0, 42})
+	if sub2.Order() != 1 {
+		t.Errorf("Order with dup/missing IDs = %d, want 1", sub2.Order())
+	}
+}
+
+func TestNeighborhoodGraphIsStar(t *testing.T) {
+	g := buildTriangle(t, 0)
+	star := g.NeighborhoodGraph(0)
+	if star.Order() != 3 {
+		t.Errorf("Order = %d, want 3", star.Order())
+	}
+	// Only edges incident to the center — the (1,2) edge must be absent.
+	if star.Size() != 2 {
+		t.Errorf("Size = %d, want 2", star.Size())
+	}
+	if star.HasEdge(1, 2) {
+		t.Error("star contains non-center edge (1,2)")
+	}
+	if g.NeighborhoodGraph(99) != nil {
+		t.Error("NeighborhoodGraph of missing node != nil")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := buildTriangle(t, 0)
+	c := g.Clone()
+	if c.Order() != g.Order() || c.Size() != g.Size() {
+		t.Fatalf("clone shape mismatch: %d/%d vs %d/%d", c.Order(), c.Size(), g.Order(), g.Size())
+	}
+	// Mutating the clone must not affect the original.
+	c.MustAddNode(Node{ID: 99})
+	if g.Has(99) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestColorDist(t *testing.T) {
+	if got := (Color{0, 0, 0}).Dist(Color{1, 1, 1}); math.Abs(got-math.Sqrt(3)) > 1e-9 {
+		t.Errorf("Dist(black, white) = %v, want sqrt(3)", got)
+	}
+	if got := Gray(0.5).Dist(Gray(0.5)); got != 0 {
+		t.Errorf("Dist(gray, same gray) = %v, want 0", got)
+	}
+}
+
+func TestMemoryBytesGrows(t *testing.T) {
+	small := buildTriangle(t, 0)
+	big := buildTriangle(t, 0)
+	big.MustAddNode(Node{ID: 50})
+	if big.MemoryBytes() <= small.MemoryBytes() {
+		t.Error("MemoryBytes did not grow with node count")
+	}
+}

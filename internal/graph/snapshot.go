@@ -1,0 +1,32 @@
+package graph
+
+import "fmt"
+
+// Snapshot is a serializable image of a Graph: plain exported slices with
+// no internal maps, suitable for encoding/gob or encoding/json.
+type Snapshot struct {
+	Nodes []Node
+	Edges []SpatialEdge
+}
+
+// Snapshot captures the graph's current state. Edges appear once each with
+// U < V.
+func (g *Graph) Snapshot() Snapshot {
+	return Snapshot{Nodes: append([]Node(nil), g.nodes...), Edges: g.Edges()}
+}
+
+// FromSnapshot reconstructs a graph from a snapshot.
+func FromSnapshot(s Snapshot) (*Graph, error) {
+	g := New()
+	for _, n := range s.Nodes {
+		if err := g.AddNode(n); err != nil {
+			return nil, fmt.Errorf("graph: restoring snapshot: %w", err)
+		}
+	}
+	for _, e := range s.Edges {
+		if err := g.AddEdge(e.U, e.V, e.Attr); err != nil {
+			return nil, fmt.Errorf("graph: restoring snapshot: %w", err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,28 @@
+package index_test
+
+import (
+	"fmt"
+
+	"strgindex/internal/dist"
+	"strgindex/internal/index"
+)
+
+// Indexing trajectories and answering a k-NN query with Algorithm 3.
+func ExampleTree_KNN() {
+	tr := index.New[string](index.Config{NumClusters: 2, Seed: 1})
+	east := dist.Sequence{{0, 50}, {100, 50}, {200, 50}}
+	south := dist.Sequence{{100, 0}, {100, 100}, {100, 200}}
+	err := tr.AddSegment(nil, []index.Item[string]{
+		{Seq: east, Payload: "clip-east"},
+		{Seq: south, Payload: "clip-south"},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	query := dist.Sequence{{0, 52}, {100, 48}, {200, 51}}
+	for _, hit := range tr.KNN(nil, query, 1) {
+		fmt.Println(hit.Payload)
+	}
+	// Output: clip-east
+}

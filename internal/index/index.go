@@ -1,0 +1,438 @@
+// Package index implements the STRG-Index of Section 5: a three-level
+// tree over decomposed video.
+//
+//   - The root node holds one record per Background Graph (iD, BG, ptr).
+//   - Each cluster node holds the centroid Object Graphs of the clusters
+//     sharing that background (iD, OG_clus, ptr).
+//   - Each leaf node holds the member OGs of one cluster, keyed by
+//     Key = EGED_M(OG_mem, OG_clus) — a metric, so the key supports
+//     triangle-inequality pruning.
+//
+// Construction follows Algorithm 2 (cluster the OGs with EM over the
+// non-metric EGED, then insert members sorted by key), node splitting
+// follows Section 5.3 (EM with K = 2 adopted when it improves BIC), and
+// search follows Algorithm 3 (match the query background by SimGraph,
+// descend to the most similar centroid, then k-NN the leaf with key
+// pruning).
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"strgindex/internal/cluster"
+	"strgindex/internal/dist"
+	"strgindex/internal/graph"
+)
+
+// Config parameterizes an STRG-Index.
+type Config struct {
+	// Metric is the leaf key metric — EGED_M in the paper. It must satisfy
+	// the metric axioms for key pruning to be sound. Nil means EGED_M with
+	// the zero gap.
+	Metric dist.Metric
+	// ClusterDistance is the (possibly non-metric) distance used to build
+	// and choose clusters — the non-metric EGED in the paper. Nil means
+	// dist.EGED.
+	ClusterDistance dist.Metric
+	// NumClusters fixes K per background when positive; zero selects K by
+	// BIC over 1..MaxClusters (Section 4.2).
+	NumClusters int
+	// MaxClusters bounds the BIC scan. Zero means 15, the paper's Figure 8
+	// range.
+	MaxClusters int
+	// MaxLeafEntries is the leaf occupancy that triggers a split check
+	// (Section 5.3). Zero means 32.
+	MaxLeafEntries int
+	// BGSimThreshold is the minimum SimGraph at which an incoming
+	// background is considered the same as a stored one, sharing its root
+	// record. Zero means 0.75.
+	BGSimThreshold float64
+	// Tol is the matching tolerance for background comparison.
+	Tol graph.Tolerance
+	// Seed drives clustering initialization.
+	Seed int64
+	// EMMaxIter bounds clustering iterations. Zero means 50.
+	EMMaxIter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Metric == nil {
+		c.Metric = dist.EGEDMZero
+	}
+	if c.ClusterDistance == nil {
+		c.ClusterDistance = dist.EGED
+	}
+	if c.MaxClusters <= 0 {
+		c.MaxClusters = 15
+	}
+	if c.MaxLeafEntries <= 0 {
+		c.MaxLeafEntries = 32
+	}
+	if c.BGSimThreshold <= 0 {
+		c.BGSimThreshold = 0.75
+	}
+	if c.Tol == (graph.Tolerance{}) {
+		c.Tol = graph.DefaultTolerance()
+	}
+	if c.EMMaxIter <= 0 {
+		c.EMMaxIter = 50
+	}
+	return c
+}
+
+// Item is one Object Graph to index: its attribute sequence plus the
+// payload the leaf record points at (the video clip reference).
+type Item[P any] struct {
+	Seq     dist.Sequence
+	Payload P
+}
+
+// Result is one search hit.
+type Result[P any] struct {
+	Payload  P
+	Distance float64
+}
+
+// leafRecord is one record of a leaf node: (Key, OG_mem, ptr).
+type leafRecord[P any] struct {
+	key     float64
+	seq     dist.Sequence
+	payload P
+}
+
+// clusterRecord is one record of a cluster node: (iD_clus, OG_clus, ptr to
+// leaf). Leaf entries are kept sorted by key.
+type clusterRecord[P any] struct {
+	id       int
+	centroid dist.Sequence
+	leaf     []leafRecord[P]
+}
+
+func (c *clusterRecord[P]) maxKey() float64 {
+	if len(c.leaf) == 0 {
+		return 0
+	}
+	return c.leaf[len(c.leaf)-1].key
+}
+
+// rootRecord is one record of the root node: (iD_root, BG_r, ptr to a
+// cluster node).
+type rootRecord[P any] struct {
+	id       int
+	bg       *graph.Graph
+	clusters []*clusterRecord[P]
+}
+
+// Tree is an STRG-Index. Not safe for concurrent mutation.
+type Tree[P any] struct {
+	cfg     Config
+	matcher *graph.Matcher
+	roots   []*rootRecord[P]
+	size    int
+	nextCl  int
+}
+
+// New creates an empty STRG-Index.
+func New[P any](cfg Config) *Tree[P] {
+	cfg = cfg.withDefaults()
+	return &Tree[P]{cfg: cfg, matcher: graph.NewMatcher(cfg.Tol)}
+}
+
+// Len returns the number of indexed OGs.
+func (t *Tree[P]) Len() int { return t.size }
+
+// NumRoots returns the number of root records (distinct backgrounds).
+func (t *Tree[P]) NumRoots() int { return len(t.roots) }
+
+// NumClusters returns the total number of cluster records.
+func (t *Tree[P]) NumClusters() int {
+	n := 0
+	for _, r := range t.roots {
+		n += len(r.clusters)
+	}
+	return n
+}
+
+// AddSegment indexes one decomposed segment: its background graph plus its
+// OGs (Algorithm 2). If bg matches an existing root record by SimGraph the
+// OGs join that root's cluster node; otherwise a new root record is
+// created. bg may be nil for pure trajectory workloads (the synthetic
+// experiments), in which case all items share a single nil-background
+// root.
+func (t *Tree[P]) AddSegment(bg *graph.Graph, items []Item[P]) error {
+	root := t.findOrCreateRoot(bg)
+	if len(items) == 0 {
+		return nil
+	}
+	if len(root.clusters) == 0 {
+		return t.buildClusters(root, items)
+	}
+	for _, it := range items {
+		if err := t.insertIntoRoot(root, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert adds a single OG, routing by background like AddSegment.
+func (t *Tree[P]) Insert(bg *graph.Graph, seq dist.Sequence, payload P) error {
+	return t.AddSegment(bg, []Item[P]{{Seq: seq, Payload: payload}})
+}
+
+// findOrCreateRoot locates the root record whose background is most
+// similar to bg (SimGraph at least the threshold) or appends a new one.
+func (t *Tree[P]) findOrCreateRoot(bg *graph.Graph) *rootRecord[P] {
+	if bg == nil {
+		for _, r := range t.roots {
+			if r.bg == nil {
+				return r
+			}
+		}
+	} else {
+		var best *rootRecord[P]
+		bestSim := 0.0
+		for _, r := range t.roots {
+			if r.bg == nil {
+				continue
+			}
+			if sim := t.matcher.SimGraph(bg, r.bg); sim > bestSim {
+				best, bestSim = r, sim
+			}
+		}
+		if best != nil && bestSim >= t.cfg.BGSimThreshold {
+			return best
+		}
+	}
+	r := &rootRecord[P]{id: len(t.roots), bg: bg}
+	t.roots = append(t.roots, r)
+	return r
+}
+
+// buildClusters bootstraps a root's cluster node from its first batch of
+// items: EM clustering with the non-metric EGED, K by BIC unless fixed.
+func (t *Tree[P]) buildClusters(root *rootRecord[P], items []Item[P]) error {
+	seqs := make([]dist.Sequence, len(items))
+	for i, it := range items {
+		seqs[i] = it.Seq
+	}
+	ccfg := cluster.Config{
+		MaxIter:  t.cfg.EMMaxIter,
+		Seed:     t.cfg.Seed,
+		Distance: t.cfg.ClusterDistance,
+	}
+	var res *cluster.Result
+	var err error
+	switch {
+	case t.cfg.NumClusters > 0:
+		ccfg.K = min(t.cfg.NumClusters, len(items))
+		res, err = cluster.EM(seqs, ccfg)
+	default:
+		var scan *cluster.KScan
+		scan, err = cluster.OptimalK(seqs, 1, min(t.cfg.MaxClusters, len(items)), ccfg)
+		if err == nil {
+			res = scan.Results[scan.BestK-1]
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("index: clustering segment: %w", err)
+	}
+	for k := 0; k < res.K; k++ {
+		members := res.Members(k)
+		if len(members) == 0 {
+			continue
+		}
+		cl := &clusterRecord[P]{id: t.nextCl, centroid: res.Centroids[k]}
+		t.nextCl++
+		for _, j := range members {
+			cl.insertSorted(leafRecord[P]{
+				key:     t.cfg.Metric(items[j].Seq, cl.centroid),
+				seq:     items[j].Seq,
+				payload: items[j].Payload,
+			})
+		}
+		root.clusters = append(root.clusters, cl)
+		t.size += len(members)
+	}
+	// Respect the occupancy rule immediately.
+	for _, cl := range root.clusters {
+		t.maybeSplit(root, cl)
+	}
+	return nil
+}
+
+// insertIntoRoot routes one item to the most similar centroid (non-metric
+// EGED, Algorithm 3's descent) and inserts it into that leaf by key.
+func (t *Tree[P]) insertIntoRoot(root *rootRecord[P], it Item[P]) error {
+	best := t.nearestCluster(root, it.Seq)
+	if best == nil {
+		return fmt.Errorf("index: root %d has no clusters", root.id)
+	}
+	best.insertSorted(leafRecord[P]{
+		key:     t.cfg.Metric(it.Seq, best.centroid),
+		seq:     it.Seq,
+		payload: it.Payload,
+	})
+	t.size++
+	t.maybeSplit(root, best)
+	return nil
+}
+
+func (t *Tree[P]) nearestCluster(root *rootRecord[P], seq dist.Sequence) *clusterRecord[P] {
+	var best *clusterRecord[P]
+	bestD := math.Inf(1)
+	for _, cl := range root.clusters {
+		if d := t.cfg.ClusterDistance(seq, cl.centroid); d < bestD {
+			best, bestD = cl, d
+		}
+	}
+	return best
+}
+
+func (c *clusterRecord[P]) insertSorted(rec leafRecord[P]) {
+	i := sort.Search(len(c.leaf), func(i int) bool { return c.leaf[i].key >= rec.key })
+	c.leaf = append(c.leaf, leafRecord[P]{})
+	copy(c.leaf[i+1:], c.leaf[i:])
+	c.leaf[i] = rec
+}
+
+// maybeSplit applies Section 5.3: when a leaf exceeds MaxLeafEntries, EM
+// with K = 2 is fitted to its members and adopted if it improves BIC over
+// the single-cluster model.
+func (t *Tree[P]) maybeSplit(root *rootRecord[P], cl *clusterRecord[P]) {
+	if len(cl.leaf) <= t.cfg.MaxLeafEntries {
+		return
+	}
+	seqs := make([]dist.Sequence, len(cl.leaf))
+	for i, rec := range cl.leaf {
+		seqs[i] = rec.seq
+	}
+	ccfg := cluster.Config{MaxIter: t.cfg.EMMaxIter, Seed: t.cfg.Seed, Distance: t.cfg.ClusterDistance}
+	one := ccfg
+	one.K = 1
+	res1, err1 := cluster.EM(seqs, one)
+	two := ccfg
+	two.K = 2
+	res2, err2 := cluster.EM(seqs, two)
+	if err1 != nil || err2 != nil {
+		return // splitting is an optimization; never fail an insert over it
+	}
+	if cluster.BIC(res2, len(seqs)) <= cluster.BIC(res1, len(seqs)) {
+		return
+	}
+	mem0, mem1 := res2.Members(0), res2.Members(1)
+	if len(mem0) == 0 || len(mem1) == 0 {
+		return
+	}
+	records := cl.leaf
+	newCl := &clusterRecord[P]{id: t.nextCl, centroid: res2.Centroids[1]}
+	t.nextCl++
+	cl.centroid = res2.Centroids[0]
+	cl.leaf = nil
+	for _, j := range mem0 {
+		cl.insertSorted(leafRecord[P]{
+			key:     t.cfg.Metric(records[j].seq, cl.centroid),
+			seq:     records[j].seq,
+			payload: records[j].payload,
+		})
+	}
+	for _, j := range mem1 {
+		newCl.insertSorted(leafRecord[P]{
+			key:     t.cfg.Metric(records[j].seq, newCl.centroid),
+			seq:     records[j].seq,
+			payload: records[j].payload,
+		})
+	}
+	root.clusters = append(root.clusters, newCl)
+}
+
+// MemoryBytes evaluates Equation 10: Σ size(OG_mem) + Σ size(OG_clus) +
+// size(BG) — counting each member sequence, each centroid sequence and
+// each background graph once.
+func (t *Tree[P]) MemoryBytes() int {
+	total := 0
+	for _, r := range t.roots {
+		if r.bg != nil {
+			total += r.bg.MemoryBytes()
+		}
+		for _, cl := range r.clusters {
+			total += seqBytes(cl.centroid)
+			for _, rec := range cl.leaf {
+				total += seqBytes(rec.seq) + 8 + 8 // key + ptr
+			}
+		}
+	}
+	return total
+}
+
+func seqBytes(s dist.Sequence) int {
+	if len(s) == 0 {
+		return 0
+	}
+	return len(s) * s.Dim() * 8
+}
+
+// Delete removes the first indexed record whose sequence equals seq (under
+// the key metric: distance 0) and whose payload satisfies pred. A nil pred
+// matches any payload. It reports whether a record was removed. Cluster
+// records whose leaf empties are dropped; the root record stays (its
+// background may still route future segments).
+func (t *Tree[P]) Delete(seq dist.Sequence, pred func(P) bool) bool {
+	for _, r := range t.roots {
+		for ci, cl := range r.clusters {
+			key := t.cfg.Metric(seq, cl.centroid)
+			i := sort.Search(len(cl.leaf), func(i int) bool { return cl.leaf[i].key >= key-1e-9 })
+			for ; i < len(cl.leaf) && cl.leaf[i].key <= key+1e-9; i++ {
+				rec := cl.leaf[i]
+				if t.cfg.Metric(seq, rec.seq) > 1e-9 {
+					continue
+				}
+				if pred != nil && !pred(rec.payload) {
+					continue
+				}
+				cl.leaf = append(cl.leaf[:i], cl.leaf[i+1:]...)
+				t.size--
+				if len(cl.leaf) == 0 {
+					r.clusters = append(r.clusters[:ci], r.clusters[ci+1:]...)
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Items returns every indexed item (sequence and payload), ordered by
+// root, cluster and key. The slices share storage with the tree; callers
+// must not mutate the sequences.
+func (t *Tree[P]) Items() []Item[P] {
+	out := make([]Item[P], 0, t.size)
+	for _, r := range t.roots {
+		for _, cl := range r.clusters {
+			for _, rec := range cl.leaf {
+				out = append(out, Item[P]{Seq: rec.seq, Payload: rec.payload})
+			}
+		}
+	}
+	return out
+}
+
+// CheckInvariants verifies leaf key order and key correctness. Intended
+// for tests.
+func (t *Tree[P]) CheckInvariants() error {
+	for _, r := range t.roots {
+		for _, cl := range r.clusters {
+			for i, rec := range cl.leaf {
+				if i > 0 && rec.key < cl.leaf[i-1].key {
+					return fmt.Errorf("index: cluster %d keys out of order at %d", cl.id, i)
+				}
+				if want := t.cfg.Metric(rec.seq, cl.centroid); math.Abs(want-rec.key) > 1e-9 {
+					return fmt.Errorf("index: cluster %d record %d key %v != distance %v", cl.id, i, rec.key, want)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"strgindex/internal/dist"
+	"strgindex/internal/graph"
+)
+
+// KNN implements Algorithm 3: match the query background against the root
+// records with SimGraph (skipped when bg is nil — "when a query does not
+// consider a background"), descend to the most similar centroid OG under
+// the clustering distance, then k-NN the chosen leaf using the metric key
+// for pruning. Like the paper's algorithm it searches a single cluster, so
+// results are approximate when the true neighbors straddle a cluster
+// boundary — that is exactly the accuracy/speed trade-off Figure 7
+// measures. Use KNNExact for exact results.
+func (t *Tree[P]) KNN(bg *graph.Graph, query dist.Sequence, k int) []Result[P] {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	roots := t.candidateRoots(bg)
+	// Step 3: most similar centroid across the candidate roots.
+	var best *clusterRecord[P]
+	bestD := math.Inf(1)
+	for _, r := range roots {
+		for _, cl := range r.clusters {
+			if d := t.cfg.ClusterDistance(query, cl.centroid); d < bestD {
+				best, bestD = cl, d
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	h := newResultHeap[P](k)
+	t.searchLeaf(best, query, h)
+	return h.sorted()
+}
+
+// KNNExact searches every cluster best-first with metric lower bounds, so
+// results are exact under the key metric. It is the repository's extension
+// beyond Algorithm 3 (the paper trades accuracy for speed); the experiment
+// harness uses it to separate index quality from search policy.
+func (t *Tree[P]) KNNExact(bg *graph.Graph, query dist.Sequence, k int) []Result[P] {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	roots := t.candidateRoots(bg)
+	type cand struct {
+		cl    *clusterRecord[P]
+		bound float64
+	}
+	var cands []cand
+	for _, r := range roots {
+		for _, cl := range r.clusters {
+			d := t.cfg.Metric(query, cl.centroid)
+			// Every member m satisfies d(m, centroid) = key <= maxKey, so
+			// d(query, m) >= d(query, centroid) - maxKey.
+			cands = append(cands, cand{cl, math.Max(0, d-cl.maxKey())})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].bound < cands[j].bound })
+	h := newResultHeap[P](k)
+	for _, c := range cands {
+		if h.full() && c.bound > h.worst() {
+			break
+		}
+		t.searchLeafWithCentroidDist(c.cl, query, t.cfg.Metric(query, c.cl.centroid), h)
+	}
+	return h.sorted()
+}
+
+// Range returns every indexed OG within radius of the query under the key
+// metric, searching all clusters with metric pruning (exact).
+func (t *Tree[P]) Range(bg *graph.Graph, query dist.Sequence, radius float64) []Result[P] {
+	roots := t.candidateRoots(bg)
+	var out []Result[P]
+	for _, r := range roots {
+		for _, cl := range r.clusters {
+			dc := t.cfg.Metric(query, cl.centroid)
+			if dc-cl.maxKey() > radius {
+				continue
+			}
+			// Key window: |key - dc| <= radius is necessary for a hit.
+			lo := sort.Search(len(cl.leaf), func(i int) bool { return cl.leaf[i].key >= dc-radius })
+			for i := lo; i < len(cl.leaf) && cl.leaf[i].key <= dc+radius; i++ {
+				if d := t.cfg.Metric(query, cl.leaf[i].seq); d <= radius {
+					out = append(out, Result[P]{Payload: cl.leaf[i].payload, Distance: d})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out
+}
+
+// candidateRoots applies Algorithm 3 step 2: the most similar stored
+// background wins; a nil background (or no match above the threshold)
+// widens the search to every root.
+func (t *Tree[P]) candidateRoots(bg *graph.Graph) []*rootRecord[P] {
+	if bg == nil {
+		return t.roots
+	}
+	var best *rootRecord[P]
+	bestSim := 0.0
+	for _, r := range t.roots {
+		if r.bg == nil {
+			continue
+		}
+		if sim := t.matcher.SimGraph(bg, r.bg); sim > bestSim {
+			best, bestSim = r, sim
+		}
+	}
+	if best == nil || bestSim < t.cfg.BGSimThreshold {
+		return t.roots
+	}
+	return []*rootRecord[P]{best}
+}
+
+// searchLeaf k-NNs one leaf: compute Key_q = d(query, centroid) once, then
+// expand outward from Key_q's position in the sorted keys, stopping each
+// side when the reverse triangle inequality (|key - Key_q| <= d(query,
+// member)) proves no closer member can remain.
+func (t *Tree[P]) searchLeaf(cl *clusterRecord[P], query dist.Sequence, h *resultHeap[P]) {
+	t.searchLeafWithCentroidDist(cl, query, t.cfg.Metric(query, cl.centroid), h)
+}
+
+func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], query dist.Sequence, keyQ float64, h *resultHeap[P]) {
+	n := len(cl.leaf)
+	if n == 0 {
+		return
+	}
+	start := sort.Search(n, func(i int) bool { return cl.leaf[i].key >= keyQ })
+	lo, hi := start-1, start
+	for lo >= 0 || hi < n {
+		// Expand the side whose key is closer to Key_q.
+		var i int
+		switch {
+		case lo < 0:
+			i = hi
+			hi++
+		case hi >= n:
+			i = lo
+			lo--
+		case keyQ-cl.leaf[lo].key <= cl.leaf[hi].key-keyQ:
+			i = lo
+			lo--
+		default:
+			i = hi
+			hi++
+		}
+		rec := cl.leaf[i]
+		gap := math.Abs(rec.key - keyQ)
+		if h.full() && gap > h.worst() {
+			// Keys only diverge further on both sides once the nearer side
+			// has been exhausted in order; this record's side is done.
+			if i < start {
+				lo = -1
+			} else {
+				hi = n
+			}
+			continue
+		}
+		d := t.cfg.Metric(query, rec.seq)
+		h.offer(Result[P]{Payload: rec.payload, Distance: d})
+	}
+}
+
+// resultHeap keeps the k best results (max-heap by distance).
+type resultHeap[P any] struct {
+	k     int
+	items []Result[P]
+}
+
+func newResultHeap[P any](k int) *resultHeap[P] {
+	return &resultHeap[P]{k: k}
+}
+
+func (h *resultHeap[P]) full() bool { return len(h.items) >= h.k }
+
+func (h *resultHeap[P]) worst() float64 {
+	if len(h.items) == 0 {
+		return math.Inf(1)
+	}
+	return h.items[0].Distance
+}
+
+func (h *resultHeap[P]) offer(r Result[P]) {
+	if h.full() && r.Distance >= h.worst() {
+		return
+	}
+	h.items = append(h.items, r)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Distance >= h.items[i].Distance {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+	if len(h.items) > h.k {
+		h.popTop()
+	}
+}
+
+func (h *resultHeap[P]) popTop() Result[P] {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < last && h.items[l].Distance > h.items[largest].Distance {
+			largest = l
+		}
+		if r < last && h.items[r].Distance > h.items[largest].Distance {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+	return top
+}
+
+func (h *resultHeap[P]) sorted() []Result[P] {
+	out := make([]Result[P], len(h.items))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = h.popTop()
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package index
+
+import (
+	"fmt"
+
+	"strgindex/internal/dist"
+	"strgindex/internal/graph"
+)
+
+// Snapshot is a serializable image of a Tree: exported, map-free types for
+// encoding/gob. Restoring requires the same Config the tree was built with
+// (metrics are functions and cannot be serialized); the restore verifies
+// leaf keys against the configured metric and fails loudly on mismatch.
+type Snapshot[P any] struct {
+	Roots []RootSnapshot[P]
+}
+
+// RootSnapshot serializes one root record.
+type RootSnapshot[P any] struct {
+	ID int
+	// HasBG distinguishes a nil background from an empty graph.
+	HasBG    bool
+	BG       graph.Snapshot
+	Clusters []ClusterSnapshot[P]
+}
+
+// ClusterSnapshot serializes one cluster record with its leaf.
+type ClusterSnapshot[P any] struct {
+	ID       int
+	Centroid dist.Sequence
+	Keys     []float64
+	Seqs     []dist.Sequence
+	Payloads []P
+}
+
+// Snapshot captures the tree's current state.
+func (t *Tree[P]) Snapshot() Snapshot[P] {
+	var s Snapshot[P]
+	for _, r := range t.roots {
+		rs := RootSnapshot[P]{ID: r.id}
+		if r.bg != nil {
+			rs.HasBG = true
+			rs.BG = r.bg.Snapshot()
+		}
+		for _, cl := range r.clusters {
+			cs := ClusterSnapshot[P]{ID: cl.id, Centroid: cl.centroid}
+			for _, rec := range cl.leaf {
+				cs.Keys = append(cs.Keys, rec.key)
+				cs.Seqs = append(cs.Seqs, rec.seq)
+				cs.Payloads = append(cs.Payloads, rec.payload)
+			}
+			rs.Clusters = append(rs.Clusters, cs)
+		}
+		s.Roots = append(s.Roots, rs)
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a tree under the given configuration.
+func FromSnapshot[P any](s Snapshot[P], cfg Config) (*Tree[P], error) {
+	t := New[P](cfg)
+	for _, rs := range s.Roots {
+		root := &rootRecord[P]{id: rs.ID}
+		if rs.HasBG {
+			bg, err := graph.FromSnapshot(rs.BG)
+			if err != nil {
+				return nil, fmt.Errorf("index: restoring root %d: %w", rs.ID, err)
+			}
+			root.bg = bg
+		}
+		for _, cs := range rs.Clusters {
+			if len(cs.Keys) != len(cs.Seqs) || len(cs.Keys) != len(cs.Payloads) {
+				return nil, fmt.Errorf("index: cluster %d snapshot length mismatch", cs.ID)
+			}
+			cl := &clusterRecord[P]{id: cs.ID, centroid: cs.Centroid}
+			for i := range cs.Keys {
+				cl.leaf = append(cl.leaf, leafRecord[P]{
+					key:     cs.Keys[i],
+					seq:     cs.Seqs[i],
+					payload: cs.Payloads[i],
+				})
+				t.size++
+			}
+			if cs.ID >= t.nextCl {
+				t.nextCl = cs.ID + 1
+			}
+			root.clusters = append(root.clusters, cl)
+		}
+		t.roots = append(t.roots, root)
+	}
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("index: snapshot inconsistent with configuration: %w", err)
+	}
+	return t, nil
+}

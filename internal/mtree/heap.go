@@ -1,0 +1,75 @@
+package mtree
+
+// minHeap is a small generic binary min-heap ordered by less. The zero
+// value with a non-nil less is ready to use.
+type minHeap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+func (h *minHeap[T]) len() int { return len(h.items) }
+
+func (h *minHeap[T]) peek() T { return h.items[0] }
+
+func (h *minHeap[T]) push(v T) {
+	h.items = append(h.items, v)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *minHeap[T]) pop() T {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < last && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// maxHeap orders by the inverse of less: the largest element sits on top.
+type maxHeap[T any] struct {
+	inner minHeap[T]
+	less  func(a, b T) bool
+}
+
+func (h *maxHeap[T]) init() {
+	if h.inner.less == nil {
+		h.inner.less = func(a, b T) bool { return h.less(b, a) }
+	}
+}
+
+func (h *maxHeap[T]) len() int { return h.inner.len() }
+
+func (h *maxHeap[T]) peek() T { return h.inner.peek() }
+
+func (h *maxHeap[T]) push(v T) {
+	h.init()
+	h.inner.push(v)
+}
+
+func (h *maxHeap[T]) pop() T {
+	h.init()
+	return h.inner.pop()
+}

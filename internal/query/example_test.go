@@ -1,0 +1,27 @@
+package query_test
+
+import (
+	"fmt"
+
+	"strgindex/internal/geom"
+	"strgindex/internal/query"
+	"strgindex/internal/strg"
+)
+
+// Composing motion predicates: everything that crossed the doorway region
+// heading east at walking speed.
+func ExampleAnd() {
+	walker := &strg.OG{
+		Frames:    []int{0, 1, 2, 3},
+		Centroids: []geom.Point{geom.Pt(100, 120), geom.Pt(120, 120), geom.Pt(140, 120), geom.Pt(160, 120)},
+		Sizes:     []float64{300, 300, 300, 300},
+	}
+	doorway := geom.Rect{Min: geom.Pt(130, 100), Max: geom.Pt(150, 140)}
+	pred := query.And(
+		query.PassesThrough(doorway),
+		query.Eastbound(0.3),
+		query.SpeedBetween(10, 40),
+	)
+	fmt.Println(pred(walker))
+	// Output: true
+}

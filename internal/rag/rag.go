@@ -1,0 +1,80 @@
+// Package rag builds Region Adjacency Graphs (Definition 1 of the paper)
+// from segmented video frames.
+//
+// A node is created per region, carrying the region's size, color and
+// centroid. Spatial edges connect adjacent regions and carry the distance
+// and orientation between the two centroids.
+//
+// Real segmenters report adjacency as shared boundary pixels. The synthetic
+// substrate has no pixel masks, so adjacency is decided geometrically: two
+// regions are adjacent when their centroid distance is at most
+// AdjacencyScale times the sum of their equivalent radii (the radius of a
+// disc of the region's area). For compact regions this closely matches
+// boundary adjacency.
+package rag
+
+import (
+	"math"
+
+	"strgindex/internal/geom"
+	"strgindex/internal/graph"
+	"strgindex/internal/video"
+)
+
+// Config controls RAG construction.
+type Config struct {
+	// AdjacencyScale multiplies the sum of two regions' equivalent radii
+	// to obtain the adjacency distance threshold. Values near 1 require
+	// near-touching regions; larger values connect looser neighborhoods.
+	AdjacencyScale float64
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{AdjacencyScale: 1.6}
+}
+
+// EquivalentRadius returns the radius of a disc with the given area.
+func EquivalentRadius(size float64) float64 {
+	if size <= 0 {
+		return 0
+	}
+	return math.Sqrt(size / math.Pi)
+}
+
+// Build constructs the RAG of one frame. Node IDs are baseID + region ID,
+// letting the caller keep IDs unique across a whole segment.
+func Build(f video.Frame, cfg Config, baseID graph.NodeID) *graph.Graph {
+	if cfg.AdjacencyScale <= 0 {
+		cfg.AdjacencyScale = DefaultConfig().AdjacencyScale
+	}
+	g := graph.New()
+	for _, r := range f.Regions {
+		g.MustAddNode(graph.Node{
+			ID: baseID + graph.NodeID(r.ID),
+			Attr: graph.NodeAttr{
+				Size:     r.Size,
+				Color:    r.Color,
+				Centroid: r.Centroid,
+				Label:    r.Label,
+			},
+		})
+	}
+	for i := 0; i < len(f.Regions); i++ {
+		for j := i + 1; j < len(f.Regions); j++ {
+			a, b := f.Regions[i], f.Regions[j]
+			d := a.Centroid.Dist(b.Centroid)
+			limit := cfg.AdjacencyScale * (EquivalentRadius(a.Size) + EquivalentRadius(b.Size))
+			if d <= limit {
+				attr := graph.SpatialAttr{
+					Dist:   d,
+					Orient: geom.Orientation(a.Centroid, b.Centroid),
+				}
+				if err := g.AddEdge(baseID+graph.NodeID(a.ID), baseID+graph.NodeID(b.ID), attr); err != nil {
+					panic(err) // unreachable: region IDs are unique per frame
+				}
+			}
+		}
+	}
+	return g
+}

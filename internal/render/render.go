@@ -1,0 +1,83 @@
+// Package render draws Object Graph trajectories as SVG — the reporting
+// surface for "show me what the database saw": each OG becomes a polyline
+// with a start marker, optionally colored by cluster.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"strgindex/internal/strg"
+)
+
+// palette holds visually distinct stroke colors; cluster c uses
+// palette[c % len(palette)].
+var palette = []string{
+	"#1b9e77", "#d95f02", "#7570b3", "#e7298a",
+	"#66a61e", "#e6ab02", "#a6761d", "#666666",
+	"#1f78b4", "#b2df8a", "#fb9a99", "#cab2d6",
+}
+
+// Options configures the rendering.
+type Options struct {
+	// Width and Height are the scene dimensions in pixels (the SVG
+	// viewBox). Zeros mean 320x240.
+	Width, Height float64
+	// Clusters assigns a cluster (color) to each OG; nil renders all OGs
+	// in the first palette color.
+	Clusters []int
+	// Labels draws each OG's label next to its start marker.
+	Labels bool
+	// StrokeWidth of the polylines. Zero means 2.
+	StrokeWidth float64
+}
+
+// SVG writes the trajectories of ogs as an SVG document.
+func SVG(w io.Writer, ogs []*strg.OG, opts Options) error {
+	if opts.Width <= 0 {
+		opts.Width = 320
+	}
+	if opts.Height <= 0 {
+		opts.Height = 240
+	}
+	if opts.StrokeWidth <= 0 {
+		opts.StrokeWidth = 2
+	}
+	if opts.Clusters != nil && len(opts.Clusters) != len(ogs) {
+		return fmt.Errorf("render: %d cluster assignments for %d OGs", len(opts.Clusters), len(ogs))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %g %g">`+"\n", opts.Width, opts.Height)
+	fmt.Fprintf(&b, `  <rect width="%g" height="%g" fill="#fafafa" stroke="#ccc"/>`+"\n", opts.Width, opts.Height)
+	for i, og := range ogs {
+		if og.Len() == 0 {
+			continue
+		}
+		color := palette[0]
+		if opts.Clusters != nil {
+			color = palette[((opts.Clusters[i]%len(palette))+len(palette))%len(palette)]
+		}
+		var pts []string
+		for _, c := range og.Centroids {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", c.X, c.Y))
+		}
+		fmt.Fprintf(&b, `  <polyline points="%s" fill="none" stroke="%s" stroke-width="%g" opacity="0.85"/>`+"\n",
+			strings.Join(pts, " "), color, opts.StrokeWidth)
+		start := og.Centroids[0]
+		fmt.Fprintf(&b, `  <circle cx="%.1f" cy="%.1f" r="%g" fill="%s"/>`+"\n",
+			start.X, start.Y, opts.StrokeWidth*1.5, color)
+		if opts.Labels && og.Label != "" {
+			fmt.Fprintf(&b, `  <text x="%.1f" y="%.1f" font-size="8" fill="#333">%s</text>`+"\n",
+				start.X+4, start.Y-4, escape(og.Label))
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

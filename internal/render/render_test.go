@@ -1,0 +1,100 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"strgindex/internal/geom"
+	"strgindex/internal/strg"
+)
+
+func og(label string, pts ...geom.Point) *strg.OG {
+	o := &strg.OG{Label: label}
+	for i, p := range pts {
+		o.Frames = append(o.Frames, i)
+		o.Centroids = append(o.Centroids, p)
+		o.Sizes = append(o.Sizes, 300)
+	}
+	return o
+}
+
+func TestSVGBasics(t *testing.T) {
+	ogs := []*strg.OG{
+		og("east", geom.Pt(10, 100), geom.Pt(200, 100)),
+		og("south", geom.Pt(100, 10), geom.Pt(100, 200)),
+	}
+	var b strings.Builder
+	if err := SVG(&b, ogs, Options{Labels: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`viewBox="0 0 320 240"`,
+		`<polyline points="10.0,100.0 200.0,100.0"`,
+		`<polyline points="100.0,10.0 100.0,200.0"`,
+		`<circle`,
+		`>east</text>`,
+		`>south</text>`,
+		"</svg>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestSVGClusterColors(t *testing.T) {
+	ogs := []*strg.OG{
+		og("a", geom.Pt(0, 0), geom.Pt(10, 10)),
+		og("b", geom.Pt(0, 10), geom.Pt(10, 0)),
+	}
+	var b strings.Builder
+	if err := SVG(&b, ogs, Options{Clusters: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, palette[0]) || !strings.Contains(out, palette[1]) {
+		t.Error("cluster colors not applied")
+	}
+}
+
+func TestSVGValidation(t *testing.T) {
+	ogs := []*strg.OG{og("a", geom.Pt(0, 0))}
+	var b strings.Builder
+	if err := SVG(&b, ogs, Options{Clusters: []int{0, 1}}); err == nil {
+		t.Error("mismatched cluster count accepted")
+	}
+	// Empty OGs are skipped, not fatal.
+	b.Reset()
+	if err := SVG(&b, []*strg.OG{{}}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "<polyline") {
+		t.Error("empty OG produced a polyline")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	ogs := []*strg.OG{og(`<evil>&"`, geom.Pt(0, 0), geom.Pt(1, 1))}
+	var b strings.Builder
+	if err := SVG(&b, ogs, Options{Labels: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "<evil>") {
+		t.Error("label not escaped")
+	}
+	if !strings.Contains(b.String(), "&lt;evil&gt;&amp;&quot;") {
+		t.Error("escaped label missing")
+	}
+}
+
+func TestSVGNegativeClusterIDs(t *testing.T) {
+	ogs := []*strg.OG{og("x", geom.Pt(0, 0), geom.Pt(1, 1))}
+	var b strings.Builder
+	if err := SVG(&b, ogs, Options{Clusters: []int{-3}}); err != nil {
+		t.Fatal(err)
+	}
+}

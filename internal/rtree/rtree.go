@@ -1,0 +1,294 @@
+// Package rtree implements the 3DR-tree of Theodoridis, Vazirgiannis and
+// Sellis — the related-work baseline the paper's introduction critiques:
+// an R-tree that "indexes salient objects by treating the time (temporal
+// feature) as another dimension". Trajectories are decomposed into
+// per-step (x, y, t) boxes inserted under one payload.
+//
+// The tree is a classic Guttman R-tree with quadratic split. It is very
+// good at the spatio-temporal window queries it was designed for ("what
+// passed through this region during this interval") and — as the paper
+// argues — poorly matched to motion-similarity queries; the ablation
+// benchmarks quantify that.
+package rtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box is an axis-aligned 3-D box over (x, y, t).
+type Box struct {
+	Min, Max [3]float64
+}
+
+// NewBox normalizes the corner order.
+func NewBox(a, b [3]float64) Box {
+	var box Box
+	for i := 0; i < 3; i++ {
+		box.Min[i] = math.Min(a[i], b[i])
+		box.Max[i] = math.Max(a[i], b[i])
+	}
+	return box
+}
+
+// Volume returns the box volume.
+func (b Box) Volume() float64 {
+	v := 1.0
+	for i := 0; i < 3; i++ {
+		v *= b.Max[i] - b.Min[i]
+	}
+	return v
+}
+
+// Union returns the smallest box covering both.
+func (b Box) Union(o Box) Box {
+	var out Box
+	for i := 0; i < 3; i++ {
+		out.Min[i] = math.Min(b.Min[i], o.Min[i])
+		out.Max[i] = math.Max(b.Max[i], o.Max[i])
+	}
+	return out
+}
+
+// Intersects reports whether the boxes overlap (boundaries inclusive).
+func (b Box) Intersects(o Box) bool {
+	for i := 0; i < 3; i++ {
+		if b.Min[i] > o.Max[i] || o.Min[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether o lies fully inside b.
+func (b Box) Contains(o Box) bool {
+	for i := 0; i < 3; i++ {
+		if o.Min[i] < b.Min[i] || o.Max[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// enlargement is the volume increase of b when extended to cover o.
+func (b Box) enlargement(o Box) float64 {
+	return b.Union(o).Volume() - b.Volume()
+}
+
+type entry[P any] struct {
+	box     Box
+	payload P        // leaf only
+	child   *node[P] // routing only
+}
+
+type node[P any] struct {
+	leaf    bool
+	entries []*entry[P]
+}
+
+func (n *node[P]) boundingBox() Box {
+	box := n.entries[0].box
+	for _, e := range n.entries[1:] {
+		box = box.Union(e.box)
+	}
+	return box
+}
+
+// Tree is a 3-D R-tree. Not safe for concurrent mutation.
+type Tree[P any] struct {
+	root       *node[P]
+	maxEntries int
+	minEntries int
+	size       int
+}
+
+// New creates an empty tree with the given node capacity (minimum 4;
+// zero means 16).
+func New[P any](maxEntries int) (*Tree[P], error) {
+	if maxEntries == 0 {
+		maxEntries = 16
+	}
+	if maxEntries < 4 {
+		return nil, fmt.Errorf("rtree: maxEntries %d < 4", maxEntries)
+	}
+	return &Tree[P]{
+		root:       &node[P]{leaf: true},
+		maxEntries: maxEntries,
+		minEntries: maxEntries * 2 / 5, // Guttman's m ≈ 40% fill
+	}, nil
+}
+
+// Len returns the number of indexed boxes.
+func (t *Tree[P]) Len() int { return t.size }
+
+// Insert adds one box.
+func (t *Tree[P]) Insert(b Box, payload P) {
+	e := &entry[P]{box: b, payload: payload}
+	split := t.insert(t.root, e)
+	if split != nil {
+		t.root = &node[P]{leaf: false, entries: []*entry[P]{split[0], split[1]}}
+	}
+	t.size++
+}
+
+func (t *Tree[P]) insert(n *node[P], e *entry[P]) []*entry[P] {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.split(n)
+		}
+		return nil
+	}
+	// Choose the child needing least enlargement (ties: smaller volume).
+	var best *entry[P]
+	bestEnl, bestVol := math.Inf(1), math.Inf(1)
+	for _, r := range n.entries {
+		enl := r.box.enlargement(e.box)
+		vol := r.box.Volume()
+		if enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = r, enl, vol
+		}
+	}
+	best.box = best.box.Union(e.box)
+	split := t.insert(best.child, e)
+	if split == nil {
+		return nil
+	}
+	for i, r := range n.entries {
+		if r == best {
+			n.entries[i] = split[0]
+			n.entries = append(n.entries, split[1])
+			break
+		}
+	}
+	if len(n.entries) > t.maxEntries {
+		return t.split(n)
+	}
+	return nil
+}
+
+// split is Guttman's quadratic split.
+func (t *Tree[P]) split(n *node[P]) []*entry[P] {
+	entries := n.entries
+	// Pick the pair wasting the most volume as seeds.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			waste := entries[i].box.Union(entries[j].box).Volume() -
+				entries[i].box.Volume() - entries[j].box.Volume()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	g1 := &node[P]{leaf: n.leaf, entries: []*entry[P]{entries[s1]}}
+	g2 := &node[P]{leaf: n.leaf, entries: []*entry[P]{entries[s2]}}
+	b1, b2 := entries[s1].box, entries[s2].box
+
+	rest := make([]*entry[P], 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// Force assignment if one group must take all remaining to reach m.
+		if len(g1.entries)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				g1.entries = append(g1.entries, e)
+				b1 = b1.Union(e.box)
+			}
+			break
+		}
+		if len(g2.entries)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				g2.entries = append(g2.entries, e)
+				b2 = b2.Union(e.box)
+			}
+			break
+		}
+		// Pick the entry with the greatest preference difference.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			d1 := b1.enlargement(e.box)
+			d2 := b2.enlargement(e.box)
+			if diff := math.Abs(d1 - d2); diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		d1, d2 := b1.enlargement(e.box), b2.enlargement(e.box)
+		if d1 < d2 || (d1 == d2 && len(g1.entries) <= len(g2.entries)) {
+			g1.entries = append(g1.entries, e)
+			b1 = b1.Union(e.box)
+		} else {
+			g2.entries = append(g2.entries, e)
+			b2 = b2.Union(e.box)
+		}
+	}
+	return []*entry[P]{
+		{box: b1, child: g1},
+		{box: b2, child: g2},
+	}
+}
+
+// Search returns the payloads of every indexed box intersecting q. The
+// second return value counts the nodes visited (the query's I/O cost).
+func (t *Tree[P]) Search(q Box) ([]P, int) {
+	var out []P
+	visited := 0
+	var rec func(n *node[P])
+	rec = func(n *node[P]) {
+		visited++
+		for _, e := range n.entries {
+			if !e.box.Intersects(q) {
+				continue
+			}
+			if n.leaf {
+				out = append(out, e.payload)
+			} else {
+				rec(e.child)
+			}
+		}
+	}
+	if t.size > 0 {
+		rec(t.root)
+	}
+	return out, visited
+}
+
+// Height returns the tree height (1 for a single leaf root).
+func (t *Tree[P]) Height() int {
+	h := 1
+	n := t.root
+	for !n.leaf {
+		h++
+		n = n.entries[0].child
+	}
+	return h
+}
+
+// CheckInvariants verifies that every routing box covers its subtree.
+func (t *Tree[P]) CheckInvariants() error {
+	return t.check(t.root)
+}
+
+func (t *Tree[P]) check(n *node[P]) error {
+	if n.leaf {
+		return nil
+	}
+	for _, r := range n.entries {
+		if len(r.child.entries) == 0 {
+			return fmt.Errorf("rtree: empty child node")
+		}
+		if !r.box.Contains(r.child.boundingBox()) {
+			return fmt.Errorf("rtree: routing box does not cover child")
+		}
+		if err := t.check(r.child); err != nil {
+			return err
+		}
+	}
+	return nil
+}

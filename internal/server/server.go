@@ -1,0 +1,291 @@
+// Package server exposes a VideoDB over HTTP with a small JSON API — the
+// deployment surface of the system: one process ingests camera segments
+// and serves motion-similarity and predicate queries.
+//
+//	POST /v1/segments          {"stream": "...", "segment": {...}}  -> ingest stats
+//	POST /v1/query/knn         {"trajectory": [[x,y],...], "k": 5, "exact": false}
+//	POST /v1/query/range       {"trajectory": [[x,y],...], "radius": 200}
+//	POST /v1/query/select      {"passes_through": {...}, "heading": "east", ...}
+//	GET  /v1/stats
+//
+// All handlers are safe for concurrent use (the server wraps a SharedDB).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"strgindex/internal/core"
+	"strgindex/internal/dist"
+	"strgindex/internal/geom"
+	"strgindex/internal/query"
+	"strgindex/internal/video"
+)
+
+// Server is the HTTP facade over a shared database.
+type Server struct {
+	db  *core.SharedDB
+	mux *http.ServeMux
+}
+
+// New creates a server over an empty database.
+func New(cfg core.Config) *Server {
+	return wrap(core.OpenShared(cfg))
+}
+
+// NewFromReader creates a server over a database persisted by
+// core.VideoDB.Save / SharedDB.Save.
+func NewFromReader(r io.Reader, cfg core.Config) (*Server, error) {
+	db, err := core.LoadShared(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(db), nil
+}
+
+func wrap(db *core.SharedDB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/segments", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/query/knn", s.handleKNN)
+	s.mux.HandleFunc("POST /v1/query/range", s.handleRange)
+	s.mux.HandleFunc("POST /v1/query/select", s.handleSelect)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// DB exposes the underlying shared database (tests, embedding).
+func (s *Server) DB() *core.SharedDB { return s.db }
+
+// ingestRequest is the POST /v1/segments body.
+type ingestRequest struct {
+	Stream  string         `json:"stream"`
+	Segment *video.Segment `json:"segment"`
+}
+
+// matchJSON is one query hit on the wire.
+type matchJSON struct {
+	Stream   string  `json:"stream"`
+	Clip     string  `json:"clip"`
+	Label    string  `json:"label,omitempty"`
+	OGID     int     `json:"og_id"`
+	Distance float64 `json:"distance"`
+}
+
+func toMatchJSON(ms []core.Match) []matchJSON {
+	out := make([]matchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = matchJSON{
+			Stream:   m.Record.Stream,
+			Clip:     m.Record.Clip.String(),
+			Label:    m.Record.Label,
+			OGID:     m.Record.OGID,
+			Distance: m.Distance,
+		}
+	}
+	return out
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if req.Stream == "" || req.Segment == nil || len(req.Segment.Frames) == 0 {
+		httpError(w, http.StatusBadRequest, "stream and a non-empty segment are required")
+		return
+	}
+	stats, err := s.db.IngestSegment(req.Stream, req.Segment)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "ingest: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// trajectoryRequest is shared by the knn and range queries.
+type trajectoryRequest struct {
+	Trajectory [][2]float64 `json:"trajectory"`
+	K          int          `json:"k"`
+	Exact      bool         `json:"exact"`
+	Radius     float64      `json:"radius"`
+}
+
+func (t *trajectoryRequest) sequence() (dist.Sequence, error) {
+	if len(t.Trajectory) == 0 {
+		return nil, fmt.Errorf("empty trajectory")
+	}
+	seq := make(dist.Sequence, len(t.Trajectory))
+	for i, p := range t.Trajectory {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+			return nil, fmt.Errorf("sample %d is NaN", i)
+		}
+		seq[i] = dist.Vec{p[0], p[1]}
+	}
+	return seq, nil
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req trajectoryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	seq, err := req.sequence()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 5
+	}
+	var matches []core.Match
+	if req.Exact {
+		matches = s.db.QueryTrajectoryExact(seq, req.K)
+	} else {
+		matches = s.db.QueryTrajectory(seq, req.K)
+	}
+	writeJSON(w, http.StatusOK, toMatchJSON(matches))
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req trajectoryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	seq, err := req.sequence()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Radius <= 0 {
+		httpError(w, http.StatusBadRequest, "radius must be positive")
+		return
+	}
+	writeJSON(w, http.StatusOK, toMatchJSON(s.db.QueryRange(seq, req.Radius)))
+}
+
+// selectRequest is a declarative predicate description.
+type selectRequest struct {
+	PassesThrough *rectJSON `json:"passes_through,omitempty"`
+	StartsIn      *rectJSON `json:"starts_in,omitempty"`
+	EndsIn        *rectJSON `json:"ends_in,omitempty"`
+	// Heading is one of "east", "west", "north", "south".
+	Heading    string   `json:"heading,omitempty"`
+	HeadingTol float64  `json:"heading_tol,omitempty"`
+	MinSpeed   *float64 `json:"min_speed,omitempty"`
+	MaxSpeed   *float64 `json:"max_speed,omitempty"`
+	UTurn      bool     `json:"u_turn,omitempty"`
+	FrameFrom  *int     `json:"frame_from,omitempty"`
+	FrameTo    *int     `json:"frame_to,omitempty"`
+}
+
+type rectJSON struct {
+	X0 float64 `json:"x0"`
+	Y0 float64 `json:"y0"`
+	X1 float64 `json:"x1"`
+	Y1 float64 `json:"y1"`
+}
+
+func (r *rectJSON) rect() geom.Rect {
+	return geom.Rect{
+		Min: geom.Pt(math.Min(r.X0, r.X1), math.Min(r.Y0, r.Y1)),
+		Max: geom.Pt(math.Max(r.X0, r.X1), math.Max(r.Y0, r.Y1)),
+	}
+}
+
+// predicate compiles the request into a query predicate.
+func (req *selectRequest) predicate() (query.Predicate, error) {
+	var ps []query.Predicate
+	if req.PassesThrough != nil {
+		ps = append(ps, query.PassesThrough(req.PassesThrough.rect()))
+	}
+	if req.StartsIn != nil {
+		ps = append(ps, query.StartsIn(req.StartsIn.rect()))
+	}
+	if req.EndsIn != nil {
+		ps = append(ps, query.EndsIn(req.EndsIn.rect()))
+	}
+	if req.Heading != "" {
+		tol := req.HeadingTol
+		if tol <= 0 {
+			tol = 0.4
+		}
+		switch req.Heading {
+		case "east":
+			ps = append(ps, query.Eastbound(tol))
+		case "west":
+			ps = append(ps, query.Westbound(tol))
+		case "north":
+			ps = append(ps, query.Northbound(tol))
+		case "south":
+			ps = append(ps, query.Southbound(tol))
+		default:
+			return nil, fmt.Errorf("unknown heading %q", req.Heading)
+		}
+	}
+	if req.MinSpeed != nil || req.MaxSpeed != nil {
+		lo, hi := 0.0, math.Inf(1)
+		if req.MinSpeed != nil {
+			lo = *req.MinSpeed
+		}
+		if req.MaxSpeed != nil {
+			hi = *req.MaxSpeed
+		}
+		ps = append(ps, query.SpeedBetween(lo, hi))
+	}
+	if req.UTurn {
+		ps = append(ps, query.TurnsBy(math.Pi*0.8))
+	}
+	if req.FrameFrom != nil || req.FrameTo != nil {
+		from, to := 0, 1<<31-1
+		if req.FrameFrom != nil {
+			from = *req.FrameFrom
+		}
+		if req.FrameTo != nil {
+			to = *req.FrameTo
+		}
+		ps = append(ps, query.During(from, to))
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("no predicate fields set")
+	}
+	return query.And(ps...), nil
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req selectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	pred, err := req.predicate()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toMatchJSON(s.db.Select(pred)))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.db.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"strgindex/internal/core"
+	"strgindex/internal/geom"
+	"strgindex/internal/graph"
+	"strgindex/internal/video"
+)
+
+// testSegment builds a small scene with one eastbound walker.
+func testSegment(t *testing.T, label string, y float64, seed int64) *video.Segment {
+	t.Helper()
+	seg, err := video.Generate(video.SceneConfig{
+		Name: "seg-" + label, Width: 320, Height: 240, FPS: 12, Frames: 20,
+		BackgroundRows: 3, BackgroundCols: 4, Jitter: 0.8, Seed: seed,
+		Objects: []video.ObjectSpec{{
+			Label: label,
+			Parts: []video.PartSpec{
+				{Offset: geom.Vec(0, -16), Size: 100, Color: graph.Color{R: 0.8, G: 0.65, B: 0.5}},
+				{Offset: geom.Vec(0, 0), Size: 350, Color: graph.Color{R: 0.7, G: 0.2, B: 0.4}},
+				{Offset: geom.Vec(0, 17), Size: 250, Color: graph.Color{R: 0.2, G: 0.3, B: 0.5}},
+			},
+			Path:  []geom.Point{geom.Pt(16, y), geom.Pt(304, y)},
+			Start: 0, End: 20,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(core.DefaultConfig())
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func ingest(t *testing.T, ts *httptest.Server, label string, y float64, seed int64) {
+	t.Helper()
+	resp, body := post(t, ts.URL+"/v1/segments", map[string]any{
+		"stream":  "cam0",
+		"segment": testSegment(t, label, y, seed),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestIngestAndStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingest(t, ts, "walker", 120, 1)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats core.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Segments != 1 || stats.OGs != 1 {
+		t.Errorf("stats = %+v, want 1 segment, 1 OG", stats)
+	}
+}
+
+func TestKNNQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingest(t, ts, "low", 180, 1)
+	ingest(t, ts, "high", 60, 2)
+
+	resp, body := post(t, ts.URL+"/v1/query/knn", map[string]any{
+		"trajectory": [][2]float64{{16, 60}, {160, 60}, {304, 60}},
+		"k":          1,
+		"exact":      true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var matches []map[string]any
+	if err := json.Unmarshal(body, &matches); err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(matches))
+	}
+	if matches[0]["label"] != "high" {
+		t.Errorf("top match label = %v, want high", matches[0]["label"])
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingest(t, ts, "walker", 120, 1)
+	resp, body := post(t, ts.URL+"/v1/query/range", map[string]any{
+		"trajectory": [][2]float64{{160, 120}},
+		"radius":     1e9,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var matches []map[string]any
+	if err := json.Unmarshal(body, &matches); err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Errorf("matches = %d, want 1", len(matches))
+	}
+}
+
+func TestSelectQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingest(t, ts, "walker", 120, 1)
+	resp, body := post(t, ts.URL+"/v1/query/select", map[string]any{
+		"heading":        "east",
+		"passes_through": map[string]float64{"x0": 100, "y0": 80, "x1": 220, "y1": 160},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var matches []map[string]any
+	if err := json.Unmarshal(body, &matches); err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Errorf("matches = %d, want 1 (%s)", len(matches), body)
+	}
+	// The opposite heading matches nothing.
+	_, body = post(t, ts.URL+"/v1/query/select", map[string]any{"heading": "west"})
+	if err := json.Unmarshal(body, &matches); err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("westbound matches = %d, want 0", len(matches))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	tests := []struct {
+		name string
+		path string
+		body any
+	}{
+		{"ingest empty", "/v1/segments", map[string]any{"stream": "x"}},
+		{"ingest no stream", "/v1/segments", map[string]any{"segment": testSegment(t, "a", 100, 1)}},
+		{"knn empty trajectory", "/v1/query/knn", map[string]any{"k": 3}},
+		{"range no radius", "/v1/query/range", map[string]any{"trajectory": [][2]float64{{1, 1}}}},
+		{"select no fields", "/v1/query/select", map[string]any{}},
+		{"select bad heading", "/v1/query/select", map[string]any{"heading": "up"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL+tt.path, tt.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %d, want 400 (%s)", resp.StatusCode, body)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+				t.Errorf("error body missing: %s", body)
+			}
+		})
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/query/knn", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/query/knn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET on POST route: status %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingest(t, ts, "walker", 120, 1)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				resp, _ := post(t, ts.URL+"/v1/query/knn", map[string]any{
+					"trajectory": [][2]float64{{16, 120}, {304, 120}},
+					"k":          2,
+				})
+				if resp.StatusCode != http.StatusOK {
+					done <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewFromReader(t *testing.T) {
+	// Build and persist a database, then serve it.
+	s, ts := newTestServer(t)
+	ingest(t, ts, "walker", 120, 1)
+	var buf bytes.Buffer
+	if err := s.DB().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewFromReader(&buf, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(loaded)
+	defer ts2.Close()
+	resp, body := post(t, ts2.URL+"/v1/query/knn", map[string]any{
+		"trajectory": [][2]float64{{16, 120}, {304, 120}},
+		"k":          1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var matches []map[string]any
+	if err := json.Unmarshal(body, &matches); err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0]["label"] != "walker" {
+		t.Errorf("matches = %s", body)
+	}
+	if _, err := NewFromReader(bytes.NewReader([]byte("junk")), core.DefaultConfig()); err == nil {
+		t.Error("NewFromReader accepted junk")
+	}
+}
+
+func TestSelectSpeedAndFrames(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingest(t, ts, "walker", 120, 1)
+	min := 5.0
+	resp, body := post(t, ts.URL+"/v1/query/select", map[string]any{
+		"min_speed":  min,
+		"frame_from": 0,
+		"frame_to":   100,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var matches []map[string]any
+	if err := json.Unmarshal(body, &matches); err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Errorf("matches = %d, want 1 (%s)", len(matches), body)
+	}
+	// Impossible speed band.
+	_, body = post(t, ts.URL+"/v1/query/select", map[string]any{"min_speed": 1e6})
+	if err := json.Unmarshal(body, &matches); err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("impossible speed matched %d", len(matches))
+	}
+}

@@ -1,0 +1,164 @@
+package shot
+
+import (
+	"testing"
+
+	"strgindex/internal/geom"
+	"strgindex/internal/graph"
+	"strgindex/internal/video"
+)
+
+// scene renders a short single-location clip with the given palette shade.
+func scene(t *testing.T, name string, frames int, shade float64, seed int64) *video.Segment {
+	t.Helper()
+	seg, err := video.Generate(video.SceneConfig{
+		Name: name, Width: 320, Height: 240, FPS: 12, Frames: frames,
+		BackgroundRows: 3, BackgroundCols: 4, Jitter: 0.8,
+		BackgroundShade: shade, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+// multiScene concatenates scenes at different locations.
+func multiScene(t *testing.T, frameCounts []int) (*video.Segment, []int) {
+	t.Helper()
+	var parts []*video.Segment
+	var wantCuts []int
+	total := 0
+	for i, n := range frameCounts {
+		parts = append(parts, scene(t, "p", n, float64(i)*0.3, int64(i+1)))
+		total += n
+		if i+1 < len(frameCounts) {
+			wantCuts = append(wantCuts, total)
+		}
+	}
+	joined, err := video.Concat("movie", parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return joined, wantCuts
+}
+
+func TestFrameSimilaritySameScene(t *testing.T) {
+	seg := scene(t, "a", 10, 0, 1)
+	tol := graph.DefaultTolerance()
+	tol.Centroid = 25
+	for i := 1; i < len(seg.Frames); i++ {
+		if sim := FrameSimilarity(seg.Frames[i-1], seg.Frames[i], tol); sim < 0.9 {
+			t.Errorf("within-scene similarity at %d = %v, want >= 0.9", i, sim)
+		}
+	}
+}
+
+func TestFrameSimilarityAcrossCut(t *testing.T) {
+	a := scene(t, "a", 2, 0, 1)
+	b := scene(t, "b", 2, 0.3, 2)
+	tol := graph.DefaultTolerance()
+	tol.Centroid = 25
+	if sim := FrameSimilarity(a.Frames[0], b.Frames[0], tol); sim > 0.4 {
+		t.Errorf("cross-scene similarity = %v, want <= 0.4", sim)
+	}
+}
+
+func TestFrameSimilarityEmptyFrames(t *testing.T) {
+	tol := graph.DefaultTolerance()
+	empty := video.Frame{}
+	full := video.Frame{Regions: []video.Region{{Size: 10}}}
+	if got := FrameSimilarity(empty, empty, tol); got != 1 {
+		t.Errorf("empty/empty = %v, want 1", got)
+	}
+	if got := FrameSimilarity(empty, full, tol); got != 0 {
+		t.Errorf("empty/full = %v, want 0", got)
+	}
+}
+
+func TestDetectBoundaries(t *testing.T) {
+	movie, wantCuts := multiScene(t, []int{12, 10, 14})
+	cuts := DetectBoundaries(movie.Frames, Config{})
+	if len(cuts) != len(wantCuts) {
+		t.Fatalf("cuts = %v, want %v", cuts, wantCuts)
+	}
+	for i := range cuts {
+		if cuts[i] != wantCuts[i] {
+			t.Errorf("cut %d at %d, want %d", i, cuts[i], wantCuts[i])
+		}
+	}
+}
+
+func TestDetectBoundariesNoCutsInSingleScene(t *testing.T) {
+	seg := scene(t, "a", 30, 0, 3)
+	if cuts := DetectBoundaries(seg.Frames, Config{}); len(cuts) != 0 {
+		t.Errorf("single scene produced cuts %v", cuts)
+	}
+}
+
+func TestFlashSuppression(t *testing.T) {
+	// A 2-frame flash between longer scenes: the second boundary is
+	// suppressed by MinShotFrames, so the flash sticks to a neighbor shot.
+	movie, _ := multiScene(t, []int{12, 2, 12})
+	cuts := DetectBoundaries(movie.Frames, Config{MinShotFrames: 4})
+	if len(cuts) != 1 {
+		t.Fatalf("cuts = %v, want exactly 1 (flash suppressed)", cuts)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	movie, wantCuts := multiScene(t, []int{12, 10, 14})
+	shots := Split(movie, Config{})
+	if len(shots) != 3 {
+		t.Fatalf("shots = %d, want 3", len(shots))
+	}
+	wantLens := []int{12, 10, 14}
+	total := 0
+	for i, s := range shots {
+		if len(s.Frames) != wantLens[i] {
+			t.Errorf("shot %d has %d frames, want %d", i, len(s.Frames), wantLens[i])
+		}
+		for j, f := range s.Frames {
+			if f.Index != j {
+				t.Fatalf("shot %d frame %d has Index %d", i, j, f.Index)
+			}
+		}
+		total += len(s.Frames)
+	}
+	if total != len(movie.Frames) {
+		t.Errorf("shots cover %d frames, movie has %d", total, len(movie.Frames))
+	}
+	if shots[0].Name != "movie-shot00" || shots[2].Name != "movie-shot02" {
+		t.Errorf("shot names = %q, %q", shots[0].Name, shots[2].Name)
+	}
+	_ = wantCuts
+}
+
+func TestSplitWithMovingObjectsDoesNotOverCut(t *testing.T) {
+	// Moving objects change a few regions per frame; that must not read
+	// as a scene cut.
+	seg, err := video.Generate(video.SceneConfig{
+		Name: "busy", Width: 320, Height: 240, FPS: 12, Frames: 24,
+		BackgroundRows: 3, BackgroundCols: 4, Jitter: 1.0, Seed: 4,
+		Objects: []video.ObjectSpec{
+			{
+				Label: "o1",
+				Parts: []video.PartSpec{{Size: 400, Color: graph.Color{R: 0.9}}},
+				Path:  []geom.Point{geom.Pt(10, 60), geom.Pt(310, 60)},
+				Start: 0, End: 24,
+			},
+			{
+				Label: "o2",
+				Parts: []video.PartSpec{{Size: 350, Color: graph.Color{B: 0.9}}},
+				Path:  []geom.Point{geom.Pt(160, 10), geom.Pt(160, 230)},
+				Start: 0, End: 24,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shots := Split(seg, Config{})
+	if len(shots) != 1 {
+		t.Errorf("busy scene split into %d shots, want 1", len(shots))
+	}
+}

@@ -1,0 +1,130 @@
+package strg
+
+import (
+	"testing"
+
+	"strgindex/internal/geom"
+	"strgindex/internal/video"
+)
+
+// TestSimThresholdSweep verifies the tracking ablation DESIGN.md calls
+// out: a permissive T_sim keeps objects tracked; an absurd threshold (> 1)
+// disables the SimGraph fallback entirely and fragments tracks into more,
+// shorter chains.
+func TestSimThresholdSweep(t *testing.T) {
+	obj := personSpec("walker", []geom.Point{geom.Pt(30, 120), geom.Pt(290, 120)}, 0, 12)
+	cfg := video.SceneConfig{
+		Name: "sweep", Width: 320, Height: 240, FPS: 12, Frames: 12,
+		BackgroundRows: 3, BackgroundCols: 4, Jitter: 1.5, Seed: 5,
+		Objects: []video.ObjectSpec{obj},
+	}
+	seg, err := video.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainCount := func(tsim float64) int {
+		c := DefaultConfig()
+		c.SimThreshold = tsim
+		s, err := Build(seg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(s.Chains())
+	}
+	loose := chainCount(0.3)
+	strict := chainCount(1.1) // SimGraph can never exceed 1: fallback off
+	if strict < loose {
+		t.Errorf("disabling the SimGraph fallback produced fewer chains (%d) than the loose threshold (%d)", strict, loose)
+	}
+}
+
+// TestMaxDisplacementGate verifies the tracking gate: with a gate smaller
+// than the object's per-frame velocity the object cannot be tracked at
+// all, while the background still is.
+func TestMaxDisplacementGate(t *testing.T) {
+	obj := personSpec("runner", []geom.Point{geom.Pt(20, 120), geom.Pt(300, 120)}, 0, 12)
+	cfg := video.SceneConfig{
+		Name: "gate", Width: 320, Height: 240, FPS: 12, Frames: 12,
+		BackgroundRows: 3, BackgroundCols: 4, Jitter: 0, Seed: 6,
+		Objects: []video.ObjectSpec{obj},
+	}
+	seg, err := video.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultConfig()
+	c.MaxDisplacement = 5 // runner moves ~25 px/frame
+	s, err := Build(seg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Decompose(c)
+	if len(d.OGs) != 0 {
+		t.Errorf("gated tracking still produced %d OGs", len(d.OGs))
+	}
+	// The background still tracks into 12 chains; the orphaned object
+	// regions (3 parts x 12 frames, untrackable under the gate) fall into
+	// the background pool as single-node chains: 12 + 36 = 48.
+	if got := d.BG.Order(); got != 48 {
+		t.Errorf("BG order = %d, want 48 (12 background + 36 orphaned object chains)", got)
+	}
+}
+
+// TestMinORGLengthFiltersNoise verifies that raising MinORGLength drops
+// short tracks.
+func TestMinORGLengthFiltersNoise(t *testing.T) {
+	// An object visible for only 3 frames.
+	obj := personSpec("blip", []geom.Point{geom.Pt(100, 50), geom.Pt(160, 50)}, 4, 7)
+	cfg := video.SceneConfig{
+		Name: "short", Width: 320, Height: 240, FPS: 12, Frames: 12,
+		BackgroundRows: 3, BackgroundCols: 4, Jitter: 0, Seed: 7,
+		Objects: []video.ObjectSpec{obj},
+	}
+	seg, err := video.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultConfig()
+	c.MinORGLength = 2
+	s, err := Build(seg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Decompose(c); len(d.OGs) == 0 {
+		t.Error("3-frame object not extracted with MinORGLength = 2")
+	}
+	c.MinORGLength = 6
+	if d := s.Decompose(c); len(d.OGs) != 0 {
+		t.Error("3-frame object extracted despite MinORGLength = 6")
+	}
+}
+
+// TestMergeVelocityTolSeparatesCounterMovers: two objects passing each
+// other in opposite directions must never merge regardless of proximity.
+func TestMergeVelocityTolSeparatesCounterMovers(t *testing.T) {
+	east := personSpec("east", []geom.Point{geom.Pt(20, 118), geom.Pt(300, 118)}, 0, 12)
+	west := personSpec("west", []geom.Point{geom.Pt(300, 122), geom.Pt(20, 122)}, 0, 12)
+	// Different shirt colors so tracking keeps them apart.
+	east.Parts[1].Color.G = 0.9
+	cfg := video.SceneConfig{
+		Name: "pass", Width: 320, Height: 240, FPS: 12, Frames: 12,
+		BackgroundRows: 3, BackgroundCols: 4, Jitter: 0, Seed: 8,
+		Objects: []video.ObjectSpec{east, west},
+	}
+	seg, err := video.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(seg, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Decompose(DefaultConfig())
+	labels := map[string]int{}
+	for _, og := range d.OGs {
+		labels[og.Label]++
+	}
+	if labels["east"] == 0 || labels["west"] == 0 {
+		t.Errorf("counter-moving objects were merged or lost: %v", labels)
+	}
+}

@@ -1,0 +1,123 @@
+package strg
+
+import (
+	"testing"
+
+	"strgindex/internal/geom"
+	"strgindex/internal/video"
+)
+
+func TestOnlineMatchesBatchOnSingleObject(t *testing.T) {
+	obj := personSpec("walker", []geom.Point{geom.Pt(30, 120), geom.Pt(290, 120)}, 0, 12)
+	cfg := sceneWithObjects(12, 0.5, obj)
+	seg, err := video.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch reference.
+	s, err := Build(seg, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := s.Decompose(DefaultConfig()).OGs
+
+	// Streaming.
+	b := NewOnlineBuilder(DefaultConfig())
+	var online []*OG
+	for _, f := range seg.Frames {
+		online = append(online, b.AddFrame(f)...)
+	}
+	online = append(online, b.Flush()...)
+
+	if len(online) != len(batch) {
+		t.Fatalf("online emitted %d OGs, batch %d", len(online), len(batch))
+	}
+	if online[0].Label != "walker" {
+		t.Errorf("online OG label = %q", online[0].Label)
+	}
+	if online[0].Len() != batch[0].Len() {
+		t.Errorf("online OG length %d, batch %d", online[0].Len(), batch[0].Len())
+	}
+	// Trajectories must agree sample by sample.
+	for i := range online[0].Centroids {
+		if online[0].Centroids[i].Dist(batch[0].Centroids[i]) > 1e-9 {
+			t.Fatalf("sample %d differs: %v vs %v", i, online[0].Centroids[i], batch[0].Centroids[i])
+		}
+	}
+}
+
+func TestOnlineEmitsAfterObjectLeaves(t *testing.T) {
+	// Object active frames 0..9 of 20; after it leaves (plus the trailing
+	// merge window), its OG should be emitted before the stream ends.
+	obj := personSpec("early", []geom.Point{geom.Pt(30, 120), geom.Pt(290, 120)}, 0, 10)
+	cfg := sceneWithObjects(20, 0.5, obj)
+	seg, err := video.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewOnlineBuilder(DefaultConfig())
+	emittedAt := -1
+	for i, f := range seg.Frames {
+		if got := b.AddFrame(f); len(got) > 0 {
+			if emittedAt >= 0 {
+				t.Fatalf("second emission at frame %d", i)
+			}
+			emittedAt = i
+			if got[0].Label != "early" {
+				t.Errorf("emitted label %q", got[0].Label)
+			}
+		}
+	}
+	if emittedAt < 0 {
+		t.Fatal("OG not emitted before stream end despite object leaving at frame 10")
+	}
+	if rest := b.Flush(); len(rest) != 0 {
+		t.Errorf("Flush emitted %d extra OGs", len(rest))
+	}
+}
+
+func TestOnlineTwoObjects(t *testing.T) {
+	a := personSpec("north", []geom.Point{geom.Pt(80, 220), geom.Pt(80, 20)}, 0, 12)
+	c := personSpec("east", []geom.Point{geom.Pt(30, 60), geom.Pt(290, 60)}, 0, 12)
+	cfg := sceneWithObjects(12, 0.5, a, c)
+	seg, err := video.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewOnlineBuilder(DefaultConfig())
+	var ogs []*OG
+	for _, f := range seg.Frames {
+		ogs = append(ogs, b.AddFrame(f)...)
+	}
+	ogs = append(ogs, b.Flush()...)
+	labels := map[string]int{}
+	for _, og := range ogs {
+		labels[og.Label]++
+	}
+	if labels["north"] != 1 || labels["east"] != 1 {
+		t.Errorf("online OGs = %v, want one north and one east", labels)
+	}
+}
+
+func TestOnlineEmptyStream(t *testing.T) {
+	b := NewOnlineBuilder(DefaultConfig())
+	if got := b.Flush(); len(got) != 0 {
+		t.Errorf("Flush on empty builder emitted %d", len(got))
+	}
+}
+
+func TestOnlineStaticSceneEmitsNothing(t *testing.T) {
+	seg, err := video.Generate(sceneWithObjects(10, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewOnlineBuilder(DefaultConfig())
+	var ogs []*OG
+	for _, f := range seg.Frames {
+		ogs = append(ogs, b.AddFrame(f)...)
+	}
+	ogs = append(ogs, b.Flush()...)
+	if len(ogs) != 0 {
+		t.Errorf("static scene emitted %d OGs", len(ogs))
+	}
+}

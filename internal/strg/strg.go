@@ -1,0 +1,457 @@
+// Package strg implements the Spatio-Temporal Region Graph of Definition 2:
+// per-frame Region Adjacency Graphs connected by temporal edges, the
+// graph-based tracking that constructs those edges (Algorithm 1), and the
+// decomposition of an STRG into Object Graphs and a Background Graph
+// (Section 2.3).
+package strg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"strgindex/internal/geom"
+	"strgindex/internal/graph"
+	"strgindex/internal/rag"
+	"strgindex/internal/video"
+)
+
+// TemporalAttr holds the attributes τ(e_T) of a temporal edge: how far the
+// region's centroid moved between the two frames (velocity, in pixels per
+// frame) and in which direction (radians).
+type TemporalAttr struct {
+	Velocity  float64
+	Direction float64
+}
+
+// Config controls STRG construction and decomposition.
+type Config struct {
+	// RAG configures per-frame region adjacency.
+	RAG rag.Config
+	// Tol is the attribute tolerance used by neighborhood-graph matching.
+	Tol graph.Tolerance
+	// SimThreshold is T_sim of Algorithm 1: the minimum SimGraph value at
+	// which two non-isomorphic neighborhood graphs still correspond.
+	SimThreshold float64
+	// MaxDisplacement gates tracking candidates: a region cannot move more
+	// than this many pixels between consecutive frames.
+	MaxDisplacement float64
+	// MinObjectVelocity separates foreground chains (objects) from
+	// background chains during decomposition, in pixels per frame.
+	MinObjectVelocity float64
+	// MinORGLength drops chains shorter than this many nodes before OG
+	// extraction; very short tracks are segmentation noise.
+	MinORGLength int
+	// BridgeFrames allows tracking to reconnect a track across up to this
+	// many missing frames (occlusion: the region vanished behind another
+	// object and reappeared). Zero disables bridging; bridged temporal
+	// edges span multiple frames with velocity averaged over the gap.
+	BridgeFrames int
+	// MergeVelocityTol and MergeProximity control ORG merging (Section
+	// 2.3.2, "if two ORGs have the same moving direction and the same
+	// velocity"): two ORGs merge into one OG when, averaged over their
+	// shared frames, their per-frame velocity vectors differ by at most
+	// MergeVelocityTol px/frame and their centroids stay within
+	// MergeProximity pixels. Comparing instantaneous velocity vectors
+	// rather than whole-chain means keeps parts of a turning object
+	// together (fragments covering different legs of a U-turn share no
+	// global direction, but at every shared instant they move alike).
+	MergeVelocityTol float64
+	MergeProximity   float64
+}
+
+// DefaultConfig returns the configuration used across the experiments.
+func DefaultConfig() Config {
+	return Config{
+		RAG:               rag.DefaultConfig(),
+		Tol:               graph.DefaultTolerance(),
+		SimThreshold:      0.4,
+		MaxDisplacement:   45,
+		MinObjectVelocity: 3,
+		MinORGLength:      4,
+		MergeVelocityTol:  5,
+		MergeProximity:    40,
+	}
+}
+
+// STRG is a Spatio-Temporal Region Graph: one RAG per frame with node IDs
+// unique across the whole segment, plus temporal edges between consecutive
+// frames.
+type STRG struct {
+	Segment *video.Segment
+	// Frames holds the per-frame RAGs.
+	Frames []*graph.Graph
+
+	frameOf map[graph.NodeID]int
+	next    map[graph.NodeID]graph.NodeID
+	inDeg   map[graph.NodeID]int
+	tattr   map[graph.NodeID]TemporalAttr // attribute of the edge leaving the key node
+	velIn   map[graph.NodeID]geom.Vector  // displacement of the edge arriving at the key node
+}
+
+// FrameOf returns the frame index a node belongs to.
+func (s *STRG) FrameOf(id graph.NodeID) (int, bool) {
+	f, ok := s.frameOf[id]
+	return f, ok
+}
+
+// Next returns the temporal successor of a node, if the tracker linked one.
+func (s *STRG) Next(id graph.NodeID) (graph.NodeID, bool) {
+	n, ok := s.next[id]
+	return n, ok
+}
+
+// TemporalAttrOf returns the attributes of the temporal edge leaving id.
+func (s *STRG) TemporalAttrOf(id graph.NodeID) (TemporalAttr, bool) {
+	a, ok := s.tattr[id]
+	return a, ok
+}
+
+// NumTemporalEdges returns |E_T|.
+func (s *STRG) NumTemporalEdges() int { return len(s.next) }
+
+// NumNodes returns |V| across all frames.
+func (s *STRG) NumNodes() int { return len(s.frameOf) }
+
+// MemoryBytes estimates the raw in-memory footprint of the STRG: every
+// frame's RAG plus the temporal edges. This is the uncompressed size that
+// Section 5.4 compares the index against.
+func (s *STRG) MemoryBytes() int {
+	const temporalEdgeBytes = 8 + 8 + 16 // two IDs + velocity/direction
+	total := len(s.next) * temporalEdgeBytes
+	for _, g := range s.Frames {
+		total += g.MemoryBytes()
+	}
+	return total
+}
+
+// Build constructs the STRG of a segment: it builds one RAG per frame and
+// runs graph-based tracking (Algorithm 1) over each consecutive pair.
+func Build(seg *video.Segment, cfg Config) (*STRG, error) {
+	if seg == nil || len(seg.Frames) == 0 {
+		return nil, fmt.Errorf("strg: empty segment")
+	}
+	if cfg.SimThreshold <= 0 {
+		cfg = DefaultConfig()
+	}
+	s := &STRG{
+		Segment: seg,
+		Frames:  make([]*graph.Graph, len(seg.Frames)),
+		frameOf: make(map[graph.NodeID]int),
+		next:    make(map[graph.NodeID]graph.NodeID),
+		inDeg:   make(map[graph.NodeID]int),
+		tattr:   make(map[graph.NodeID]TemporalAttr),
+		velIn:   make(map[graph.NodeID]geom.Vector),
+	}
+	base := graph.NodeID(0)
+	for i, f := range seg.Frames {
+		g := rag.Build(f, cfg.RAG, base)
+		s.Frames[i] = g
+		for _, id := range g.NodeIDs() {
+			s.frameOf[id] = i
+		}
+		base += graph.NodeID(len(f.Regions))
+	}
+	matcher := graph.NewMatcher(cfg.Tol)
+	for m := 0; m+1 < len(s.Frames); m++ {
+		s.trackPair(matcher, cfg, s.Frames[m], s.Frames[m+1])
+	}
+	if cfg.BridgeFrames > 0 {
+		s.bridgeGaps(cfg)
+	}
+	return s, nil
+}
+
+// bridgeGaps reconnects tracks across occlusion gaps: a chain tail at
+// frame f is linked to a compatible chain head at frame f+1+g (g <=
+// BridgeFrames) when the head sits near the tail's constant-velocity
+// prediction. Matching is greedy by prediction error, one-to-one, and
+// only considers moving tails (static regions do not get occluded out of
+// existence — they are simply still there).
+func (s *STRG) bridgeGaps(cfg Config) {
+	type endpoint struct {
+		id    graph.NodeID
+		frame int
+		node  graph.Node
+		vel   geom.Vector
+	}
+	// Tails: nodes with no outgoing edge before the last frame.
+	// Heads: nodes with no incoming edge after the first frame.
+	var tails, heads []endpoint
+	for fi, g := range s.Frames {
+		for _, id := range sortedIDs(g) {
+			n, _ := g.Node(id)
+			if _, ok := s.next[id]; !ok && fi < len(s.Frames)-1 {
+				v := s.velIn[id]
+				if v.Len() >= cfg.MinObjectVelocity {
+					tails = append(tails, endpoint{id, fi, n, v})
+				}
+			}
+			if s.inDeg[id] == 0 && fi > 0 {
+				heads = append(heads, endpoint{id, fi, n, geom.Vector{}})
+			}
+		}
+	}
+	type cand struct {
+		tail, head int
+		err        float64
+		gap        int
+	}
+	var cands []cand
+	for ti, t := range tails {
+		for hi, h := range heads {
+			gap := h.frame - t.frame
+			if gap < 2 || gap > cfg.BridgeFrames+1 {
+				continue
+			}
+			if !cfg.Tol.NodesCompatible(t.node.Attr, h.node.Attr) {
+				continue
+			}
+			predicted := t.node.Attr.Centroid.Add(t.vel.Scale(float64(gap)))
+			moveErr := predicted.Dist(h.node.Attr.Centroid)
+			if cfg.MaxDisplacement > 0 && moveErr > cfg.MaxDisplacement*float64(gap) {
+				continue
+			}
+			cands = append(cands, cand{ti, hi, moveErr, gap})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].err != cands[j].err {
+			return cands[i].err < cands[j].err
+		}
+		if cands[i].tail != cands[j].tail {
+			return cands[i].tail < cands[j].tail
+		}
+		return cands[i].head < cands[j].head
+	})
+	usedT := make(map[int]bool)
+	usedH := make(map[int]bool)
+	for _, c := range cands {
+		if usedT[c.tail] || usedH[c.head] {
+			continue
+		}
+		usedT[c.tail] = true
+		usedH[c.head] = true
+		t, h := tails[c.tail], heads[c.head]
+		disp := h.node.Attr.Centroid.Sub(t.node.Attr.Centroid).Scale(1 / float64(c.gap))
+		s.next[t.id] = h.id
+		s.inDeg[h.id]++
+		s.tattr[t.id] = TemporalAttr{Velocity: disp.Len(), Direction: disp.Angle()}
+		s.velIn[h.id] = disp
+	}
+}
+
+// link is one temporal correspondence produced by frame-pair matching.
+type link struct {
+	from, to graph.NodeID
+	attr     TemporalAttr
+	disp     geom.Vector
+}
+
+// matchFrames implements Algorithm 1 for one consecutive frame pair and
+// returns the chosen one-to-one correspondences. velIn supplies each
+// current-frame node's incoming displacement for constant-velocity
+// prediction (nil entries mean no history). Differences from the paper's
+// pseudocode, all forced by determinism and robustness rather than taste:
+// (1) candidates are gated by attribute compatibility and by displacement
+// from the constant-velocity prediction (a tracked region is expected near
+// its previous position plus its previous motion — without the motion
+// term, identical-looking regions swap identities the moment their paths
+// cross); (2) correspondences are assigned one-to-one in descending match
+// quality (structural quality discounted by prediction error). The
+// pseudocode lets several nodes claim the same successor, which shatters
+// the chains of identical-looking objects when they cross — and its
+// first-isomorphic-match break would be nondeterministic over Go's
+// randomized map iteration anyway.
+func matchFrames(matcher *graph.Matcher, cfg Config, cur, nxt *graph.Graph, velIn map[graph.NodeID]geom.Vector) []link {
+	curIDs := sortedIDs(cur)
+	nxtIDs := sortedIDs(nxt)
+
+	// Neighborhood graphs are reused across the candidate loops.
+	gnCur := make(map[graph.NodeID]*graph.Graph, len(curIDs))
+	gnNxt := make(map[graph.NodeID]*graph.Graph, len(nxtIDs))
+	gn := func(g *graph.Graph, cache map[graph.NodeID]*graph.Graph, id graph.NodeID) *graph.Graph {
+		if built, ok := cache[id]; ok {
+			return built
+		}
+		built := g.NeighborhoodGraph(id)
+		cache[id] = built
+		return built
+	}
+
+	type cand struct {
+		v, v2 graph.NodeID
+		score float64
+	}
+	var cands []cand
+	for _, v := range curIDs {
+		vn, _ := cur.Node(v)
+		gv := gn(cur, gnCur, v)
+		// Constant-velocity prediction: where the region should be next.
+		predicted := vn.Attr.Centroid.Add(velIn[v])
+		for _, v2 := range nxtIDs {
+			v2n, _ := nxt.Node(v2)
+			if !cfg.Tol.NodesCompatible(vn.Attr, v2n.Attr) {
+				continue
+			}
+			moveErr := predicted.Dist(v2n.Attr.Centroid)
+			if cfg.MaxDisplacement > 0 && moveErr > cfg.MaxDisplacement {
+				continue
+			}
+			gv2 := gn(nxt, gnNxt, v2)
+			// Structural quality: 1 for isomorphic neighborhoods, the
+			// SimGraph value above T_sim otherwise. The motion-prediction
+			// error discounts it, so a structurally perfect but
+			// kinematically absurd correspondence loses to a plausible
+			// near-match — the situation at every path crossing of two
+			// similar-looking objects.
+			quality := -1.0
+			if _, ok := matcher.Isomorphic(gv, gv2); ok {
+				quality = 1
+			} else if sim := matcher.SimGraph(gv, gv2); sim > cfg.SimThreshold {
+				quality = sim
+			}
+			if quality < 0 {
+				continue
+			}
+			if cfg.MaxDisplacement > 0 {
+				quality -= moveErr / cfg.MaxDisplacement
+			}
+			cands = append(cands, cand{v: v, v2: v2, score: quality})
+		}
+	}
+	// Best matches first; ties break on node IDs for determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		return a.v2 < b.v2
+	})
+	usedCur := make(map[graph.NodeID]bool, len(curIDs))
+	usedNxt := make(map[graph.NodeID]bool, len(nxtIDs))
+	var links []link
+	for _, c := range cands {
+		if usedCur[c.v] || usedNxt[c.v2] {
+			continue
+		}
+		usedCur[c.v] = true
+		usedNxt[c.v2] = true
+		vn, _ := cur.Node(c.v)
+		cn, _ := nxt.Node(c.v2)
+		disp := cn.Attr.Centroid.Sub(vn.Attr.Centroid)
+		links = append(links, link{
+			from: c.v,
+			to:   c.v2,
+			attr: TemporalAttr{Velocity: disp.Len(), Direction: disp.Angle()},
+			disp: disp,
+		})
+	}
+	return links
+}
+
+// trackPair applies matchFrames' links to the STRG's temporal-edge maps.
+func (s *STRG) trackPair(matcher *graph.Matcher, cfg Config, cur, nxt *graph.Graph) {
+	for _, l := range matchFrames(matcher, cfg, cur, nxt, s.velIn) {
+		s.next[l.from] = l.to
+		s.inDeg[l.to]++
+		s.tattr[l.from] = l.attr
+		s.velIn[l.to] = l.disp
+	}
+}
+
+func sortedIDs(g *graph.Graph) []graph.NodeID {
+	ids := g.NodeIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Chain is one maximal temporal path of tracked nodes — an Object Region
+// Graph (Definition 8 with empty spatial edge set) before the
+// foreground/background classification.
+type Chain struct {
+	Nodes  []graph.NodeID
+	Frames []int
+	Attrs  []TemporalAttr // Attrs[i] is the edge Nodes[i] -> Nodes[i+1]
+}
+
+// Len returns the number of nodes in the chain.
+func (c *Chain) Len() int { return len(c.Nodes) }
+
+// MeanVelocity returns the average temporal-edge velocity of the chain, or
+// 0 for single-node chains.
+func (c *Chain) MeanVelocity() float64 {
+	if len(c.Attrs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range c.Attrs {
+		sum += a.Velocity
+	}
+	return sum / float64(len(c.Attrs))
+}
+
+// MeanDirection returns the circular mean of the chain's edge directions.
+// Only edges moving faster than still-stand noise contribute; it returns 0
+// for chains with no such edge.
+func (c *Chain) MeanDirection() float64 {
+	var sx, sy, n float64
+	for _, a := range c.Attrs {
+		if a.Velocity < 1e-9 {
+			continue
+		}
+		sx += a.Velocity * math.Cos(a.Direction)
+		sy += a.Velocity * math.Sin(a.Direction)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return geom.Vec(sx, sy).Angle()
+}
+
+// Chains extracts every maximal temporal path from the STRG. A node with
+// multiple temporal predecessors is claimed by the first chain reaching it
+// (frame order, then node ID), so chains never share nodes.
+func (s *STRG) Chains() []*Chain {
+	claimed := make(map[graph.NodeID]bool, len(s.frameOf))
+	var chains []*Chain
+	for fi := range s.Frames {
+		for _, start := range sortedIDs(s.Frames[fi]) {
+			if claimed[start] || s.inDeg[start] > 0 {
+				continue
+			}
+			chains = append(chains, s.followChain(start, claimed))
+		}
+	}
+	// Nodes whose only predecessors were claimed by other chains can still
+	// be unvisited chain heads (convergent tracking); sweep them up.
+	for fi := range s.Frames {
+		for _, start := range sortedIDs(s.Frames[fi]) {
+			if !claimed[start] {
+				chains = append(chains, s.followChain(start, claimed))
+			}
+		}
+	}
+	return chains
+}
+
+func (s *STRG) followChain(start graph.NodeID, claimed map[graph.NodeID]bool) *Chain {
+	c := &Chain{}
+	cur := start
+	for {
+		claimed[cur] = true
+		c.Nodes = append(c.Nodes, cur)
+		c.Frames = append(c.Frames, s.frameOf[cur])
+		nxt, ok := s.next[cur]
+		if !ok || claimed[nxt] {
+			break
+		}
+		c.Attrs = append(c.Attrs, s.tattr[cur])
+		cur = nxt
+	}
+	return c
+}

@@ -1,0 +1,186 @@
+package synth
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"strgindex/internal/dist"
+)
+
+func TestPatternsCount(t *testing.T) {
+	ps := Patterns()
+	if len(ps) != 48 {
+		t.Fatalf("patterns = %d, want 48", len(ps))
+	}
+	counts := map[string]int{}
+	for i, p := range ps {
+		if p.ID != i {
+			t.Errorf("pattern %d has ID %d", i, p.ID)
+		}
+		counts[p.Class]++
+		if len(p.Path) < 2 {
+			t.Errorf("pattern %s has degenerate path", p.Name)
+		}
+	}
+	want := map[string]int{"vertical": 12, "horizontal": 12, "diagonal": 8, "uturn": 16}
+	for class, n := range want {
+		if counts[class] != n {
+			t.Errorf("%s patterns = %d, want %d", class, counts[class], n)
+		}
+	}
+}
+
+func TestPatternsUTurnShape(t *testing.T) {
+	for _, p := range Patterns() {
+		if p.Class == "uturn" && len(p.Path) != 4 {
+			t.Errorf("uturn %s has %d waypoints, want 4", p.Name, len(p.Path))
+		}
+	}
+}
+
+func TestPatternNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Patterns() {
+		if seen[p.Name] {
+			t.Errorf("duplicate pattern name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{PerPattern: 0}); err == nil {
+		t.Error("PerPattern 0 accepted")
+	}
+	if _, err := Generate(Config{PerPattern: 1, NoisePct: 2}); err == nil {
+		t.Error("NoisePct 2 accepted")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, err := Generate(Config{PerPattern: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 48*3 {
+		t.Fatalf("items = %d, want 144", ds.Len())
+	}
+	if ds.NumClusters() != 48 {
+		t.Errorf("clusters = %d, want 48", ds.NumClusters())
+	}
+	for i, it := range ds.Items {
+		if len(it) < 8 || len(it) > 16 {
+			t.Errorf("item %d length %d outside [8, 16]", i, len(it))
+		}
+		if it.Dim() != 2 {
+			t.Errorf("item %d dim = %d, want 2", i, it.Dim())
+		}
+		for _, v := range it {
+			if v[0] < 0 || v[0] > FieldW || v[1] < 0 || v[1] > FieldH {
+				t.Errorf("item %d sample %v outside field", i, v)
+			}
+		}
+	}
+}
+
+func TestGenerateRestrictedPatterns(t *testing.T) {
+	ds, err := Generate(Config{PerPattern: 2, NumPatterns: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 10 {
+		t.Errorf("items = %d, want 10", ds.Len())
+	}
+	if ds.NumClusters() != 5 {
+		t.Errorf("clusters = %d, want 5", ds.NumClusters())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{PerPattern: 2, NoisePct: 0.1, Seed: 9})
+	b, _ := Generate(Config{PerPattern: 2, NoisePct: 0.1, Seed: 9})
+	for i := range a.Items {
+		for j := range a.Items[i] {
+			if a.Items[i][j][0] != b.Items[i][j][0] || a.Items[i][j][1] != b.Items[i][j][1] {
+				t.Fatal("generation not deterministic for fixed seed")
+			}
+		}
+	}
+}
+
+func TestNoiseIncreasesSpread(t *testing.T) {
+	clean, _ := Generate(Config{PerPattern: 5, NoisePct: 0, Seed: 3, NumPatterns: 4})
+	noisy, _ := Generate(Config{PerPattern: 5, NoisePct: 0.3, Seed: 3, NumPatterns: 4})
+	// Mean within-cluster pairwise EGED must grow with noise.
+	meanIntra := func(ds *Dataset) float64 {
+		var sum float64
+		var n int
+		for i := 0; i < ds.Len(); i++ {
+			for j := i + 1; j < ds.Len(); j++ {
+				if ds.Labels[i] == ds.Labels[j] {
+					sum += dist.EGED(ds.Items[i], ds.Items[j])
+					n++
+				}
+			}
+		}
+		return sum / float64(n)
+	}
+	c, nz := meanIntra(clean), meanIntra(noisy)
+	if nz < 2*c {
+		t.Errorf("noise did not spread clusters: clean %v, noisy %v", c, nz)
+	}
+}
+
+func TestClustersSeparated(t *testing.T) {
+	// At zero noise, within-cluster distances must be far below the
+	// distance between a vertical and a horizontal pattern.
+	ds, _ := Generate(Config{PerPattern: 4, NoisePct: 0, Seed: 5})
+	var vIdx, hIdx []int
+	for i, l := range ds.Labels {
+		switch ds.Patterns[l].Class {
+		case "vertical":
+			vIdx = append(vIdx, i)
+		case "horizontal":
+			hIdx = append(hIdx, i)
+		}
+	}
+	intra := dist.EGED(ds.Items[vIdx[0]], ds.Items[vIdx[1]])
+	inter := dist.EGED(ds.Items[vIdx[0]], ds.Items[hIdx[0]])
+	if intra*3 > inter {
+		t.Errorf("weak separation: intra %v vs inter %v", intra, inter)
+	}
+}
+
+func TestTrueCentroids(t *testing.T) {
+	ds, _ := Generate(Config{PerPattern: 1, Seed: 1})
+	cents := ds.TrueCentroids(12)
+	if len(cents) != 48 {
+		t.Fatalf("centroids = %d, want 48", len(cents))
+	}
+	for i, c := range cents {
+		if len(c) != 12 {
+			t.Errorf("centroid %d length %d, want 12", i, len(c))
+		}
+	}
+}
+
+func TestAsOG(t *testing.T) {
+	seq := dist.Sequence{{10, 20}, {30, 40}, {50, 60}}
+	og := AsOG(7, seq, "uturn-east-0")
+	if og.ID != 7 || og.Label != "uturn-east-0" {
+		t.Errorf("OG identity = %d/%q", og.ID, og.Label)
+	}
+	if og.Len() != 3 {
+		t.Fatalf("OG length = %d, want 3", og.Len())
+	}
+	back := og.Sequence()
+	for i := range seq {
+		if math.Abs(back[i][0]-seq[i][0]) > 1e-12 || math.Abs(back[i][1]-seq[i][1]) > 1e-12 {
+			t.Errorf("round trip mismatch at %d: %v vs %v", i, back[i], seq[i])
+		}
+	}
+	if !strings.HasPrefix(og.Label, "uturn") {
+		t.Error("label lost")
+	}
+}

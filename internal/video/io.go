@@ -1,0 +1,65 @@
+package video
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON encodes the segment as JSON. Together with ReadJSON it is the
+// interchange path for real segmentation output: any external segmenter
+// (EDISON, a neural model, ...) that can emit per-frame region lists can
+// feed the pipeline.
+func (s *Segment) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("video: encoding segment %s: %w", s.Name, err)
+	}
+	return nil
+}
+
+// ReadJSON decodes a segment written by WriteJSON (or produced by an
+// external tool following the same schema) and validates it.
+func ReadJSON(r io.Reader) (*Segment, error) {
+	var s Segment
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("video: decoding segment: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks structural invariants of a deserialized segment: frame
+// indices must be consecutive from zero, region IDs unique per frame, and
+// geometry inside the frame bounds.
+func (s *Segment) Validate() error {
+	if s.Width <= 0 || s.Height <= 0 {
+		return fmt.Errorf("video: segment %s has non-positive dimensions %gx%g", s.Name, s.Width, s.Height)
+	}
+	if len(s.Frames) == 0 {
+		return fmt.Errorf("video: segment %s has no frames", s.Name)
+	}
+	for i, f := range s.Frames {
+		if f.Index != i {
+			return fmt.Errorf("video: segment %s frame %d has index %d", s.Name, i, f.Index)
+		}
+		seen := make(map[int]bool, len(f.Regions))
+		for _, r := range f.Regions {
+			if seen[r.ID] {
+				return fmt.Errorf("video: segment %s frame %d has duplicate region ID %d", s.Name, i, r.ID)
+			}
+			seen[r.ID] = true
+			if r.Size <= 0 {
+				return fmt.Errorf("video: segment %s frame %d region %d has size %g", s.Name, i, r.ID, r.Size)
+			}
+			if r.Centroid.X < 0 || r.Centroid.X > s.Width || r.Centroid.Y < 0 || r.Centroid.Y > s.Height {
+				return fmt.Errorf("video: segment %s frame %d region %d centroid %v outside %gx%g",
+					s.Name, i, r.ID, r.Centroid, s.Width, s.Height)
+			}
+		}
+	}
+	return nil
+}
