@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet bench cover experiments experiments-full examples clean
+.PHONY: build test vet bench bench-json cover experiments experiments-full examples clean
 
 build:
 	go build ./...
@@ -19,6 +19,11 @@ cover:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Worker-sweep benchmarks of the parallel distance engine, as JSON.
+bench-json:
+	go test -run='^$$' -bench='PairwiseMatrix|STRGBuildParallel|Figure6ClusterBuildParallel|Figure7KNNParallel' -benchmem . \
+		| go run ./cmd/benchjson > BENCH_parallel.json
 
 # Regenerate the paper's tables and figures (quick scale: tens of seconds).
 experiments:

@@ -6,7 +6,9 @@
 package strgindex
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"strgindex/internal/cluster"
@@ -96,6 +98,32 @@ func BenchmarkLCS(b *testing.B) {
 	}
 }
 
+// workerSweep is the worker-count axis of the parallel benchmarks: 1
+// (the paper's sequential baseline), 2, 4 and one-per-CPU.
+func workerSweep() []int {
+	sweep := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		sweep = append(sweep, n)
+	}
+	return sweep
+}
+
+// BenchmarkPairwiseMatrix measures the tentpole primitive: the full
+// pairwise EGED matrix (upper triangle only) that dominates EM clustering
+// and index construction, across worker counts.
+func BenchmarkPairwiseMatrix(b *testing.B) {
+	ds := benchSequences(b, 2, 48)
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dist.PairwiseMatrix(ds.Items, dist.EGED, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Micro-benchmarks: pipeline stages --------------------------------
 
 // BenchmarkSTRGBuild measures RAG construction plus graph-based tracking
@@ -113,6 +141,29 @@ func BenchmarkSTRGBuild(b *testing.B) {
 		if _, err := strg.Build(seg, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSTRGBuildParallel sweeps the Concurrency knob over a busier
+// segment (eight objects), where the per-frame RAGs and Algorithm 1's
+// candidate scoring carry enough work to fan out.
+func BenchmarkSTRGBuildParallel(b *testing.B) {
+	p := video.StreamProfile{Name: "B", Kind: video.KindLab, NumObjects: 8, SegmentFrames: 24, ObjectsPerSegment: 8}
+	stream, err := video.GenerateStream(p, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg := stream.Segments[0]
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := strg.DefaultConfig()
+			cfg.Concurrency = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := strg.Build(seg, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -180,6 +231,22 @@ func BenchmarkFigure6ClusterBuild(b *testing.B) {
 			cfg := cluster.Config{K: 48, MaxIter: 8, Tol: 1e-12, Seed: 1}
 			for i := 0; i < b.N; i++ {
 				if _, err := tc.run(ds.Items, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure6ClusterBuildParallel sweeps EM cluster building (the
+// Figure 6(b) workload) over the worker pool.
+func BenchmarkFigure6ClusterBuildParallel(b *testing.B) {
+	ds := benchSequences(b, 3, 48)
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := cluster.Config{K: 48, MaxIter: 8, Tol: 1e-12, Seed: 1, Concurrency: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.EM(ds.Items, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -260,6 +327,32 @@ func BenchmarkFigure7KNN(b *testing.B) {
 			strgTree.KNNExact(nil, queries[rng.Intn(len(queries))], 10)
 		}
 	})
+}
+
+// BenchmarkFigure7KNNParallel sweeps the exact k-NN search (the mode that
+// scans several leaves and thus benefits from parallel leaf scans) over
+// the worker pool. Each worker count builds its own tree so construction
+// parallelism is exercised too; results are identical at every setting.
+func BenchmarkFigure7KNNParallel(b *testing.B) {
+	ds := benchSequences(b, 20, 12)
+	items := make([]index.Item[int], len(ds.Items))
+	for i, seq := range ds.Items {
+		items[i] = index.Item[int]{Seq: seq, Payload: i}
+	}
+	queries := benchSequences(b, 1, 12).Items
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			tr := index.New[int](index.Config{NumClusters: 12, EMMaxIter: 12, Seed: 1, Concurrency: workers})
+			if err := tr.AddSegment(nil, items); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(9))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.KNNExact(nil, queries[rng.Intn(len(queries))], 10)
+			}
+		})
+	}
 }
 
 // --- Figure 7(c) end-to-end + Figure 8 + Table 2 ----------------------

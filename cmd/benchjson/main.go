@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark line:
+//
+//	go test -bench=PairwiseMatrix -benchmem . | benchjson > bench.json
+//
+// Each object carries the benchmark name (with any /workers=N suffix split
+// out), iteration count, ns/op and — when -benchmem was set — B/op and
+// allocs/op. Non-benchmark lines pass through to stderr so failures stay
+// visible.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Point is one parsed benchmark measurement.
+type Point struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	var points []Point
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if p, ok := parseLine(line); ok {
+			points = append(points, p)
+		} else {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(points); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine handles the standard benchmark format:
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   10 allocs/op
+func parseLine(line string) (Point, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Point{}, false
+	}
+	name := fields[0]
+	// Strip the trailing -GOMAXPROCS marker.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Point{}, false
+	}
+	p := Point{Name: name, Iterations: iters}
+	// A /workers=N sub-benchmark segment becomes its own field, keeping
+	// the sweep easy to plot.
+	for _, seg := range strings.Split(name, "/") {
+		if v, ok := strings.CutPrefix(seg, "workers="); ok {
+			if w, err := strconv.Atoi(v); err == nil {
+				p.Workers = w
+			}
+		}
+	}
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			p.NsPerOp = val
+			ok = true
+		case "B/op":
+			b := int64(val)
+			p.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(val)
+			p.AllocsPerOp = &a
+		}
+	}
+	return p, ok
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	strg-bench [-scale quick|full] [-only table1,fig5,fig6,fig7,fig8,table2]
+//	strg-bench [-scale quick|full] [-only table1,fig5,fig6,fig7,fig8,table2] [-workers N]
 //
 // The quick scale (default) runs in tens of seconds; full approaches the
 // paper's magnitudes and takes minutes.
@@ -22,6 +22,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	onlyFlag := flag.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,table2,ablations")
+	workers := flag.Int("workers", 0, "worker budget for the parallel distance engine (0 = one per CPU, 1 = sequential); results are identical at every setting")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -34,6 +35,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "strg-bench: unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
 	}
+	scale.Workers = *workers
 
 	want := map[string]bool{}
 	if *onlyFlag != "" {

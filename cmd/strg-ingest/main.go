@@ -24,7 +24,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "", "write the ingested database to this file (gob)")
 	in := flag.String("in", "", "ingest this JSON segment file (see video.ReadJSON) instead of generating a stream")
+	workers := flag.Int("workers", 0, "worker budget for the parallel pipeline (0 = one per CPU, 1 = sequential); the resulting database is identical at every setting")
 	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Concurrency = *workers
 
 	if *in != "" {
 		f, err := os.Open(*in)
@@ -32,7 +36,7 @@ func main() {
 		seg, err := video.ReadJSON(f)
 		fail(err)
 		fail(f.Close())
-		db := core.Open(core.DefaultConfig())
+		db := core.Open(cfg)
 		st, err := db.IngestSegment("external", seg)
 		fail(err)
 		fmt.Printf("%s: %d frames, %d temporal edges, %d OGs, %d BG nodes\n",
@@ -65,7 +69,7 @@ func main() {
 	fail(err)
 	fmt.Printf("generated %s: %d segments, %d objects\n", prof.Name, len(stream.Segments), stream.NumObjects())
 
-	db := core.Open(core.DefaultConfig())
+	db := core.Open(cfg)
 	for i, seg := range stream.Segments {
 		st, err := db.IngestSegment(prof.Name, seg)
 		fail(err)

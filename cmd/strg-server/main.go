@@ -27,16 +27,19 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dbPath := flag.String("db", "", "optional database file written by strg-ingest to preload")
+	workers := flag.Int("workers", 0, "worker budget for ingest and search (0 = one per CPU, 1 = sequential); responses are identical at every setting")
 	flag.Parse()
 
-	srv := server.New(core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Concurrency = *workers
+	srv := server.New(cfg)
 	if *dbPath != "" {
 		// Preload by replaying into the shared DB via core.Load.
 		f, err := os.Open(*dbPath)
 		if err != nil {
 			log.Fatalf("strg-server: %v", err)
 		}
-		loaded, err := server.NewFromReader(f, core.DefaultConfig())
+		loaded, err := server.NewFromReader(f, cfg)
 		f.Close()
 		if err != nil {
 			log.Fatalf("strg-server: loading %s: %v", *dbPath, err)

@@ -37,6 +37,12 @@ type Config struct {
 	// Distance is the sequence dissimilarity; nil means the non-metric
 	// EGED, as in Section 4.1.
 	Distance dist.Metric
+	// Concurrency bounds the worker pool used for the distance-matrix
+	// passes (the dominant cost of every algorithm here): 0 means one
+	// worker per CPU, 1 reproduces the paper's sequential evaluation
+	// exactly, n > 1 caps the pool at n. Results are identical at every
+	// setting — only wall-clock changes.
+	Concurrency int
 }
 
 func (c Config) withDefaults(n int) (Config, error) {
@@ -102,12 +108,20 @@ const sigmaFloor = 1e-3
 // plain uniform seeding routinely drops two seeds into one cluster and
 // stalls EM in a local optimum, so all three algorithms use the spread-out
 // variant.)
-func initCentroids(items []dist.Sequence, k int, rng *rand.Rand, metric dist.Metric) []dist.Sequence {
+func initCentroids(items []dist.Sequence, k int, rng *rand.Rand, metric dist.Metric, workers int) ([]dist.Sequence, error) {
 	cents := make([]dist.Sequence, 0, k)
 	cents = append(cents, items[rng.Intn(len(items))].Clone())
+	// Each distance pass against the newest centroid fans out over the
+	// worker pool; the D² sampling itself stays sequential so the rng
+	// stream (and therefore the chosen seeds) is identical at any
+	// concurrency.
+	col, err := dist.CrossMatrix(items, cents[:1], metric, workers)
+	if err != nil {
+		return nil, err
+	}
 	minD := make([]float64, len(items))
-	for j, it := range items {
-		minD[j] = metric(it, cents[0])
+	for j := range items {
+		minD[j] = col[j][0]
 	}
 	for len(cents) < k {
 		var total float64
@@ -128,13 +142,17 @@ func initCentroids(items []dist.Sequence, k int, rng *rand.Rand, metric dist.Met
 			}
 		}
 		cents = append(cents, items[next].Clone())
-		for j, it := range items {
-			if d := metric(it, cents[len(cents)-1]); d < minD[j] {
+		col, err = dist.CrossMatrix(items, cents[len(cents)-1:], metric, workers)
+		if err != nil {
+			return nil, err
+		}
+		for j := range items {
+			if d := col[j][0]; d < minD[j] {
 				minD[j] = d
 			}
 		}
 	}
-	return cents
+	return cents, nil
 }
 
 // EM fits the K-component mixture of Equation 3 with the EM algorithm of
@@ -162,18 +180,17 @@ func EM(items []dist.Sequence, cfg Config) (*Result, error) {
 	sigmas := make([]float64, k)
 
 	// Initial σ: mean distance from items to their nearest centroid.
-	d := make([][]float64, m) // d[j][c] = Distance(Y_j, µ_c)
-	for j := range d {
-		d[j] = make([]float64, k)
+	// d[j][c] = Distance(Y_j, µ_c); the m × k pass is the dominant cost of
+	// every EM iteration and fans out over the worker pool.
+	var d [][]float64
+	computeDistances := func() error {
+		var err error
+		d, err = dist.CrossMatrix(items, cents, cfg.Distance, cfg.Concurrency)
+		return err
 	}
-	computeDistances := func() {
-		for j, it := range items {
-			for c := 0; c < k; c++ {
-				d[j][c] = cfg.Distance(it, cents[c])
-			}
-		}
+	if err := computeDistances(); err != nil {
+		return nil, err
 	}
-	computeDistances()
 	var sumMin float64
 	for j := 0; j < m; j++ {
 		minD := d[j][0]
@@ -276,7 +293,9 @@ func EM(items []dist.Sequence, cfg Config) (*Result, error) {
 		}
 		// One distance pass serves both the σ update below and the next
 		// E-step.
-		computeDistances()
+		if err := computeDistances(); err != nil {
+			return nil, err
+		}
 		// Per-component variance over the hard (max-posterior) members,
 		// consistent with the classification-EM centroid update. Soft
 		// responsibilities would let a component straddling two clusters
@@ -400,14 +419,24 @@ func KMeans(items []dist.Sequence, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	cents := initCentroids(items, cfg.K, rng, cfg.Distance)
-	assign, cents, iter := lloyd(items, cents, cfg)
-	return finalizeHard(items, cents, assign, cfg, iter), nil
+	cents, err := initCentroids(items, cfg.K, rng, cfg.Distance, cfg.Concurrency)
+	if err != nil {
+		return nil, err
+	}
+	assign, cents, iter, err := lloyd(items, cents, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return finalizeHard(items, cents, assign, cfg, iter)
 }
 
 // lloyd runs assignment/update rounds from the given centroids until
 // assignments stabilize (unless cfg.ForceIter) or cfg.MaxIter is reached.
-func lloyd(items []dist.Sequence, cents []dist.Sequence, cfg Config) ([]int, []dist.Sequence, int) {
+// The nearest-centroid pass — the O(m·k) distance matrix — runs on the
+// worker pool; the argmin itself compares matrix entries (no repeated
+// metric evaluation, and for the point-level comparisons inside the DP
+// kernels dist.NormSq already keeps sqrt off the comparison path).
+func lloyd(items []dist.Sequence, cents []dist.Sequence, cfg Config) ([]int, []dist.Sequence, int, error) {
 	m, k := len(items), len(cents)
 	assign := make([]int, m)
 	for i := range assign {
@@ -415,11 +444,15 @@ func lloyd(items []dist.Sequence, cents []dist.Sequence, cfg Config) ([]int, []d
 	}
 	iter := 0
 	for ; iter < cfg.MaxIter; iter++ {
+		d, err := dist.CrossMatrix(items, cents, cfg.Distance, cfg.Concurrency)
+		if err != nil {
+			return nil, nil, 0, err
+		}
 		changed := false
-		for j, it := range items {
+		for j := 0; j < m; j++ {
 			best, bestD := 0, math.Inf(1)
 			for c := 0; c < k; c++ {
-				if dd := cfg.Distance(it, cents[c]); dd < bestD {
+				if dd := d[j][c]; dd < bestD {
 					best, bestD = c, dd
 				}
 			}
@@ -443,6 +476,10 @@ func lloyd(items []dist.Sequence, cents []dist.Sequence, cfg Config) ([]int, []d
 			}
 			if !any {
 				// Empty cluster: reseed on the globally farthest item.
+				// Deliberately re-evaluated (not read from this round's
+				// matrix): centroids with index below c were already
+				// replaced by their barycenters, and the reseed choice
+				// must see those updates, exactly as it always has.
 				far, farD := 0, -1.0
 				for j, it := range items {
 					dd := cfg.Distance(it, cents[assign[j]])
@@ -456,7 +493,7 @@ func lloyd(items []dist.Sequence, cents []dist.Sequence, cfg Config) ([]int, []d
 			cents[c] = Barycenter(items, w)
 		}
 	}
-	return assign, cents, iter
+	return assign, cents, iter, nil
 }
 
 // khmPower is the p exponent of the K-Harmonic-Means performance function;
@@ -473,17 +510,22 @@ func KHarmonicMeans(items []dist.Sequence, cfg Config) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m, k := len(items), cfg.K
-	cents := initCentroids(items, k, rng, cfg.Distance)
+	cents, err := initCentroids(items, k, rng, cfg.Distance, cfg.Concurrency)
+	if err != nil {
+		return nil, err
+	}
 	prevPerf := math.Inf(1)
 	iter := 0
 	for ; iter < cfg.MaxIter; iter++ {
-		d := make([][]float64, m)
+		d, err := dist.CrossMatrix(items, cents, cfg.Distance, cfg.Concurrency)
+		if err != nil {
+			return nil, err
+		}
 		perf := 0.0
-		for j, it := range items {
-			d[j] = make([]float64, k)
+		for j := 0; j < m; j++ {
 			var invSum float64
 			for c := 0; c < k; c++ {
-				dd := math.Max(cfg.Distance(it, cents[c]), 1e-9)
+				dd := math.Max(d[j][c], 1e-9)
 				d[j][c] = dd
 				invSum += math.Pow(dd, -khmPower)
 			}
@@ -514,31 +556,40 @@ func KHarmonicMeans(items []dist.Sequence, cfg Config) (*Result, error) {
 		}
 		prevPerf = perf
 	}
-	// Hard assignment by nearest centroid.
+	// Hard assignment by nearest centroid (one parallel matrix pass).
+	d, err := dist.CrossMatrix(items, cents, cfg.Distance, cfg.Concurrency)
+	if err != nil {
+		return nil, err
+	}
 	assign := make([]int, m)
-	for j, it := range items {
+	for j := 0; j < m; j++ {
 		best, bestD := 0, math.Inf(1)
 		for c := 0; c < k; c++ {
-			if dd := cfg.Distance(it, cents[c]); dd < bestD {
+			if dd := d[j][c]; dd < bestD {
 				best, bestD = c, dd
 			}
 		}
 		assign[j] = best
 	}
-	return finalizeHard(items, cents, assign, cfg, iter), nil
+	return finalizeHard(items, cents, assign, cfg, iter)
 }
 
 // finalizeHard builds a Result from hard assignments, deriving weights,
 // sample sigmas and the induced-mixture log-likelihood so BIC comparisons
-// work across algorithms.
-func finalizeHard(items []dist.Sequence, cents []dist.Sequence, assign []int, cfg Config, iters int) *Result {
+// work across algorithms. One parallel m × k distance pass feeds both the
+// sigma accumulation and the likelihood.
+func finalizeHard(items []dist.Sequence, cents []dist.Sequence, assign []int, cfg Config, iters int) (*Result, error) {
 	m, k := len(items), cfg.K
+	d, err := dist.CrossMatrix(items, cents, cfg.Distance, cfg.Concurrency)
+	if err != nil {
+		return nil, err
+	}
 	weights := make([]float64, k)
 	sigmas := make([]float64, k)
 	counts := make([]int, k)
 	for j, a := range assign {
 		counts[a]++
-		dd := cfg.Distance(items[j], cents[a])
+		dd := d[j][a]
 		sigmas[a] += dd * dd
 	}
 	for c := 0; c < k; c++ {
@@ -550,13 +601,13 @@ func finalizeHard(items []dist.Sequence, cents []dist.Sequence, assign []int, cf
 		}
 	}
 	var logLik float64
-	for _, it := range items {
+	for j := 0; j < m; j++ {
 		logp := make([]float64, 0, k)
 		for c := 0; c < k; c++ {
 			if weights[c] == 0 {
 				continue
 			}
-			dd := cfg.Distance(it, cents[c])
+			dd := d[j][c]
 			logp = append(logp, math.Log(weights[c])-math.Log(sigmas[c])-
 				0.5*math.Log(2*math.Pi)-dd*dd/(2*sigmas[c]*sigmas[c]))
 		}
@@ -570,7 +621,7 @@ func finalizeHard(items []dist.Sequence, cents []dist.Sequence, assign []int, cf
 		Sigmas:        sigmas,
 		LogLikelihood: logLik,
 		Iterations:    iters,
-	}
+	}, nil
 }
 
 // Barycenter computes a weighted mean sequence: members are resampled to

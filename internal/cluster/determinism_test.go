@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"strgindex/internal/dist"
+)
+
+func detSequences(n int, seed int64) []dist.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]dist.Sequence, n)
+	for i := range out {
+		l := 4 + rng.Intn(8)
+		s := make(dist.Sequence, l)
+		for j := range s {
+			s[j] = dist.Vec{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestClusteringDeterministicUnderConcurrency verifies the tentpole
+// contract: every clustering algorithm produces byte-identical models at
+// any worker count, because parallelism only reschedules distance
+// evaluations (all order-sensitive reductions stay sequential).
+func TestClusteringDeterministicUnderConcurrency(t *testing.T) {
+	items := detSequences(40, 23)
+	algos := []struct {
+		name string
+		run  func(cfg Config) (*Result, error)
+	}{
+		{"EM", func(cfg Config) (*Result, error) { return EM(items, cfg) }},
+		{"KMeans", func(cfg Config) (*Result, error) { return KMeans(items, cfg) }},
+		{"KHarmonicMeans", func(cfg Config) (*Result, error) { return KHarmonicMeans(items, cfg) }},
+	}
+	for _, algo := range algos {
+		base := Config{K: 4, MaxIter: 20, Seed: 7, Concurrency: 1}
+		want, err := algo.run(base)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", algo.name, err)
+		}
+		for _, workers := range []int{0, 2, 4} {
+			cfg := base
+			cfg.Concurrency = workers
+			got, err := algo.run(cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", algo.name, workers, err)
+			}
+			if got.Iterations != want.Iterations {
+				t.Errorf("%s workers=%d: %d iterations, want %d", algo.name, workers, got.Iterations, want.Iterations)
+			}
+			if got.LogLikelihood != want.LogLikelihood {
+				t.Errorf("%s workers=%d: logLik %v, want %v (not byte-identical)",
+					algo.name, workers, got.LogLikelihood, want.LogLikelihood)
+			}
+			for i := range want.Assignments {
+				if got.Assignments[i] != want.Assignments[i] {
+					t.Fatalf("%s workers=%d: assignment[%d] = %d, want %d",
+						algo.name, workers, i, got.Assignments[i], want.Assignments[i])
+				}
+			}
+			for k := range want.Centroids {
+				a, b := got.Centroids[k], want.Centroids[k]
+				if len(a) != len(b) {
+					t.Fatalf("%s workers=%d: centroid %d length %d, want %d", algo.name, workers, k, len(a), len(b))
+				}
+				for j := range b {
+					for d := range b[j] {
+						if a[j][d] != b[j][d] {
+							t.Fatalf("%s workers=%d: centroid %d[%d][%d] = %v, want %v (not byte-identical)",
+								algo.name, workers, k, j, d, a[j][d], b[j][d])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestXMeansDeterministicUnderConcurrency covers the split-search loop,
+// whose lloyd re-stabilization and per-cluster EM fits all ride the
+// parallel matrices.
+func TestXMeansDeterministicUnderConcurrency(t *testing.T) {
+	items := detSequences(48, 31)
+	run := func(workers int) *Result {
+		res, err := XMeans(items, 2, 6, Config{MaxIter: 15, Seed: 3, Concurrency: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	want := run(1)
+	got := run(4)
+	if got.K != want.K {
+		t.Fatalf("K = %d, want %d", got.K, want.K)
+	}
+	for i := range want.Assignments {
+		if got.Assignments[i] != want.Assignments[i] {
+			t.Fatalf("assignment[%d] = %d, want %d", i, got.Assignments[i], want.Assignments[i])
+		}
+	}
+}

@@ -75,12 +75,15 @@ func XMeans(items []dist.Sequence, kMin, kMax int, cfg Config) (*Result, error) 
 		cents = next
 		lcfg := cfg
 		lcfg.K = len(cents)
-		assign, cents, _ = lloyd(items, cents, lcfg)
+		assign, cents, _, err = lloyd(items, cents, lcfg)
+		if err != nil {
+			return nil, err
+		}
 		totalIter++
 	}
 	fcfg := cfg
 	fcfg.K = len(cents)
-	return finalizeHard(items, cents, assign, fcfg, totalIter), nil
+	return finalizeHard(items, cents, assign, fcfg, totalIter)
 }
 
 // trySplit fits one- and two-component models to a cluster's members and

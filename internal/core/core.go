@@ -14,6 +14,7 @@ import (
 	"strgindex/internal/dist"
 	"strgindex/internal/graph"
 	"strgindex/internal/index"
+	"strgindex/internal/parallel"
 	"strgindex/internal/query"
 	"strgindex/internal/shot"
 	"strgindex/internal/strg"
@@ -43,6 +44,12 @@ type Config struct {
 	STRG strg.Config
 	// Index controls clustering and the STRG-Index tree.
 	Index index.Config
+	// Concurrency is the database-wide worker budget. A nonzero value
+	// fills any zero STRG/Index Concurrency at Open and bounds the
+	// segment-level pipeline of IngestStream. 0 means one worker per CPU;
+	// 1 reproduces the fully sequential pipeline. Results are identical
+	// at every setting.
+	Concurrency int
 }
 
 // DefaultConfig is the configuration used by the examples and experiments.
@@ -93,16 +100,49 @@ func Open(cfg Config) *VideoDB {
 	if cfg.STRG.SimThreshold <= 0 {
 		cfg.STRG = strg.DefaultConfig()
 	}
+	if cfg.Concurrency != 0 {
+		if cfg.STRG.Concurrency == 0 {
+			cfg.STRG.Concurrency = cfg.Concurrency
+		}
+		if cfg.Index.Concurrency == 0 {
+			cfg.Index.Concurrency = cfg.Concurrency
+		}
+	}
 	return &VideoDB{cfg: cfg, tree: index.New[ClipRecord](cfg.Index)}
 }
 
-// IngestSegment runs the full pipeline on one segment and indexes its OGs.
-func (db *VideoDB) IngestSegment(stream string, seg *video.Segment) (*IngestStats, error) {
+// builtSegment is the side-effect-free part of one segment's ingest: the
+// STRG and its decomposition, ready for sequential indexing.
+type builtSegment struct {
+	seg *video.Segment
+	s   *strg.STRG
+	d   *strg.Decomposition
+}
+
+// buildSegment runs the pure pipeline stages (RAG construction, tracking,
+// decomposition). It touches no database state, so independent segments
+// can build concurrently.
+func (db *VideoDB) buildSegment(seg *video.Segment) (*builtSegment, error) {
 	s, err := strg.Build(seg, db.cfg.STRG)
 	if err != nil {
 		return nil, fmt.Errorf("core: building STRG for %s: %w", seg.Name, err)
 	}
-	d := s.Decompose(db.cfg.STRG)
+	return &builtSegment{seg: seg, s: s, d: s.Decompose(db.cfg.STRG)}, nil
+}
+
+// IngestSegment runs the full pipeline on one segment and indexes its OGs.
+func (db *VideoDB) IngestSegment(stream string, seg *video.Segment) (*IngestStats, error) {
+	b, err := db.buildSegment(seg)
+	if err != nil {
+		return nil, err
+	}
+	return db.commitSegment(stream, b)
+}
+
+// commitSegment indexes a built segment. OG IDs, tree mutation and the
+// size accounting all depend on ingest order, so commits stay sequential.
+func (db *VideoDB) commitSegment(stream string, b *builtSegment) (*IngestStats, error) {
+	seg, s, d := b.seg, b.s, b.d
 	items := make([]index.Item[ClipRecord], len(d.OGs))
 	for i, og := range d.OGs {
 		clip := og.Clip
@@ -149,10 +189,20 @@ func (db *VideoDB) IngestVideo(stream string, seg *video.Segment, shotCfg shot.C
 	return len(shots), nil
 }
 
-// IngestStream ingests every segment of a generated stream.
+// IngestStream ingests every segment of a generated stream. The pure
+// pipeline stages (RAG construction, tracking, decomposition) of all
+// segments run across the worker pool; indexing then commits the built
+// segments in stream order, so the resulting database is identical to a
+// segment-by-segment sequential ingest.
 func (db *VideoDB) IngestStream(s *video.Stream) error {
-	for _, seg := range s.Segments {
-		if _, err := db.IngestSegment(s.Profile.Name, seg); err != nil {
+	built, err := parallel.Map(db.cfg.Concurrency, len(s.Segments), func(i int) (*builtSegment, error) {
+		return db.buildSegment(s.Segments[i])
+	})
+	if err != nil {
+		return fmt.Errorf("core: ingesting stream %s: %w", s.Profile.Name, err)
+	}
+	for _, b := range built {
+		if _, err := db.commitSegment(s.Profile.Name, b); err != nil {
 			return err
 		}
 	}

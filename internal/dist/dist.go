@@ -27,6 +27,7 @@ package dist
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Vec is one node-attribute value ν(v): a point in a low-dimensional
@@ -43,8 +44,19 @@ func (v Vec) Clone() Vec {
 
 // Norm returns the Euclidean distance |a − b|. It panics if the dimensions
 // differ: sequences entering one distance computation must share a feature
-// space, and a mismatch is a programming error.
+// space, and a mismatch is a programming error. (PairwiseMatrix and
+// CrossMatrix recover that panic and surface it as an error, so a bad
+// sequence poisons one matrix computation instead of crashing a worker
+// pool.)
 func Norm(a, b Vec) float64 {
+	return math.Sqrt(NormSq(a, b))
+}
+
+// NormSq returns the squared Euclidean distance |a − b|². Comparisons that
+// only rank distances — nearest-centroid argmins, the eps thresholds of
+// LCS/EDR — use NormSq to skip the redundant math.Sqrt, since x ↦ x² is
+// monotone on distances. Same dimension-mismatch panic as Norm.
+func NormSq(a, b Vec) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("dist: dimension mismatch %d vs %d", len(a), len(b)))
 	}
@@ -53,7 +65,7 @@ func Norm(a, b Vec) float64 {
 		d := a[i] - b[i]
 		sum += d * d
 	}
-	return math.Sqrt(sum)
+	return sum
 }
 
 // Sequence is a time-ordered sequence of attribute vectors — the signal of
@@ -144,45 +156,13 @@ const (
 	GapConstant
 )
 
-// gapRef returns the reference value for a gap aligned after j consumed
-// nodes of other. dim and g apply when other is empty or the model is
-// GapConstant.
-func gapRef(model GapModel, other Sequence, j, dim int, g Vec) Vec {
-	if model == GapConstant {
-		return g
-	}
-	if len(other) == 0 {
-		if g != nil {
-			return g
-		}
-		return make(Vec, dim)
-	}
-	switch model {
-	case GapPrevious:
-		if j == 0 {
-			return other[0]
-		}
-		return other[j-1]
-	default: // GapMidpoint
-		if j == 0 {
-			return other[0]
-		}
-		if j >= len(other) {
-			return other[len(other)-1]
-		}
-		prev, cur := other[j-1], other[j]
-		out := make(Vec, len(cur))
-		for k := range cur {
-			out[k] = (prev[k] + cur[k]) / 2
-		}
-		return out
-	}
-}
-
 // EGEDWith computes the extended graph edit distance DP under the given
 // gap model. g is the constant gap reference (required for GapConstant;
 // used as the empty-sequence fallback otherwise — nil means the zero
 // vector).
+//
+// The DP runs over two pooled rolling rows and virtualizes the gap
+// reference vectors (see dp.go), so the steady state allocates nothing.
 func EGEDWith(a, b Sequence, model GapModel, g Vec) float64 {
 	m, n := len(a), len(b)
 	if m == 0 && n == 0 {
@@ -193,28 +173,38 @@ func EGEDWith(a, b Sequence, model GapModel, g Vec) float64 {
 		dim = b.Dim()
 	}
 	if model == GapConstant && g == nil {
-		g = make(Vec, dim)
+		g = zeroVec(dim)
 	}
-	// delA(i, j): cost of gapping a[i] with j nodes of b consumed.
-	delA := func(i, j int) float64 { return Norm(a[i], gapRef(model, b, j, dim, g)) }
-	delB := func(j, i int) float64 { return Norm(b[j], gapRef(model, a, i, dim, g)) }
-
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	sc := getScratch()
+	defer putScratch(sc)
+	prev, cur := sc.floatRows(n + 1)
+	prev[0] = 0
 	for j := 1; j <= n; j++ {
-		prev[j] = prev[j-1] + delB(j-1, 0)
+		prev[j] = prev[j-1] + gapCost(model, b[j-1], a, 0, dim, g)
 	}
 	for i := 1; i <= m; i++ {
-		cur[0] = prev[0] + delA(i-1, 0)
+		cur[0] = prev[0] + gapCost(model, a[i-1], b, 0, dim, g)
 		for j := 1; j <= n; j++ {
 			match := prev[j-1] + Norm(a[i-1], b[j-1])
-			gapA := prev[j] + delA(i-1, j)
-			gapB := cur[j-1] + delB(j-1, i)
+			gapA := prev[j] + gapCost(model, a[i-1], b, j, dim, g)
+			gapB := cur[j-1] + gapCost(model, b[j-1], a, i, dim, g)
 			cur[j] = math.Min(match, math.Min(gapA, gapB))
 		}
 		prev, cur = cur, prev
 	}
 	return prev[n]
+}
+
+// zeroVecs caches the zero gap references for the low dimensions the
+// system actually uses, so EGEDM(a, b, nil) does not allocate one per
+// call.
+var zeroVecs = [...]Vec{0: {}, 1: make(Vec, 1), 2: make(Vec, 2), 3: make(Vec, 3), 4: make(Vec, 4)}
+
+func zeroVec(dim int) Vec {
+	if dim < len(zeroVecs) {
+		return zeroVecs[dim]
+	}
+	return make(Vec, dim)
 }
 
 // EGED is the non-metric Extended Graph Edit Distance with the adaptive
@@ -248,8 +238,10 @@ func DTW(a, b Sequence) float64 {
 		}
 		return math.Inf(1)
 	}
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	sc := getScratch()
+	defer putScratch(sc)
+	prev, cur := sc.floatRows(n + 1)
+	prev[0] = 0
 	for j := 1; j <= n; j++ {
 		prev[j] = math.Inf(1)
 	}
@@ -279,11 +271,19 @@ func LCSLength(a, b Sequence, eps float64) int {
 	if m == 0 || n == 0 {
 		return 0
 	}
-	prev := make([]int, n+1)
-	cur := make([]int, n+1)
+	sc := getScratch()
+	defer putScratch(sc)
+	prev, cur := sc.intRows(n + 1)
+	for j := 0; j <= n; j++ {
+		prev[j], cur[j] = 0, 0
+	}
+	epsSq := math.Inf(-1)
+	if eps >= 0 {
+		epsSq = eps * eps
+	}
 	for i := 1; i <= m; i++ {
 		for j := 1; j <= n; j++ {
-			if Norm(a[i-1], b[j-1]) <= eps {
+			if NormSq(a[i-1], b[j-1]) <= epsSq {
 				cur[j] = prev[j-1] + 1
 			} else if prev[j] >= cur[j-1] {
 				cur[j] = prev[j]
@@ -326,16 +326,21 @@ func LCSMetric(eps float64) Metric {
 // where two samples are equal when within eps.
 func EditDistance(a, b Sequence, eps float64) int {
 	m, n := len(a), len(b)
-	prev := make([]int, n+1)
-	cur := make([]int, n+1)
+	sc := getScratch()
+	defer putScratch(sc)
+	prev, cur := sc.intRows(n + 1)
 	for j := 0; j <= n; j++ {
 		prev[j] = j
+	}
+	epsSq := math.Inf(-1)
+	if eps >= 0 {
+		epsSq = eps * eps
 	}
 	for i := 1; i <= m; i++ {
 		cur[0] = i
 		for j := 1; j <= n; j++ {
 			sub := prev[j-1]
-			if Norm(a[i-1], b[j-1]) > eps {
+			if NormSq(a[i-1], b[j-1]) > epsSq {
 				sub++
 			}
 			del := prev[j] + 1
@@ -374,6 +379,14 @@ func Lp(a, b Sequence, p float64) float64 {
 	}
 	ra, rb := Resample(a, n), Resample(b, n)
 	var sum float64
+	if p == 2 {
+		// Fast path for the L2 lock-step metric: summing NormSq skips a
+		// sqrt-then-square round trip per sample.
+		for i := 0; i < n; i++ {
+			sum += NormSq(ra[i], rb[i])
+		}
+		return math.Sqrt(sum)
+	}
 	for i := 0; i < n; i++ {
 		sum += math.Pow(Norm(ra[i], rb[i]), p)
 	}
@@ -386,22 +399,24 @@ func Euclidean(a, b Sequence) float64 { return Lp(a, b, 2) }
 // Counter counts distance evaluations. The paper's query-cost model
 // (Section 6.3) takes the number of distance evaluations as the dominant
 // component of query time; experiments wrap their metrics with Counted to
-// measure it. Counter is not safe for concurrent use; the experiment
-// harness is single-threaded by design so counts are exact.
+// measure it. The count is atomic, so counted metrics remain exact when
+// evaluated from the parallel worker pools (PairwiseMatrix, parallel
+// k-NN) — though the experiment harness pins Concurrency to 1 where the
+// paper's sequential evaluation counts are being reproduced.
 type Counter struct {
-	n int64
+	n atomic.Int64
 }
 
 // Count returns the number of evaluations so far.
-func (c *Counter) Count() int64 { return c.n }
+func (c *Counter) Count() int64 { return c.n.Load() }
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.n = 0 }
+func (c *Counter) Reset() { c.n.Store(0) }
 
 // Counted wraps m so each evaluation increments c.
 func Counted(m Metric, c *Counter) Metric {
 	return func(a, b Sequence) float64 {
-		c.n++
+		c.n.Add(1)
 		return m(a, b)
 	}
 }

@@ -199,19 +199,22 @@ func TestGapRefModels(t *testing.T) {
 		{"previous start", GapPrevious, 0, 1},
 		{"previous interior", GapPrevious, 2, 5},
 	}
+	// gapCost(model, x, other, ...) is Norm(x, ref); probing with x = {0}
+	// reads the reference value back out.
+	zero := Vec{0}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			got := gapRef(tc.model, other, tc.j, 1, nil)
-			if !almostEq(got[0], tc.want) {
-				t.Errorf("gapRef = %v, want %v", got[0], tc.want)
+			got := gapCost(tc.model, zero, other, tc.j, 1, nil)
+			if !almostEq(got, tc.want) {
+				t.Errorf("gapCost = %v, want %v", got, tc.want)
 			}
 		})
 	}
-	if got := gapRef(GapConstant, other, 1, 1, Vec{42}); !almostEq(got[0], 42) {
-		t.Errorf("constant gapRef = %v, want 42", got[0])
+	if got := gapCost(GapConstant, zero, other, 1, 1, Vec{42}); !almostEq(got, 42) {
+		t.Errorf("constant gapCost = %v, want 42", got)
 	}
-	if got := gapRef(GapMidpoint, nil, 0, 3, nil); len(got) != 3 || got[0] != 0 {
-		t.Errorf("empty-other gapRef = %v, want zero vec of dim 3", got)
+	if got := gapCost(GapMidpoint, Vec{0, 0, 0}, nil, 0, 3, nil); got != 0 {
+		t.Errorf("empty-other gapCost = %v, want 0 against the zero vec", got)
 	}
 }
 

@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// dpScratch holds the two rolling DP rows every kernel in this package
+// needs. The rows are pooled so that the steady state of a distance-heavy
+// workload (pairwise matrices, EM iterations, leaf scans) performs no
+// allocations per distance call: each call borrows a scratch, sizes its
+// rows, and returns it.
+//
+// Rows come back from the pool with stale contents; every kernel fully
+// initializes the cells it reads, so reuse cannot change results.
+type dpScratch struct {
+	f0, f1 []float64
+	i0, i1 []int
+}
+
+var dpPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+func getScratch() *dpScratch  { return dpPool.Get().(*dpScratch) }
+func putScratch(s *dpScratch) { dpPool.Put(s) }
+
+// floatRows returns the two float64 rows, each of length n, without
+// clearing them.
+func (s *dpScratch) floatRows(n int) (prev, cur []float64) {
+	if cap(s.f0) < n {
+		s.f0 = make([]float64, n)
+		s.f1 = make([]float64, n)
+	}
+	return s.f0[:n], s.f1[:n]
+}
+
+// intRows returns the two int rows, each of length n, without clearing
+// them.
+func (s *dpScratch) intRows(n int) (prev, cur []int) {
+	if cap(s.i0) < n {
+		s.i0 = make([]int, n)
+		s.i1 = make([]int, n)
+	}
+	return s.i0[:n], s.i1[:n]
+}
+
+// The helpers below compute the gap costs of Definition 9 against virtual
+// reference vectors — the midpoint of two samples, or the zero vector —
+// without materializing the reference. They mirror Norm's arithmetic
+// exactly (same operations in the same order), so switching to them does
+// not move a single bit of any distance value; they exist so the EGED
+// inner loop allocates nothing.
+
+// normToMid returns |x − (p+q)/2| without building the midpoint vector.
+func normToMid(x, p, q Vec) float64 {
+	if len(x) != len(p) || len(x) != len(q) {
+		panic(fmt.Sprintf("dist: dimension mismatch %d vs %d", len(x), len(p)))
+	}
+	var sum float64
+	for k := range x {
+		d := x[k] - (p[k]+q[k])/2
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// normToZero returns |x − 0_dim|, panicking on dimension mismatch exactly
+// like Norm(x, make(Vec, dim)) would.
+func normToZero(x Vec, dim int) float64 {
+	if len(x) != dim {
+		panic(fmt.Sprintf("dist: dimension mismatch %d vs %d", len(x), dim))
+	}
+	var sum float64
+	for k := range x {
+		sum += x[k] * x[k]
+	}
+	return math.Sqrt(sum)
+}
+
+// gapCost returns the cost of editing node x against a gap aligned after
+// j consumed nodes of other — Norm(x, gapRef(...)) with the reference
+// vector virtualized away.
+func gapCost(model GapModel, x Vec, other Sequence, j, dim int, g Vec) float64 {
+	if model == GapConstant {
+		return Norm(x, g)
+	}
+	if len(other) == 0 {
+		if g != nil {
+			return Norm(x, g)
+		}
+		return normToZero(x, dim)
+	}
+	switch model {
+	case GapPrevious:
+		if j == 0 {
+			return Norm(x, other[0])
+		}
+		return Norm(x, other[j-1])
+	default: // GapMidpoint
+		if j == 0 {
+			return Norm(x, other[0])
+		}
+		if j >= len(other) {
+			return Norm(x, other[len(other)-1])
+		}
+		return normToMid(x, other[j-1], other[j])
+	}
+}

@@ -16,12 +16,20 @@ func LCSSLength(a, b Sequence, eps float64, delta int) int {
 	if m == 0 || n == 0 {
 		return 0
 	}
-	prev := make([]int, n+1)
-	cur := make([]int, n+1)
+	sc := getScratch()
+	defer putScratch(sc)
+	prev, cur := sc.intRows(n + 1)
+	for j := 0; j <= n; j++ {
+		prev[j], cur[j] = 0, 0
+	}
+	epsSq := math.Inf(-1)
+	if eps >= 0 {
+		epsSq = eps * eps
+	}
 	for i := 1; i <= m; i++ {
 		for j := 1; j <= n; j++ {
 			inWindow := delta < 0 || abs(i-j) <= delta
-			if inWindow && Norm(a[i-1], b[j-1]) <= eps {
+			if inWindow && NormSq(a[i-1], b[j-1]) <= epsSq {
 				cur[j] = prev[j-1] + 1
 			} else if prev[j] >= cur[j-1] {
 				cur[j] = prev[j]
@@ -93,8 +101,9 @@ func Frechet(a, b Sequence) float64 {
 	if m == 0 || n == 0 {
 		return math.Inf(1)
 	}
-	prev := make([]float64, n)
-	cur := make([]float64, n)
+	sc := getScratch()
+	defer putScratch(sc)
+	prev, cur := sc.floatRows(n)
 	for j := 0; j < n; j++ {
 		d := Norm(a[0], b[j])
 		if j == 0 {

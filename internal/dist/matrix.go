@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"strgindex/internal/parallel"
+)
+
+// ErrMatrix tags failures of the batch distance-matrix helpers, so callers
+// can distinguish a poisoned matrix (for example a dimension mismatch
+// inside a worker) from their own errors with errors.Is.
+var ErrMatrix = errors.New("dist: matrix computation failed")
+
+// PairwiseMatrix computes the full symmetric distance matrix
+// d[i][j] = m(seqs[i], seqs[j]) over the given worker budget (0 = one
+// worker per CPU, 1 = sequential). Only the strict upper triangle is
+// evaluated — d[j][i] mirrors d[i][j] and the diagonal is 0, halving the
+// O(n²) metric evaluations of EM clustering and index construction.
+//
+// A panic inside the metric (such as Norm's dimension-mismatch panic) is
+// recovered by the pool and returned as an error wrapping ErrMatrix
+// instead of crashing the process; the matrix is invalid in that case.
+// Results are identical to a sequential evaluation: every cell is written
+// by exactly one worker.
+func PairwiseMatrix(seqs []Sequence, m Metric, workers int) ([][]float64, error) {
+	return PairwiseMatrixCtx(context.Background(), seqs, m, workers)
+}
+
+// PairwiseMatrixCtx is PairwiseMatrix with cancellation: a done context
+// abandons the remaining rows and returns ctx.Err().
+func PairwiseMatrixCtx(ctx context.Context, seqs []Sequence, m Metric, workers int) ([][]float64, error) {
+	n := len(seqs)
+	d := make([][]float64, n)
+	cells := make([]float64, n*n)
+	for i := range d {
+		d[i] = cells[i*n : (i+1)*n]
+	}
+	// Row i owns cells d[i][j] and their mirrors d[j][i] for j > i; rows
+	// are claimed in order, so the long rows (low i) start first and the
+	// pool self-balances the triangle's skew.
+	err := parallel.ForEachCtx(ctx, workers, n, func(i int) error {
+		row := d[i]
+		for j := i + 1; j < n; j++ {
+			v := m(seqs[i], seqs[j])
+			row[j] = v
+			d[j][i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, matrixErr(err)
+	}
+	return d, nil
+}
+
+// CrossMatrix computes the rectangular distance matrix
+// d[i][j] = m(a[i], b[j]) in parallel over the given worker budget — the
+// item × centroid pass at the heart of every EM/KM/KHM iteration and of
+// the index's cluster descent. Error semantics match PairwiseMatrix.
+func CrossMatrix(a, b []Sequence, m Metric, workers int) ([][]float64, error) {
+	na, nb := len(a), len(b)
+	d := make([][]float64, na)
+	cells := make([]float64, na*nb)
+	for i := range d {
+		d[i] = cells[i*nb : (i+1)*nb]
+	}
+	err := parallel.ForEach(workers, na, func(i int) error {
+		row := d[i]
+		for j := 0; j < nb; j++ {
+			row[j] = m(a[i], b[j])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, matrixErr(err)
+	}
+	return d, nil
+}
+
+func matrixErr(err error) error {
+	var pe *parallel.PanicError
+	if errors.As(err, &pe) {
+		return fmt.Errorf("%w: %v (sequence %d)", ErrMatrix, pe.Value, pe.Index)
+	}
+	return fmt.Errorf("%w: %w", ErrMatrix, err)
+}

@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func randSequences(n, minLen, maxLen int, seed int64) []Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sequence, n)
+	for i := range out {
+		l := minLen + rng.Intn(maxLen-minLen+1)
+		s := make(Sequence, l)
+		for j := range s {
+			s[j] = Vec{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestPairwiseMatrixMatchesSequential(t *testing.T) {
+	seqs := randSequences(17, 3, 12, 41)
+	want, err := PairwiseMatrix(seqs, EGED, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 8} {
+		got, err := PairwiseMatrix(seqs, EGED, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: d[%d][%d] = %v, want %v (not byte-identical)",
+						workers, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestPairwiseMatrixSymmetryAndDiagonal(t *testing.T) {
+	seqs := randSequences(9, 2, 9, 5)
+	d, err := PairwiseMatrix(seqs, EGEDMZero, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d {
+		if d[i][i] != 0 {
+			t.Errorf("diagonal d[%d][%d] = %v", i, i, d[i][i])
+		}
+		for j := range d {
+			if d[i][j] != d[j][i] {
+				t.Errorf("asymmetric: d[%d][%d]=%v, d[%d][%d]=%v", i, j, d[i][j], j, i, d[j][i])
+			}
+		}
+	}
+	// The upper triangle must hold real metric values.
+	if d[0][1] != EGEDMZero(seqs[0], seqs[1]) {
+		t.Errorf("d[0][1] = %v, want direct evaluation %v", d[0][1], EGEDMZero(seqs[0], seqs[1]))
+	}
+}
+
+// TestPairwiseMatrixDimensionMismatch verifies the satellite fix: a
+// dimension mismatch inside a worker comes back as an error wrapping
+// ErrMatrix, not a process-crashing panic.
+func TestPairwiseMatrixDimensionMismatch(t *testing.T) {
+	seqs := randSequences(6, 3, 6, 7)
+	seqs[3] = Sequence{Vec{1, 2, 3}} // 3-D sample in a 2-D set
+	for _, workers := range []int{1, 4} {
+		_, err := PairwiseMatrix(seqs, EGED, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: no error for mismatched dimensions", workers)
+		}
+		if !errors.Is(err, ErrMatrix) {
+			t.Errorf("workers=%d: err = %v, want ErrMatrix", workers, err)
+		}
+	}
+}
+
+func TestCrossMatrixMatchesDirect(t *testing.T) {
+	a := randSequences(7, 3, 9, 11)
+	b := randSequences(4, 3, 9, 13)
+	for _, workers := range []int{1, 3} {
+		d, err := CrossMatrix(a, b, EGED, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range a {
+			for j := range b {
+				if want := EGED(a[i], b[j]); d[i][j] != want {
+					t.Fatalf("workers=%d: d[%d][%d] = %v, want %v", workers, i, j, d[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCrossMatrixDimensionMismatch(t *testing.T) {
+	a := randSequences(3, 2, 4, 3)
+	b := []Sequence{{Vec{1, 2, 3}}}
+	if _, err := CrossMatrix(a, b, EGED, 2); !errors.Is(err, ErrMatrix) {
+		t.Fatalf("err = %v, want ErrMatrix", err)
+	}
+}
+
+func TestPairwiseMatrixCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PairwiseMatrixCtx(ctx, randSequences(32, 4, 8, 1), EGED, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCountedIsExactUnderParallelism(t *testing.T) {
+	seqs := randSequences(20, 3, 6, 21)
+	var c Counter
+	if _, err := PairwiseMatrix(seqs, Counted(EGED, &c), 4); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(seqs) * (len(seqs) - 1) / 2)
+	if c.Count() != want {
+		t.Errorf("counted %d evaluations, want %d (upper triangle only)", c.Count(), want)
+	}
+}

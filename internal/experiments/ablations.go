@@ -112,6 +112,10 @@ func ablateSearchAndSplit(scale Scale, res *AblationResult) error {
 			EMMaxIter:       scale.EMMaxIter,
 			MaxLeafEntries:  maxLeaf,
 			Seed:            scale.Seed,
+			// This ablation compares distance-evaluation counts, so the
+			// search must run the paper's sequential cost model (parallel
+			// exact search spends extra evaluations to win wall clock).
+			Concurrency: 1,
 		})
 		if err := tr.AddSegment(nil, items); err != nil {
 			panic(err) // config is static and valid; a failure here is a bug
@@ -198,6 +202,7 @@ func ablateSearchAndSplit(scale Scale, res *AblationResult) error {
 			EMMaxIter:      scale.EMMaxIter,
 			MaxLeafEntries: tc.maxLeaf,
 			Seed:           scale.Seed,
+			Concurrency:    1, // eval-count comparison: sequential cost model
 		})
 		if err := tr.AddSegment(nil, biItems); err != nil {
 			return err

@@ -48,6 +48,13 @@ type Scale struct {
 	EMMaxIter int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers is the worker budget for the parallel distance engine during
+	// clustering and ingest (0 = one per CPU, 1 = sequential). Experiment
+	// outputs are identical at every setting; only wall-clock timings
+	// change. Paths that report distance-evaluation counts pin their own
+	// concurrency to 1 so the paper's sequential cost model is reproduced
+	// regardless of this knob.
+	Workers int
 }
 
 // QuickScale is small enough for tests and CI while preserving every

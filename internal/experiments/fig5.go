@@ -59,10 +59,11 @@ func Figure5(scale Scale) (*Fig5Result, error) {
 		for _, algo := range clusterAlgos() {
 			for _, dc := range distanceChoices() {
 				cfg := cluster.Config{
-					K:        k,
-					MaxIter:  scale.EMMaxIter,
-					Seed:     scale.Seed,
-					Distance: dc.metric,
+					K:           k,
+					MaxIter:     scale.EMMaxIter,
+					Seed:        scale.Seed,
+					Distance:    dc.metric,
+					Concurrency: scale.Workers,
 				}
 				var cr *cluster.Result
 				var runErr error

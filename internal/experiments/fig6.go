@@ -50,10 +50,11 @@ func Figure6(scale Scale, grid *Fig5Result) (*Fig6Result, error) {
 	for _, iters := range []int{2, 4, 8, 12, 16} {
 		for _, algo := range clusterAlgos() {
 			cfg := cluster.Config{
-				K:         k,
-				MaxIter:   iters,
-				ForceIter: true, // measure exactly `iters` rounds
-				Seed:      scale.Seed,
+				K:           k,
+				MaxIter:     iters,
+				ForceIter:   true, // measure exactly `iters` rounds
+				Seed:        scale.Seed,
+				Concurrency: scale.Workers,
 			}
 			var runErr error
 			elapsed := timed(func() { _, runErr = algo.run(ds.Items, cfg) })

@@ -77,6 +77,11 @@ func buildFig7DB(items []dist.Sequence, clusters int, emIter int, seed int64, si
 		NumClusters:     clusters,
 		EMMaxIter:       emIter,
 		Seed:            seed,
+		// The panels report distance-evaluation counts, the paper's
+		// hardware-independent cost model; sequential search keeps the
+		// counts comparable to it (parallel exact search trades extra
+		// evaluations for wall-clock speed).
+		Concurrency: 1,
 	})
 	batch := make([]index.Item[int], len(items))
 	for i, seq := range items {

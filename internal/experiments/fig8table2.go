@@ -30,8 +30,9 @@ func Figure8(streams []*StreamData, scale Scale) (*Fig8Result, error) {
 			maxK = len(s.Seqs)
 		}
 		scan, err := cluster.OptimalK(s.Seqs, 1, maxK, cluster.Config{
-			MaxIter: scale.EMMaxIter,
-			Seed:    scale.Seed,
+			MaxIter:     scale.EMMaxIter,
+			Seed:        scale.Seed,
+			Concurrency: scale.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure 8 scan for %s: %w", s.Profile.Name, err)
@@ -106,9 +107,10 @@ func Table2(streams []*StreamData, fig8 *Fig8Result, scale Scale) (*Table2Result
 	for i, s := range streams {
 		foundK := fig8.Curves[i].BestK
 		cr, err := cluster.EM(s.Seqs, cluster.Config{
-			K:       min(foundK, len(s.Seqs)),
-			MaxIter: scale.EMMaxIter,
-			Seed:    scale.Seed,
+			K:           min(foundK, len(s.Seqs)),
+			MaxIter:     scale.EMMaxIter,
+			Seed:        scale.Seed,
+			Concurrency: scale.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: table 2 clustering for %s: %w", s.Profile.Name, err)

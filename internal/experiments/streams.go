@@ -45,6 +45,7 @@ func IngestStreams(scale Scale) ([]*StreamData, error) {
 		cfg.Index.EMMaxIter = scale.EMMaxIter
 		cfg.Index.MaxClusters = scale.MaxK
 		cfg.Index.Seed = scale.Seed
+		cfg.Concurrency = scale.Workers
 		db := core.Open(cfg)
 		if err := db.IngestStream(stream); err != nil {
 			return nil, fmt.Errorf("experiments: ingesting %s: %w", p.Name, err)

@@ -1,0 +1,113 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"strgindex/internal/dist"
+)
+
+func detSequences(n int, seed int64) []dist.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]dist.Sequence, n)
+	for i := range out {
+		l := 4 + rng.Intn(8)
+		s := make(dist.Sequence, l)
+		for j := range s {
+			s[j] = dist.Vec{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func buildDetTree(t *testing.T, seqs []dist.Sequence, workers int) *Tree[int] {
+	t.Helper()
+	tr := New[int](Config{NumClusters: 5, Seed: 11, MaxLeafEntries: 16, Concurrency: workers})
+	items := make([]Item[int], len(seqs))
+	for i, s := range seqs {
+		items[i] = Item[int]{Seq: s, Payload: i}
+	}
+	if err := tr.AddSegment(nil, items); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return tr
+}
+
+func sameResults(t *testing.T, label string, got, want []Result[int]) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Payload != want[i].Payload || got[i].Distance != want[i].Distance {
+			t.Fatalf("%s: result %d = (%d, %v), want (%d, %v) — not byte-identical",
+				label, i, got[i].Payload, got[i].Distance, want[i].Payload, want[i].Distance)
+		}
+	}
+}
+
+// TestSearchDeterministicUnderConcurrency verifies that construction and
+// every search mode produce byte-identical results (payloads AND
+// distances, in order) at any worker count: the parallel per-leaf scans
+// merge through the canonical (distance, leaf rank, scan step) ordinal, so
+// scheduling cannot reorder ties.
+func TestSearchDeterministicUnderConcurrency(t *testing.T) {
+	seqs := detSequences(120, 47)
+	queries := detSequences(15, 48)
+	ref := buildDetTree(t, seqs, 1)
+	for _, workers := range []int{0, 2, 4} {
+		tr := buildDetTree(t, seqs, workers)
+
+		// Identical construction: same items land in the same leaves with
+		// the same keys.
+		gotItems, wantItems := tr.Items(), ref.Items()
+		if len(gotItems) != len(wantItems) {
+			t.Fatalf("workers=%d: %d items, want %d", workers, len(gotItems), len(wantItems))
+		}
+		for i := range wantItems {
+			if gotItems[i].Payload != wantItems[i].Payload {
+				t.Fatalf("workers=%d: item %d payload %d, want %d (tree layout diverged)",
+					workers, i, gotItems[i].Payload, wantItems[i].Payload)
+			}
+		}
+
+		for qi, q := range queries {
+			for _, k := range []int{1, 5, 17} {
+				sameResults(t, labelf("workers=%d q=%d k=%d KNN", workers, qi, k),
+					tr.KNN(nil, q, k), ref.KNN(nil, q, k))
+				sameResults(t, labelf("workers=%d q=%d k=%d KNNExact", workers, qi, k),
+					tr.KNNExact(nil, q, k), ref.KNNExact(nil, q, k))
+			}
+			sameResults(t, labelf("workers=%d q=%d Range", workers, qi),
+				tr.Range(nil, q, 150), ref.Range(nil, q, 150))
+		}
+	}
+}
+
+// TestKNNExactTieBreakDeterministic plants exact duplicate sequences so
+// equal distances actually occur, then checks the tie order survives
+// parallel scanning.
+func TestKNNExactTieBreakDeterministic(t *testing.T) {
+	seqs := detSequences(30, 53)
+	// Duplicate a handful of sequences: their distances to any query tie
+	// exactly.
+	for i := 0; i < 10; i++ {
+		seqs = append(seqs, seqs[i])
+	}
+	ref := buildDetTree(t, seqs, 1)
+	q := detSequences(1, 54)[0]
+	want := ref.KNNExact(nil, q, 12)
+	for _, workers := range []int{2, 4, 8} {
+		tr := buildDetTree(t, seqs, workers)
+		sameResults(t, labelf("workers=%d", workers), tr.KNNExact(nil, q, 12), want)
+	}
+}
+
+func labelf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -24,6 +24,7 @@ import (
 	"strgindex/internal/cluster"
 	"strgindex/internal/dist"
 	"strgindex/internal/graph"
+	"strgindex/internal/parallel"
 )
 
 // Config parameterizes an STRG-Index.
@@ -55,6 +56,13 @@ type Config struct {
 	Seed int64
 	// EMMaxIter bounds clustering iterations. Zero means 50.
 	EMMaxIter int
+	// Concurrency bounds the worker pool used throughout the index: the
+	// pairwise matrices of EM clustering during construction and splits,
+	// the centroid descent of insertion and search, and the per-leaf scans
+	// of KNNExact and Range. 0 means one worker per CPU; 1 reproduces the
+	// fully sequential paper evaluation. Results are identical at every
+	// setting — parallelism only reschedules the distance evaluations.
+	Concurrency int
 }
 
 func (c Config) withDefaults() Config {
@@ -219,9 +227,10 @@ func (t *Tree[P]) buildClusters(root *rootRecord[P], items []Item[P]) error {
 		seqs[i] = it.Seq
 	}
 	ccfg := cluster.Config{
-		MaxIter:  t.cfg.EMMaxIter,
-		Seed:     t.cfg.Seed,
-		Distance: t.cfg.ClusterDistance,
+		MaxIter:     t.cfg.EMMaxIter,
+		Seed:        t.cfg.Seed,
+		Distance:    t.cfg.ClusterDistance,
+		Concurrency: t.cfg.Concurrency,
 	}
 	var res *cluster.Result
 	var err error
@@ -281,14 +290,41 @@ func (t *Tree[P]) insertIntoRoot(root *rootRecord[P], it Item[P]) error {
 }
 
 func (t *Tree[P]) nearestCluster(root *rootRecord[P], seq dist.Sequence) *clusterRecord[P] {
-	var best *clusterRecord[P]
-	bestD := math.Inf(1)
-	for _, cl := range root.clusters {
-		if d := t.cfg.ClusterDistance(seq, cl.centroid); d < bestD {
-			best, bestD = cl, d
+	i := argminCluster(root.clusters, seq, t.cfg.ClusterDistance, t.cfg.Concurrency)
+	if i < 0 {
+		return nil
+	}
+	return root.clusters[i]
+}
+
+// argminCluster evaluates the distance from seq to every centroid across
+// the worker pool and returns the index of the first minimum — the same
+// winner the sequential strict-less-than scan picks, because the reduction
+// runs in slice order after the values land.
+func argminCluster[P any](cls []*clusterRecord[P], seq dist.Sequence, m dist.Metric, workers int) int {
+	if len(cls) == 0 {
+		return -1
+	}
+	ds, err := parallel.Map(workers, len(cls), func(i int) (float64, error) {
+		return m(seq, cls[i].centroid), nil
+	})
+	must(err)
+	best, bestD := -1, math.Inf(1)
+	for i, d := range ds {
+		if d < bestD {
+			best, bestD = i, d
 		}
 	}
 	return best
+}
+
+// must re-panics pool errors from task functions that never return errors
+// themselves: the only possible failure is a recovered worker panic, which
+// the sequential code path would have let escape.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }
 
 func (c *clusterRecord[P]) insertSorted(rec leafRecord[P]) {
@@ -309,7 +345,12 @@ func (t *Tree[P]) maybeSplit(root *rootRecord[P], cl *clusterRecord[P]) {
 	for i, rec := range cl.leaf {
 		seqs[i] = rec.seq
 	}
-	ccfg := cluster.Config{MaxIter: t.cfg.EMMaxIter, Seed: t.cfg.Seed, Distance: t.cfg.ClusterDistance}
+	ccfg := cluster.Config{
+		MaxIter:     t.cfg.EMMaxIter,
+		Seed:        t.cfg.Seed,
+		Distance:    t.cfg.ClusterDistance,
+		Concurrency: t.cfg.Concurrency,
+	}
 	one := ccfg
 	one.K = 1
 	res1, err1 := cluster.EM(seqs, one)

@@ -6,6 +6,7 @@ import (
 
 	"strgindex/internal/dist"
 	"strgindex/internal/graph"
+	"strgindex/internal/parallel"
 )
 
 // KNN implements Algorithm 3: match the query background against the root
@@ -16,26 +17,21 @@ import (
 // results are approximate when the true neighbors straddle a cluster
 // boundary — that is exactly the accuracy/speed trade-off Figure 7
 // measures. Use KNNExact for exact results.
+//
+// The centroid descent evaluates its distances across the configured
+// worker pool; results are identical at every Concurrency setting.
 func (t *Tree[P]) KNN(bg *graph.Graph, query dist.Sequence, k int) []Result[P] {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
-	roots := t.candidateRoots(bg)
+	cls := t.candidateClusters(bg)
 	// Step 3: most similar centroid across the candidate roots.
-	var best *clusterRecord[P]
-	bestD := math.Inf(1)
-	for _, r := range roots {
-		for _, cl := range r.clusters {
-			if d := t.cfg.ClusterDistance(query, cl.centroid); d < bestD {
-				best, bestD = cl, d
-			}
-		}
-	}
-	if best == nil {
+	best := argminCluster(cls, query, t.cfg.ClusterDistance, t.cfg.Concurrency)
+	if best < 0 {
 		return nil
 	}
 	h := newResultHeap[P](k)
-	t.searchLeaf(best, query, h)
+	t.searchLeaf(cls[best], query, 0, h)
 	return h.sorted()
 }
 
@@ -43,56 +39,101 @@ func (t *Tree[P]) KNN(bg *graph.Graph, query dist.Sequence, k int) []Result[P] {
 // results are exact under the key metric. It is the repository's extension
 // beyond Algorithm 3 (the paper trades accuracy for speed); the experiment
 // harness uses it to separate index quality from search policy.
+//
+// Leaves are scanned in batches of one per worker: each leaf in a batch
+// fills a private heap concurrently, and the batches merge into the global
+// heap between rounds. Because every result carries a canonical ordinal
+// (leaf rank in bound order, then ring-expansion step within the leaf) and
+// the heap orders by (distance, ordinal), the returned slice is
+// byte-identical to the Concurrency == 1 scan — parallelism can only scan
+// leaves the sequential best-first loop would have pruned, and records
+// from those leaves are provably too far to enter the heap.
 func (t *Tree[P]) KNNExact(bg *graph.Graph, query dist.Sequence, k int) []Result[P] {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
-	roots := t.candidateRoots(bg)
+	cls := t.candidateClusters(bg)
+	// The query-to-centroid distance doubles as the leaf's search key, so
+	// it is computed once here and reused by the scan (the sequential
+	// version used to evaluate it twice per scanned leaf).
+	keyQs, err := parallel.Map(t.cfg.Concurrency, len(cls), func(i int) (float64, error) {
+		return t.cfg.Metric(query, cls[i].centroid), nil
+	})
+	must(err)
 	type cand struct {
 		cl    *clusterRecord[P]
+		keyQ  float64
 		bound float64
 	}
-	var cands []cand
-	for _, r := range roots {
-		for _, cl := range r.clusters {
-			d := t.cfg.Metric(query, cl.centroid)
-			// Every member m satisfies d(m, centroid) = key <= maxKey, so
-			// d(query, m) >= d(query, centroid) - maxKey.
-			cands = append(cands, cand{cl, math.Max(0, d-cl.maxKey())})
-		}
+	cands := make([]cand, len(cls))
+	for i, cl := range cls {
+		// Every member m satisfies d(m, centroid) = key <= maxKey, so
+		// d(query, m) >= d(query, centroid) - maxKey.
+		cands[i] = cand{cl, keyQs[i], math.Max(0, keyQs[i]-cl.maxKey())}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].bound < cands[j].bound })
+
 	h := newResultHeap[P](k)
-	for _, c := range cands {
-		if h.full() && c.bound > h.worst() {
+	batch := parallel.Workers(t.cfg.Concurrency)
+	for start := 0; start < len(cands); start += batch {
+		if h.full() && cands[start].bound > h.worst() {
 			break
 		}
-		t.searchLeafWithCentroidDist(c.cl, query, t.cfg.Metric(query, c.cl.centroid), h)
+		end := min(start+batch, len(cands))
+		// Snapshot the global worst: h is not mutated during the batch, so
+		// workers can prune against it without synchronizing.
+		worst, pruning := h.worst(), h.full()
+		locals, err := parallel.Map(t.cfg.Concurrency, end-start, func(i int) (*resultHeap[P], error) {
+			c := cands[start+i]
+			if pruning && c.bound > worst {
+				return nil, nil
+			}
+			lh := newResultHeap[P](k)
+			t.searchLeafWithCentroidDist(c.cl, query, c.keyQ, start+i, lh)
+			return lh, nil
+		})
+		must(err)
+		for _, lh := range locals {
+			if lh == nil {
+				continue
+			}
+			for _, it := range lh.items {
+				h.offer(it.res, it.ord)
+			}
+		}
 	}
 	return h.sorted()
 }
 
 // Range returns every indexed OG within radius of the query under the key
-// metric, searching all clusters with metric pruning (exact).
+// metric, searching all clusters with metric pruning (exact). Clusters
+// scan concurrently; the per-cluster hit lists concatenate in cluster
+// order and sort stably, so the output is identical at every Concurrency
+// setting.
 func (t *Tree[P]) Range(bg *graph.Graph, query dist.Sequence, radius float64) []Result[P] {
-	roots := t.candidateRoots(bg)
-	var out []Result[P]
-	for _, r := range roots {
-		for _, cl := range r.clusters {
-			dc := t.cfg.Metric(query, cl.centroid)
-			if dc-cl.maxKey() > radius {
-				continue
-			}
-			// Key window: |key - dc| <= radius is necessary for a hit.
-			lo := sort.Search(len(cl.leaf), func(i int) bool { return cl.leaf[i].key >= dc-radius })
-			for i := lo; i < len(cl.leaf) && cl.leaf[i].key <= dc+radius; i++ {
-				if d := t.cfg.Metric(query, cl.leaf[i].seq); d <= radius {
-					out = append(out, Result[P]{Payload: cl.leaf[i].payload, Distance: d})
-				}
+	cls := t.candidateClusters(bg)
+	lists, err := parallel.Map(t.cfg.Concurrency, len(cls), func(i int) ([]Result[P], error) {
+		cl := cls[i]
+		dc := t.cfg.Metric(query, cl.centroid)
+		if dc-cl.maxKey() > radius {
+			return nil, nil
+		}
+		// Key window: |key - dc| <= radius is necessary for a hit.
+		var hits []Result[P]
+		lo := sort.Search(len(cl.leaf), func(i int) bool { return cl.leaf[i].key >= dc-radius })
+		for i := lo; i < len(cl.leaf) && cl.leaf[i].key <= dc+radius; i++ {
+			if d := t.cfg.Metric(query, cl.leaf[i].seq); d <= radius {
+				hits = append(hits, Result[P]{Payload: cl.leaf[i].payload, Distance: d})
 			}
 		}
+		return hits, nil
+	})
+	must(err)
+	var out []Result[P]
+	for _, l := range lists {
+		out = append(out, l...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
 	return out
 }
 
@@ -119,22 +160,37 @@ func (t *Tree[P]) candidateRoots(bg *graph.Graph) []*rootRecord[P] {
 	return []*rootRecord[P]{best}
 }
 
+// candidateClusters flattens the candidate roots' cluster records in
+// root-then-cluster order — the iteration order of the original nested
+// loops, which the deterministic argmin and merge rely on.
+func (t *Tree[P]) candidateClusters(bg *graph.Graph) []*clusterRecord[P] {
+	var cls []*clusterRecord[P]
+	for _, r := range t.candidateRoots(bg) {
+		cls = append(cls, r.clusters...)
+	}
+	return cls
+}
+
 // searchLeaf k-NNs one leaf: compute Key_q = d(query, centroid) once, then
 // expand outward from Key_q's position in the sorted keys, stopping each
 // side when the reverse triangle inequality (|key - Key_q| <= d(query,
 // member)) proves no closer member can remain.
-func (t *Tree[P]) searchLeaf(cl *clusterRecord[P], query dist.Sequence, h *resultHeap[P]) {
-	t.searchLeafWithCentroidDist(cl, query, t.cfg.Metric(query, cl.centroid), h)
+func (t *Tree[P]) searchLeaf(cl *clusterRecord[P], query dist.Sequence, leafRank int, h *resultHeap[P]) {
+	t.searchLeafWithCentroidDist(cl, query, t.cfg.Metric(query, cl.centroid), leafRank, h)
 }
 
-func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], query dist.Sequence, keyQ float64, h *resultHeap[P]) {
+func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], query dist.Sequence, keyQ float64, leafRank int, h *resultHeap[P]) {
 	n := len(cl.leaf)
 	if n == 0 {
 		return
 	}
 	start := sort.Search(n, func(i int) bool { return cl.leaf[i].key >= keyQ })
 	lo, hi := start-1, start
-	for lo >= 0 || hi < n {
+	// The expansion order depends only on the stored keys and Key_q —
+	// never on the heap — so the step counter is a canonical within-leaf
+	// ordinal: the same record gets the same ordinal whether the leaf is
+	// scanned by the sequential loop or by a private heap in a worker.
+	for step := 0; lo >= 0 || hi < n; step++ {
 		// Expand the side whose key is closer to Key_q.
 		var i int
 		switch {
@@ -164,14 +220,30 @@ func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], query dist.Se
 			continue
 		}
 		d := t.cfg.Metric(query, rec.seq)
-		h.offer(Result[P]{Payload: rec.payload, Distance: d})
+		h.offer(Result[P]{Payload: rec.payload, Distance: d}, uint64(leafRank)<<32|uint64(step))
 	}
 }
 
-// resultHeap keeps the k best results (max-heap by distance).
+// heapItem pairs a result with its canonical scan ordinal. Ordering is
+// lexicographic on (Distance, ord): the ordinal reproduces "first offered
+// wins" among equal distances no matter which worker evaluated the record,
+// making search results independent of scheduling.
+type heapItem[P any] struct {
+	res Result[P]
+	ord uint64
+}
+
+func (a heapItem[P]) before(b heapItem[P]) bool {
+	if a.res.Distance != b.res.Distance {
+		return a.res.Distance < b.res.Distance
+	}
+	return a.ord < b.ord
+}
+
+// resultHeap keeps the k best results: a max-heap by (distance, ordinal).
 type resultHeap[P any] struct {
 	k     int
-	items []Result[P]
+	items []heapItem[P]
 }
 
 func newResultHeap[P any](k int) *resultHeap[P] {
@@ -184,18 +256,19 @@ func (h *resultHeap[P]) worst() float64 {
 	if len(h.items) == 0 {
 		return math.Inf(1)
 	}
-	return h.items[0].Distance
+	return h.items[0].res.Distance
 }
 
-func (h *resultHeap[P]) offer(r Result[P]) {
-	if h.full() && r.Distance >= h.worst() {
+func (h *resultHeap[P]) offer(r Result[P], ord uint64) {
+	it := heapItem[P]{res: r, ord: ord}
+	if h.full() && !it.before(h.items[0]) {
 		return
 	}
-	h.items = append(h.items, r)
+	h.items = append(h.items, it)
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.items[parent].Distance >= h.items[i].Distance {
+		if !h.items[parent].before(h.items[i]) {
 			break
 		}
 		h.items[i], h.items[parent] = h.items[parent], h.items[i]
@@ -206,7 +279,7 @@ func (h *resultHeap[P]) offer(r Result[P]) {
 	}
 }
 
-func (h *resultHeap[P]) popTop() Result[P] {
+func (h *resultHeap[P]) popTop() heapItem[P] {
 	top := h.items[0]
 	last := len(h.items) - 1
 	h.items[0] = h.items[last]
@@ -215,10 +288,10 @@ func (h *resultHeap[P]) popTop() Result[P] {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < last && h.items[l].Distance > h.items[largest].Distance {
+		if l < last && h.items[largest].before(h.items[l]) {
 			largest = l
 		}
-		if r < last && h.items[r].Distance > h.items[largest].Distance {
+		if r < last && h.items[largest].before(h.items[r]) {
 			largest = r
 		}
 		if largest == i {
@@ -233,7 +306,7 @@ func (h *resultHeap[P]) popTop() Result[P] {
 func (h *resultHeap[P]) sorted() []Result[P] {
 	out := make([]Result[P], len(h.items))
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = h.popTop()
+		out[i] = h.popTop().res
 	}
 	return out
 }

@@ -1,0 +1,163 @@
+// Package parallel is the shared concurrency layer of the system: a
+// bounded worker pool sized by GOMAXPROCS with deterministic error
+// selection, plus ForEach/Map helpers whose output ordering is identical
+// to a sequential run.
+//
+// Every parallel hot path in the repository (pairwise distance matrices,
+// STRG frame matching, k-NN leaf scans) funnels through this package, so
+// the concurrency contract lives in one place:
+//
+//   - A Concurrency knob of 0 means "auto" (GOMAXPROCS); 1 means the
+//     exact sequential behavior the paper's experiments assume; n > 1
+//     caps the pool at n workers.
+//   - Work items are claimed in index order, results are written to
+//     index-addressed slots, and the error returned is the one from the
+//     lowest-indexed failing item — so a parallel run and a sequential
+//     run of the same fallible loop report the same error.
+//   - A panic inside a work item (for example dist.Norm's
+//     dimension-mismatch panic) is recovered and surfaced as an error
+//     instead of crashing the pool; the sequential path behaves the same
+//     way, so error handling does not depend on the knob.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Concurrency knob into a worker count: n > 0 means
+// exactly n workers, anything else means one worker per available CPU
+// (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError wraps a panic recovered from a work item.
+type PanicError struct {
+	Index int
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.Index, e.Value)
+}
+
+// runTask executes fn(i), converting a panic into a *PanicError.
+func runTask(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r}
+		}
+	}()
+	return fn(i)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Workers(workers)
+// goroutines and blocks until all claimed items finish. See ForEachCtx.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, no further
+// items are claimed and ctx.Err() is returned (unless a work-item error
+// with a lower index also occurred, which wins).
+//
+// Items are claimed in index order. On failure the pool stops claiming
+// new items, drains the in-flight ones, and returns the error of the
+// lowest failing index — every index below it was already claimed and
+// allowed to finish, so the reported error is the same one a sequential
+// run would hit first.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runTask(fn, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					stop.Store(true)
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runTask(fn, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(i) for every i in [0, n) on at most Workers(workers)
+// goroutines and returns the results in index order — the deterministic
+// MapReduce helper: reduce over the returned slice is order-independent
+// of the scheduling. On error the slice is nil and the lowest-indexed
+// error is returned.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 16} {
+		n := 137
+		var hits atomic.Int64
+		seen := make([]int32, n)
+		err := ForEach(w, n, func(i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			hits.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if hits.Load() != int64(n) {
+			t.Errorf("workers=%d: %d calls, want %d", w, hits.Load(), n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestMapDeterministicOrdering(t *testing.T) {
+	for _, w := range []int{1, 4, 9} {
+		got, err := Map(w, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", w, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		err := ForEach(w, 200, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 3" {
+			t.Errorf("workers=%d: err = %v, want boom 3", w, err)
+		}
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		err := ForEach(w, 50, func(i int) error {
+			if i == 5 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want PanicError", w, err)
+		}
+		if pe.Index != 5 || pe.Value != "kaboom" {
+			t.Errorf("workers=%d: PanicError = %+v", w, pe)
+		}
+	}
+}
+
+func TestForEachCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 4, 10000, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() >= 10000 {
+		t.Errorf("cancellation did not stop dispatch (%d tasks ran)", ran.Load())
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("no") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,9 +12,19 @@ import (
 
 	"strgindex/internal/geom"
 	"strgindex/internal/graph"
+	"strgindex/internal/parallel"
 	"strgindex/internal/rag"
 	"strgindex/internal/video"
 )
+
+// mustRun re-panics pool errors inside construction helpers whose task
+// functions never return errors themselves: the only possible failure is a
+// recovered worker panic, which the sequential path would have let escape.
+func mustRun(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
 
 // TemporalAttr holds the attributes τ(e_T) of a temporal edge: how far the
 // region's centroid moved between the two frames (velocity, in pixels per
@@ -58,6 +68,15 @@ type Config struct {
 	// global direction, but at every shared instant they move alike).
 	MergeVelocityTol float64
 	MergeProximity   float64
+	// Concurrency bounds the worker pool used during construction: the
+	// per-frame RAGs are built concurrently and, within each consecutive
+	// frame pair, Algorithm 1's candidate scoring (the neighborhood-graph
+	// isomorphism/SimGraph evaluations) fans out across current-frame
+	// nodes. The temporal stitching itself — candidate ranking and the
+	// greedy one-to-one assignment — stays sequential, so the resulting
+	// temporal edges are identical at any setting. 0 means one worker per
+	// CPU; 1 reproduces the fully sequential construction.
+	Concurrency int
 }
 
 // DefaultConfig returns the configuration used across the experiments.
@@ -132,7 +151,9 @@ func Build(seg *video.Segment, cfg Config) (*STRG, error) {
 		return nil, fmt.Errorf("strg: empty segment")
 	}
 	if cfg.SimThreshold <= 0 {
+		conc := cfg.Concurrency
 		cfg = DefaultConfig()
+		cfg.Concurrency = conc
 	}
 	s := &STRG{
 		Segment: seg,
@@ -143,14 +164,26 @@ func Build(seg *video.Segment, cfg Config) (*STRG, error) {
 		tattr:   make(map[graph.NodeID]TemporalAttr),
 		velIn:   make(map[graph.NodeID]geom.Vector),
 	}
-	base := graph.NodeID(0)
+	// Frames are independent until tracking: node ID bases are known
+	// upfront from the region counts, so every frame's RAG builds
+	// concurrently. The frameOf map is filled afterwards (maps are not
+	// safe for concurrent writes).
+	bases := make([]graph.NodeID, len(seg.Frames))
+	var base graph.NodeID
 	for i, f := range seg.Frames {
-		g := rag.Build(f, cfg.RAG, base)
-		s.Frames[i] = g
+		bases[i] = base
+		base += graph.NodeID(len(f.Regions))
+	}
+	if err := parallel.ForEach(cfg.Concurrency, len(seg.Frames), func(i int) error {
+		s.Frames[i] = rag.Build(seg.Frames[i], cfg.RAG, bases[i])
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("strg: building RAGs: %w", err)
+	}
+	for i, g := range s.Frames {
 		for _, id := range g.NodeIDs() {
 			s.frameOf[id] = i
 		}
-		base += graph.NodeID(len(f.Regions))
 	}
 	matcher := graph.NewMatcher(cfg.Tol)
 	for m := 0; m+1 < len(s.Frames); m++ {
@@ -267,29 +300,21 @@ func matchFrames(matcher *graph.Matcher, cfg Config, cur, nxt *graph.Graph, velI
 	curIDs := sortedIDs(cur)
 	nxtIDs := sortedIDs(nxt)
 
-	// Neighborhood graphs are reused across the candidate loops.
-	gnCur := make(map[graph.NodeID]*graph.Graph, len(curIDs))
-	gnNxt := make(map[graph.NodeID]*graph.Graph, len(nxtIDs))
-	gn := func(g *graph.Graph, cache map[graph.NodeID]*graph.Graph, id graph.NodeID) *graph.Graph {
-		if built, ok := cache[id]; ok {
-			return built
-		}
-		built := g.NeighborhoodGraph(id)
-		cache[id] = built
-		return built
-	}
-
 	type cand struct {
 		v, v2 graph.NodeID
 		score float64
 	}
-	var cands []cand
-	for _, v := range curIDs {
+	// scoreNode produces one current node's gated, scored candidates. It
+	// reads only immutable state (the two RAGs, velIn between stitching
+	// rounds, the neighborhood caches), so independent nodes score
+	// concurrently; concatenating the per-node lists in curIDs order
+	// reproduces the sequential candidate order exactly.
+	scoreNode := func(v graph.NodeID, gv *graph.Graph, gnNxt func(j int) *graph.Graph) []cand {
 		vn, _ := cur.Node(v)
-		gv := gn(cur, gnCur, v)
 		// Constant-velocity prediction: where the region should be next.
 		predicted := vn.Attr.Centroid.Add(velIn[v])
-		for _, v2 := range nxtIDs {
+		var out []cand
+		for j, v2 := range nxtIDs {
 			v2n, _ := nxt.Node(v2)
 			if !cfg.Tol.NodesCompatible(vn.Attr, v2n.Attr) {
 				continue
@@ -298,7 +323,7 @@ func matchFrames(matcher *graph.Matcher, cfg Config, cur, nxt *graph.Graph, velI
 			if cfg.MaxDisplacement > 0 && moveErr > cfg.MaxDisplacement {
 				continue
 			}
-			gv2 := gn(nxt, gnNxt, v2)
+			gv2 := gnNxt(j)
 			// Structural quality: 1 for isomorphic neighborhoods, the
 			// SimGraph value above T_sim otherwise. The motion-prediction
 			// error discounts it, so a structurally perfect but
@@ -317,7 +342,47 @@ func matchFrames(matcher *graph.Matcher, cfg Config, cur, nxt *graph.Graph, velI
 			if cfg.MaxDisplacement > 0 {
 				quality -= moveErr / cfg.MaxDisplacement
 			}
-			cands = append(cands, cand{v: v, v2: v2, score: quality})
+			out = append(out, cand{v: v, v2: v2, score: quality})
+		}
+		return out
+	}
+
+	var cands []cand
+	if parallel.Workers(cfg.Concurrency) <= 1 || len(curIDs) < 2 {
+		// Sequential path: neighborhood graphs built lazily, exactly the
+		// work profile the paper's Algorithm 1 implies.
+		gnNxt := make([]*graph.Graph, len(nxtIDs))
+		lazyNxt := func(j int) *graph.Graph {
+			if gnNxt[j] == nil {
+				gnNxt[j] = nxt.NeighborhoodGraph(nxtIDs[j])
+			}
+			return gnNxt[j]
+		}
+		for _, v := range curIDs {
+			cands = append(cands, scoreNode(v, cur.NeighborhoodGraph(v), lazyNxt)...)
+		}
+	} else {
+		// Parallel path: precompute every neighborhood graph of both
+		// frames (each node independent), then score current-frame nodes
+		// concurrently. Candidate values and order match the sequential
+		// path bit for bit; only the schedule differs.
+		gnCur := make([]*graph.Graph, len(curIDs))
+		gnNxt := make([]*graph.Graph, len(nxtIDs))
+		mustRun(parallel.ForEach(cfg.Concurrency, len(curIDs)+len(nxtIDs), func(i int) error {
+			if i < len(curIDs) {
+				gnCur[i] = cur.NeighborhoodGraph(curIDs[i])
+			} else {
+				gnNxt[i-len(curIDs)] = nxt.NeighborhoodGraph(nxtIDs[i-len(curIDs)])
+			}
+			return nil
+		}))
+		byIdx := func(j int) *graph.Graph { return gnNxt[j] }
+		perNode, err := parallel.Map(cfg.Concurrency, len(curIDs), func(i int) ([]cand, error) {
+			return scoreNode(curIDs[i], gnCur[i], byIdx), nil
+		})
+		mustRun(err)
+		for _, cs := range perNode {
+			cands = append(cands, cs...)
 		}
 	}
 	// Best matches first; ties break on node IDs for determinism.
