@@ -1,15 +1,21 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet bench bench-json cover experiments experiments-full examples clean
+.PHONY: build test test-race vet bench bench-json cover experiments experiments-full examples clean
 
 build:
 	go build ./...
 
+# Static checks: go vet plus a gofmt drift check (fails listing the files).
 vet:
 	go vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
-test:
+# Default test path: static checks, the full suite, and a race-detector run
+# of the HTTP middleware/observability tests.
+test: vet
 	go test ./...
+	go test -race ./internal/server
 
 test-race:
 	go test -race ./...

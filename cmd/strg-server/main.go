@@ -1,6 +1,6 @@
 // Command strg-server serves a video database over HTTP (JSON API).
 //
-//	strg-server -addr :8080 [-db db.gob]
+//	strg-server -addr :8080 [-db db.gob] [-pprof]
 //
 // Endpoints:
 //
@@ -9,18 +9,28 @@
 //	POST /v1/query/range    radius search
 //	POST /v1/query/select   predicate search (region / heading / speed / U-turn)
 //	GET  /v1/stats          database statistics
+//	GET  /healthz           liveness probe
+//	GET  /metrics           Prometheus text exposition
+//
+// With -pprof, net/http/pprof profiling handlers are mounted under
+// /debug/pprof/. SIGINT/SIGTERM trigger a graceful shutdown: the listener
+// stops accepting, in-flight requests get up to 10s to drain.
 //
 // See internal/server for the request formats.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"strgindex/internal/core"
+	"strgindex/internal/obs"
 	"strgindex/internal/server"
 )
 
@@ -28,26 +38,57 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dbPath := flag.String("db", "", "optional database file written by strg-ingest to preload")
 	workers := flag.Int("workers", 0, "worker budget for ingest and search (0 = one per CPU, 1 = sequential); responses are identical at every setting")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
+	logger := obs.NewLogger()
 	cfg := core.DefaultConfig()
 	cfg.Concurrency = *workers
-	srv := server.New(cfg)
+	opts := server.Options{Logger: logger, EnablePprof: *pprof}
+
+	srv := server.NewWith(cfg, opts)
 	if *dbPath != "" {
 		// Preload by replaying into the shared DB via core.Load.
 		f, err := os.Open(*dbPath)
 		if err != nil {
-			log.Fatalf("strg-server: %v", err)
+			logger.Error("open database", "err", err)
+			os.Exit(1)
 		}
-		loaded, err := server.NewFromReader(f, cfg)
+		loaded, err := server.NewFromReaderWith(f, cfg, opts)
 		f.Close()
 		if err != nil {
-			log.Fatalf("strg-server: loading %s: %v", *dbPath, err)
+			logger.Error("load database", "path", *dbPath, "err", err)
+			os.Exit(1)
 		}
 		srv = loaded
 		st := srv.DB().Stats()
-		fmt.Printf("loaded %s: %d OGs in %d clusters\n", *dbPath, st.OGs, st.Clusters)
+		logger.Info("database loaded", "path", *dbPath, "ogs", st.OGs, "clusters", st.Clusters)
 	}
-	fmt.Printf("strg-server listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr, "pprof", *pprof)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, give in-flight requests 10s to finish.
+	logger.Info("shutting down", "grace", "10s")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Error("shutdown", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("bye")
 }

@@ -9,7 +9,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"strgindex/internal/dist"
 	"strgindex/internal/graph"
@@ -132,11 +134,16 @@ func (db *VideoDB) buildSegment(seg *video.Segment) (*builtSegment, error) {
 
 // IngestSegment runs the full pipeline on one segment and indexes its OGs.
 func (db *VideoDB) IngestSegment(stream string, seg *video.Segment) (*IngestStats, error) {
+	start := time.Now()
 	b, err := db.buildSegment(seg)
 	if err != nil {
 		return nil, err
 	}
-	return db.commitSegment(stream, b)
+	stats, err := db.commitSegment(stream, b)
+	if err == nil {
+		ingestSeconds.Observe(time.Since(start).Seconds())
+	}
+	return stats, err
 }
 
 // commitSegment indexes a built segment. OG IDs, tree mutation and the
@@ -168,6 +175,8 @@ func (db *VideoDB) commitSegment(stream string, b *builtSegment) (*IngestStats, 
 	db.ogCount += len(d.OGs)
 	db.strgBytes += d.STRGSizeBytes()
 	db.rawBytes += s.MemoryBytes()
+	ingestSegments.Inc()
+	ingestOGs.Add(int64(len(d.OGs)))
 	return &IngestStats{
 		Frames:        len(seg.Frames),
 		TemporalEdges: s.NumTemporalEdges(),
@@ -229,25 +238,76 @@ func (db *VideoDB) QuerySegment(seg *video.Segment, k int) ([][]Match, error) {
 // QueryTrajectory returns the k indexed OGs most similar to a raw
 // trajectory, ignoring backgrounds (Algorithm 3's background-less mode).
 func (db *VideoDB) QueryTrajectory(seq dist.Sequence, k int) []Match {
-	return db.knn(nil, seq, k, false)
+	return mustMatches(db.QueryTrajectoryCtx(context.Background(), seq, k))
+}
+
+// QueryTrajectoryCtx is QueryTrajectory with cancellation: a done ctx
+// stops the search's worker pool from claiming further distance
+// evaluations, drains the in-flight ones, and returns ctx.Err() — so a
+// disconnected HTTP client cancels its search instead of burning workers.
+func (db *VideoDB) QueryTrajectoryCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, error) {
+	return db.knnCtx(ctx, nil, seq, k, false)
 }
 
 // QueryTrajectoryExact is QueryTrajectory with the exact (all-cluster)
 // search instead of Algorithm 3's single-cluster descent.
 func (db *VideoDB) QueryTrajectoryExact(seq dist.Sequence, k int) []Match {
-	return db.knn(nil, seq, k, true)
+	return mustMatches(db.QueryTrajectoryExactCtx(context.Background(), seq, k))
+}
+
+// QueryTrajectoryExactCtx is QueryTrajectoryExact with cancellation.
+func (db *VideoDB) QueryTrajectoryExactCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, error) {
+	return db.knnCtx(ctx, nil, seq, k, true)
 }
 
 // QueryRange returns every indexed OG within radius of the trajectory.
 func (db *VideoDB) QueryRange(seq dist.Sequence, radius float64) []Match {
-	return toMatches(db.tree.Range(nil, seq, radius))
+	return mustMatches(db.QueryRangeCtx(context.Background(), seq, radius))
+}
+
+// QueryRangeCtx is QueryRange with cancellation.
+func (db *VideoDB) QueryRangeCtx(ctx context.Context, seq dist.Sequence, radius float64) ([]Match, error) {
+	start := time.Now()
+	rs, err := db.tree.RangeCtx(ctx, nil, seq, radius)
+	if err != nil {
+		return nil, err
+	}
+	queryRangeSeconds.Observe(time.Since(start).Seconds())
+	return toMatches(rs), nil
 }
 
 func (db *VideoDB) knn(bg *graph.Graph, seq dist.Sequence, k int, exact bool) []Match {
+	return mustMatches(db.knnCtx(context.Background(), bg, seq, k, exact))
+}
+
+func (db *VideoDB) knnCtx(ctx context.Context, bg *graph.Graph, seq dist.Sequence, k int, exact bool) ([]Match, error) {
+	start := time.Now()
+	var rs []index.Result[ClipRecord]
+	var err error
 	if exact {
-		return toMatches(db.tree.KNNExact(bg, seq, k))
+		rs, err = db.tree.KNNExactCtx(ctx, bg, seq, k)
+	} else {
+		rs, err = db.tree.KNNCtx(ctx, bg, seq, k)
 	}
-	return toMatches(db.tree.KNN(bg, seq, k))
+	if err != nil {
+		return nil, err
+	}
+	if exact {
+		queryKNNExactSeconds.Observe(time.Since(start).Seconds())
+	} else {
+		queryKNNSeconds.Observe(time.Since(start).Seconds())
+	}
+	return toMatches(rs), nil
+}
+
+// mustMatches adapts a Ctx query to the context-free legacy surface: with
+// context.Background() the only possible error is a recovered worker
+// panic, which the sequential code path would have let escape.
+func mustMatches(ms []Match, err error) []Match {
+	if err != nil {
+		panic(err)
+	}
+	return ms
 }
 
 // Stats returns the current database statistics.
@@ -273,13 +333,27 @@ func (db *VideoDB) Index() *index.Tree[ClipRecord] { return db.tree }
 // unlike the similarity queries it does not use the index. Records are
 // returned in ingest order with distance 0.
 func (db *VideoDB) Select(p query.Predicate) []Match {
+	return mustMatches(db.SelectCtx(context.Background(), p))
+}
+
+// SelectCtx is Select with cancellation, checked every few hundred OGs so
+// an abandoned full-database scan stops promptly. A cancelled scan returns
+// ctx.Err() and no partial results.
+func (db *VideoDB) SelectCtx(ctx context.Context, p query.Predicate) ([]Match, error) {
+	start := time.Now()
 	var out []Match
 	for i, og := range db.ogs {
+		if i&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if p(og) {
 			out = append(out, Match{Record: db.records[i]})
 		}
 	}
-	return out
+	querySelectSeconds.Observe(time.Since(start).Seconds())
+	return out, nil
 }
 
 // OGs exposes the retained Object Graphs (aligned with Records order) for

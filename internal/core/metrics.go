@@ -1,0 +1,41 @@
+package core
+
+import (
+	"strgindex/internal/dist"
+	"strgindex/internal/obs"
+)
+
+// The distance engine owns its eval counter (dist.TotalEvals); the bridge
+// into the exposition lives here because core is the package that always
+// links both sides.
+func init() {
+	obs.Default.CounterFunc("strg_dist_evals_total",
+		"sequence distance evaluations (EGED/EGED_M/DTW/LCS/edit/Lp)", nil,
+		func() float64 { return float64(dist.TotalEvals()) })
+}
+
+// Pipeline instrumentation, registered against the default observability
+// registry and exposed by the HTTP server at GET /metrics.
+//
+//	strg_ingest_seconds          full pipeline time of one segment ingest
+//	                             (RAG build, tracking, decompose, index)
+//	strg_ingest_segments_total   segments committed to the index
+//	strg_ingest_ogs_total        Object Graphs committed to the index
+//	strg_query_seconds{kind}     end-to-end query time inside the database,
+//	                             by query kind
+var (
+	ingestSeconds = obs.Default.Histogram("strg_ingest_seconds",
+		"segment ingest pipeline duration in seconds", nil, nil)
+	ingestSegments = obs.Default.Counter("strg_ingest_segments_total",
+		"segments committed to the index", nil)
+	ingestOGs = obs.Default.Counter("strg_ingest_ogs_total",
+		"object graphs committed to the index", nil)
+	queryKNNSeconds = obs.Default.Histogram("strg_query_seconds",
+		"database query duration in seconds, by kind", obs.Labels{"kind": "knn"}, nil)
+	queryKNNExactSeconds = obs.Default.Histogram("strg_query_seconds",
+		"database query duration in seconds, by kind", obs.Labels{"kind": "knn_exact"}, nil)
+	queryRangeSeconds = obs.Default.Histogram("strg_query_seconds",
+		"database query duration in seconds, by kind", obs.Labels{"kind": "range"}, nil)
+	querySelectSeconds = obs.Default.Histogram("strg_query_seconds",
+		"database query duration in seconds, by kind", obs.Labels{"kind": "select"}, nil)
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"io"
 	"sync"
 
@@ -62,11 +63,26 @@ func (s *SharedDB) QueryTrajectory(seq dist.Sequence, k int) []Match {
 	return s.db.QueryTrajectory(seq, k)
 }
 
+// QueryTrajectoryCtx is VideoDB.QueryTrajectoryCtx under a read lock.
+func (s *SharedDB) QueryTrajectoryCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.QueryTrajectoryCtx(ctx, seq, k)
+}
+
 // QueryTrajectoryExact is VideoDB.QueryTrajectoryExact under a read lock.
 func (s *SharedDB) QueryTrajectoryExact(seq dist.Sequence, k int) []Match {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.db.QueryTrajectoryExact(seq, k)
+}
+
+// QueryTrajectoryExactCtx is VideoDB.QueryTrajectoryExactCtx under a read
+// lock.
+func (s *SharedDB) QueryTrajectoryExactCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.QueryTrajectoryExactCtx(ctx, seq, k)
 }
 
 // QueryRange is VideoDB.QueryRange under a read lock.
@@ -76,11 +92,25 @@ func (s *SharedDB) QueryRange(seq dist.Sequence, radius float64) []Match {
 	return s.db.QueryRange(seq, radius)
 }
 
+// QueryRangeCtx is VideoDB.QueryRangeCtx under a read lock.
+func (s *SharedDB) QueryRangeCtx(ctx context.Context, seq dist.Sequence, radius float64) ([]Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.QueryRangeCtx(ctx, seq, radius)
+}
+
 // Select is VideoDB.Select under a read lock.
 func (s *SharedDB) Select(p query.Predicate) []Match {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.db.Select(p)
+}
+
+// SelectCtx is VideoDB.SelectCtx under a read lock.
+func (s *SharedDB) SelectCtx(ctx context.Context, p query.Predicate) ([]Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.SelectCtx(ctx, p)
 }
 
 // Stats is VideoDB.Stats under a read lock.

@@ -164,6 +164,7 @@ const (
 // The DP runs over two pooled rolling rows and virtualizes the gap
 // reference vectors (see dp.go), so the steady state allocates nothing.
 func EGEDWith(a, b Sequence, model GapModel, g Vec) float64 {
+	totalEvals.Add(1)
 	m, n := len(a), len(b)
 	if m == 0 && n == 0 {
 		return 0
@@ -231,6 +232,7 @@ func ERP(a, b Sequence, g Vec) float64 { return EGEDM(a, b, g) }
 // no gap penalty. It is not a metric (triangle inequality fails).
 // DTW of anything against an empty sequence is +Inf (no alignment exists).
 func DTW(a, b Sequence) float64 {
+	totalEvals.Add(1)
 	m, n := len(a), len(b)
 	if m == 0 || n == 0 {
 		if m == 0 && n == 0 {
@@ -267,6 +269,7 @@ func DTW(a, b Sequence) float64 {
 // LCSLength returns the length of the longest common subsequence of a and
 // b, where two samples match when their distance is at most eps.
 func LCSLength(a, b Sequence, eps float64) int {
+	totalEvals.Add(1)
 	m, n := len(a), len(b)
 	if m == 0 || n == 0 {
 		return 0
@@ -325,6 +328,7 @@ func LCSMetric(eps float64) Metric {
 // EditDistance is the classic symbolic edit distance with unit costs,
 // where two samples are equal when within eps.
 func EditDistance(a, b Sequence, eps float64) int {
+	totalEvals.Add(1)
 	m, n := len(a), len(b)
 	sc := getScratch()
 	defer putScratch(sc)
@@ -367,6 +371,7 @@ func Lp(a, b Sequence, p float64) float64 {
 	if p <= 0 {
 		panic("dist: Lp with non-positive p")
 	}
+	totalEvals.Add(1)
 	if len(a) == 0 && len(b) == 0 {
 		return 0
 	}
@@ -395,6 +400,17 @@ func Lp(a, b Sequence, p float64) float64 {
 
 // Euclidean is the L2 lock-step Metric.
 func Euclidean(a, b Sequence) float64 { return Lp(a, b, 2) }
+
+// totalEvals counts every top-level sequence-distance evaluation in the
+// process (EGED/EGED_M/ERP, DTW, LCS, edit distance, Lp) — the quantity
+// the paper's query-cost model treats as the dominant component of query
+// time (Section 6.3), now observable at runtime. One atomic add per DP
+// call is noise next to the O(mn) kernel it counts.
+var totalEvals atomic.Int64
+
+// TotalEvals returns the process-wide number of distance evaluations. The
+// HTTP server exposes it as the strg_dist_evals_total metric.
+func TotalEvals() int64 { return totalEvals.Load() }
 
 // Counter counts distance evaluations. The paper's query-cost model
 // (Section 6.3) takes the number of distance evaluations as the dominant

@@ -17,6 +17,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -302,20 +303,31 @@ func (t *Tree[P]) nearestCluster(root *rootRecord[P], seq dist.Sequence) *cluste
 // winner the sequential strict-less-than scan picks, because the reduction
 // runs in slice order after the values land.
 func argminCluster[P any](cls []*clusterRecord[P], seq dist.Sequence, m dist.Metric, workers int) int {
+	best, err := argminClusterCtx(context.Background(), cls, seq, m, workers)
+	must(err)
+	return best
+}
+
+// argminClusterCtx is argminCluster with cancellation: a done ctx stops
+// the pool from claiming further centroid evaluations and surfaces
+// ctx.Err().
+func argminClusterCtx[P any](ctx context.Context, cls []*clusterRecord[P], seq dist.Sequence, m dist.Metric, workers int) (int, error) {
 	if len(cls) == 0 {
-		return -1
+		return -1, nil
 	}
-	ds, err := parallel.Map(workers, len(cls), func(i int) (float64, error) {
+	ds, err := parallel.MapCtx(ctx, workers, len(cls), func(i int) (float64, error) {
 		return m(seq, cls[i].centroid), nil
 	})
-	must(err)
+	if err != nil {
+		return -1, err
+	}
 	best, bestD := -1, math.Inf(1)
 	for i, d := range ds {
 		if d < bestD {
 			best, bestD = i, d
 		}
 	}
-	return best
+	return best, nil
 }
 
 // must re-panics pool errors from task functions that never return errors

@@ -1,0 +1,47 @@
+package index
+
+import "strgindex/internal/obs"
+
+// Process-global search instrumentation, registered against the default
+// observability registry (the tree is generic and created per database, so
+// per-instance handles would have to thread through every search call for
+// no operational gain — one process serves one database).
+//
+//	strg_index_searches_total{kind}   searches served, by search policy
+//	strg_index_node_visits_total      centroid records visited (one EGED
+//	                                  evaluation each) during descents
+//	strg_index_leaf_scans_total       leaf nodes actually scanned
+//	strg_index_leaves_pruned_total    candidate leaves skipped by the
+//	                                  metric lower bound (or, for the
+//	                                  approximate KNN, by single-cluster
+//	                                  descent)
+//	strg_index_pruned_ratio           per-search pruned/candidates ratio
+var (
+	searchesKNN = obs.Default.Counter("strg_index_searches_total",
+		"index searches served, by kind", obs.Labels{"kind": "knn"})
+	searchesKNNExact = obs.Default.Counter("strg_index_searches_total",
+		"index searches served, by kind", obs.Labels{"kind": "knn_exact"})
+	searchesRange = obs.Default.Counter("strg_index_searches_total",
+		"index searches served, by kind", obs.Labels{"kind": "range"})
+	nodeVisits = obs.Default.Counter("strg_index_node_visits_total",
+		"cluster-node centroid records visited during search descents", nil)
+	leafScans = obs.Default.Counter("strg_index_leaf_scans_total",
+		"leaf nodes scanned by searches", nil)
+	leavesPruned = obs.Default.Counter("strg_index_leaves_pruned_total",
+		"candidate leaves skipped without scanning", nil)
+	prunedRatio = obs.Default.Histogram("strg_index_pruned_ratio",
+		"per-search fraction of candidate leaves pruned", nil, obs.RatioBuckets)
+)
+
+// observeSearch records one search's leaf accounting: scanned leaves,
+// pruned leaves and the pruning ratio over the candidate set.
+func observeSearch(candidates, scanned int) {
+	leafScans.Add(int64(scanned))
+	pruned := candidates - scanned
+	if pruned > 0 {
+		leavesPruned.Add(int64(pruned))
+	}
+	if candidates > 0 {
+		prunedRatio.Observe(float64(pruned) / float64(candidates))
+	}
+}

@@ -1,8 +1,10 @@
 package index
 
 import (
+	"context"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"strgindex/internal/dist"
 	"strgindex/internal/graph"
@@ -21,18 +23,33 @@ import (
 // The centroid descent evaluates its distances across the configured
 // worker pool; results are identical at every Concurrency setting.
 func (t *Tree[P]) KNN(bg *graph.Graph, query dist.Sequence, k int) []Result[P] {
+	res, err := t.KNNCtx(context.Background(), bg, query, k)
+	must(err)
+	return res
+}
+
+// KNNCtx is KNN with cancellation: once ctx is done the worker pool stops
+// claiming centroid evaluations, in-flight ones drain, and ctx.Err() is
+// returned. A cancelled search returns no partial results.
+func (t *Tree[P]) KNNCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, k int) ([]Result[P], error) {
 	if k <= 0 || t.size == 0 {
-		return nil
+		return nil, nil
 	}
+	searchesKNN.Inc()
 	cls := t.candidateClusters(bg)
+	nodeVisits.Add(int64(len(cls)))
 	// Step 3: most similar centroid across the candidate roots.
-	best := argminCluster(cls, query, t.cfg.ClusterDistance, t.cfg.Concurrency)
+	best, err := argminClusterCtx(ctx, cls, query, t.cfg.ClusterDistance, t.cfg.Concurrency)
+	if err != nil {
+		return nil, err
+	}
 	if best < 0 {
-		return nil
+		return nil, nil
 	}
 	h := newResultHeap[P](k)
 	t.searchLeaf(cls[best], query, 0, h)
-	return h.sorted()
+	observeSearch(len(cls), 1)
+	return h.sorted(), nil
 }
 
 // KNNExact searches every cluster best-first with metric lower bounds, so
@@ -49,17 +66,32 @@ func (t *Tree[P]) KNN(bg *graph.Graph, query dist.Sequence, k int) []Result[P] {
 // leaves the sequential best-first loop would have pruned, and records
 // from those leaves are provably too far to enter the heap.
 func (t *Tree[P]) KNNExact(bg *graph.Graph, query dist.Sequence, k int) []Result[P] {
+	res, err := t.KNNExactCtx(context.Background(), bg, query, k)
+	must(err)
+	return res
+}
+
+// KNNExactCtx is KNNExact with cancellation: cancellation is observed
+// between leaf batches and at work-item claim time inside a batch, so a
+// disconnected client stops burning the worker pool after at most the
+// in-flight leaf scans. A cancelled search returns ctx.Err() and no
+// partial results.
+func (t *Tree[P]) KNNExactCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, k int) ([]Result[P], error) {
 	if k <= 0 || t.size == 0 {
-		return nil
+		return nil, nil
 	}
+	searchesKNNExact.Inc()
 	cls := t.candidateClusters(bg)
+	nodeVisits.Add(int64(len(cls)))
 	// The query-to-centroid distance doubles as the leaf's search key, so
 	// it is computed once here and reused by the scan (the sequential
 	// version used to evaluate it twice per scanned leaf).
-	keyQs, err := parallel.Map(t.cfg.Concurrency, len(cls), func(i int) (float64, error) {
+	keyQs, err := parallel.MapCtx(ctx, t.cfg.Concurrency, len(cls), func(i int) (float64, error) {
 		return t.cfg.Metric(query, cls[i].centroid), nil
 	})
-	must(err)
+	if err != nil {
+		return nil, err
+	}
 	type cand struct {
 		cl    *clusterRecord[P]
 		keyQ  float64
@@ -75,6 +107,7 @@ func (t *Tree[P]) KNNExact(bg *graph.Graph, query dist.Sequence, k int) []Result
 
 	h := newResultHeap[P](k)
 	batch := parallel.Workers(t.cfg.Concurrency)
+	var scanned atomic.Int64
 	for start := 0; start < len(cands); start += batch {
 		if h.full() && cands[start].bound > h.worst() {
 			break
@@ -83,16 +116,19 @@ func (t *Tree[P]) KNNExact(bg *graph.Graph, query dist.Sequence, k int) []Result
 		// Snapshot the global worst: h is not mutated during the batch, so
 		// workers can prune against it without synchronizing.
 		worst, pruning := h.worst(), h.full()
-		locals, err := parallel.Map(t.cfg.Concurrency, end-start, func(i int) (*resultHeap[P], error) {
+		locals, err := parallel.MapCtx(ctx, t.cfg.Concurrency, end-start, func(i int) (*resultHeap[P], error) {
 			c := cands[start+i]
 			if pruning && c.bound > worst {
 				return nil, nil
 			}
+			scanned.Add(1)
 			lh := newResultHeap[P](k)
 			t.searchLeafWithCentroidDist(c.cl, query, c.keyQ, start+i, lh)
 			return lh, nil
 		})
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		for _, lh := range locals {
 			if lh == nil {
 				continue
@@ -102,7 +138,8 @@ func (t *Tree[P]) KNNExact(bg *graph.Graph, query dist.Sequence, k int) []Result
 			}
 		}
 	}
-	return h.sorted()
+	observeSearch(len(cands), int(scanned.Load()))
+	return h.sorted(), nil
 }
 
 // Range returns every indexed OG within radius of the query under the key
@@ -111,13 +148,25 @@ func (t *Tree[P]) KNNExact(bg *graph.Graph, query dist.Sequence, k int) []Result
 // order and sort stably, so the output is identical at every Concurrency
 // setting.
 func (t *Tree[P]) Range(bg *graph.Graph, query dist.Sequence, radius float64) []Result[P] {
+	res, err := t.RangeCtx(context.Background(), bg, query, radius)
+	must(err)
+	return res
+}
+
+// RangeCtx is Range with cancellation: once ctx is done the pool stops
+// claiming cluster scans, in-flight ones drain, and ctx.Err() is returned.
+func (t *Tree[P]) RangeCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, radius float64) ([]Result[P], error) {
+	searchesRange.Inc()
 	cls := t.candidateClusters(bg)
-	lists, err := parallel.Map(t.cfg.Concurrency, len(cls), func(i int) ([]Result[P], error) {
+	nodeVisits.Add(int64(len(cls)))
+	var scanned atomic.Int64
+	lists, err := parallel.MapCtx(ctx, t.cfg.Concurrency, len(cls), func(i int) ([]Result[P], error) {
 		cl := cls[i]
 		dc := t.cfg.Metric(query, cl.centroid)
 		if dc-cl.maxKey() > radius {
 			return nil, nil
 		}
+		scanned.Add(1)
 		// Key window: |key - dc| <= radius is necessary for a hit.
 		var hits []Result[P]
 		lo := sort.Search(len(cl.leaf), func(i int) bool { return cl.leaf[i].key >= dc-radius })
@@ -128,13 +177,16 @@ func (t *Tree[P]) Range(bg *graph.Graph, query dist.Sequence, radius float64) []
 		}
 		return hits, nil
 	})
-	must(err)
+	if err != nil {
+		return nil, err
+	}
+	observeSearch(len(cls), int(scanned.Load()))
 	var out []Result[P]
 	for _, l := range lists {
 		out = append(out, l...)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
-	return out
+	return out, nil
 }
 
 // candidateRoots applies Algorithm 3 step 2: the most similar stored

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"os"
+)
+
+// ctxKey is the private context-key type for request identity.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// NewRequestID returns a fresh 16-hex-digit request identifier. IDs are
+// random rather than sequential so logs from restarted or horizontally
+// scaled processes never collide.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on the supported platforms; a zero ID
+		// beats taking down the request path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom extracts the request ID, or "" when the context carries
+// none (background work, tests calling the core API directly).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// NewLogger returns the default structured logger: text handler on stderr
+// at Info. Components that want JSON or a capture buffer build their own
+// slog.Logger and inject it instead.
+func NewLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+}

@@ -147,8 +147,16 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 // of the scheduling. On error the slice is nil and the lowest-indexed
 // error is returned.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cancellation: once ctx is done no further items are
+// claimed, in-flight items drain, and ctx.Err() is returned (unless a
+// lower-indexed work-item error wins). A cancelled call returns a nil
+// slice — partial results are never exposed.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

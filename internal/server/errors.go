@@ -1,0 +1,49 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"strgindex/internal/obs"
+)
+
+// Stable machine-readable error codes of the /v1 JSON error envelope.
+// Clients dispatch on the code; the message is human-readable and may
+// change between versions.
+const (
+	// CodeBadRequest covers malformed bodies, invalid parameters and
+	// segments the pipeline rejects.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound covers unknown routes and unsupported methods.
+	CodeNotFound = "not_found"
+	// CodeTooLarge covers request bodies over the per-endpoint limit.
+	CodeTooLarge = "too_large"
+	// CodeInternal covers handler panics and pool failures.
+	CodeInternal = "internal"
+)
+
+// errorBody is the payload of the envelope:
+//
+//	{"error": {"code": "bad_request", "message": "...", "request_id": "..."}}
+//
+// The request_id matches the X-Request-ID response header and the slog
+// line for the request, so a client-reported failure joins the server
+// logs in one grep.
+type errorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id"`
+}
+
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+// writeError writes the versioned JSON error envelope for the request.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: obs.RequestIDFrom(r.Context()),
+	}})
+}

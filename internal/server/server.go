@@ -1,68 +1,201 @@
-// Package server exposes a VideoDB over HTTP with a small JSON API — the
-// deployment surface of the system: one process ingests camera segments
-// and serves motion-similarity and predicate queries.
+// Package server exposes a VideoDB over HTTP with a versioned JSON API —
+// the deployment surface of the system: one process ingests camera
+// segments and serves motion-similarity and predicate queries.
 //
 //	POST /v1/segments          {"stream": "...", "segment": {...}}  -> ingest stats
 //	POST /v1/query/knn         {"trajectory": [[x,y],...], "k": 5, "exact": false}
 //	POST /v1/query/range       {"trajectory": [[x,y],...], "radius": 200}
-//	POST /v1/query/select      {"passes_through": {...}, "heading": "east", ...}
+//	POST /v1/query/select      {"passes_through": {...}, "heading": "east", "limit": 100, ...}
 //	GET  /v1/stats
+//	GET  /healthz              liveness probe
+//	GET  /metrics              Prometheus text exposition
+//
+// Every error response is the JSON envelope
+// {"error": {"code", "message", "request_id"}} with a stable
+// machine-readable code (see errors.go); the request ID also appears in
+// the X-Request-ID response header and the structured log line for the
+// request. Request bodies are size-limited, and query handlers observe
+// request-context cancellation: a disconnected client aborts its
+// in-flight search instead of burning the worker pool.
 //
 // All handlers are safe for concurrent use (the server wraps a SharedDB).
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 
 	"strgindex/internal/core"
 	"strgindex/internal/dist"
 	"strgindex/internal/geom"
+	"strgindex/internal/obs"
 	"strgindex/internal/query"
 	"strgindex/internal/video"
 )
 
-// Server is the HTTP facade over a shared database.
-type Server struct {
-	db  *core.SharedDB
-	mux *http.ServeMux
+// Body-size and response-size defaults; see Options to override.
+const (
+	// defaultIngestBodyLimit bounds POST /v1/segments bodies (segments
+	// carry per-frame region lists and can legitimately run to megabytes).
+	defaultIngestBodyLimit = 32 << 20
+	// queryBodyLimit bounds every /v1/query/* body; a trajectory or
+	// predicate description has no business being this large.
+	queryBodyLimit = 1 << 20
+	// defaultSelectLimit caps /v1/query/select responses unless the
+	// request asks for a different (still bounded) limit.
+	defaultSelectLimit = 1000
+)
+
+// Options configures the observability surface of a server. The zero
+// value is production-ready.
+type Options struct {
+	// Logger receives one structured line per request plus error and
+	// panic reports. Nil means a text handler on stderr.
+	Logger *slog.Logger
+	// Registry receives the HTTP-layer metrics. Nil means a fresh
+	// registry private to this server; GET /metrics renders it followed
+	// by the process-global obs.Default (pipeline metrics).
+	Registry *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// MaxIngestBodyBytes overrides the POST /v1/segments body limit.
+	// Zero means 32 MiB.
+	MaxIngestBodyBytes int64
+	// SelectLimit overrides the default /v1/query/select response cap.
+	// Zero means 1000.
+	SelectLimit int
 }
 
-// New creates a server over an empty database.
+func (o Options) withDefaults() Options {
+	if o.Logger == nil {
+		o.Logger = obs.NewLogger()
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.MaxIngestBodyBytes <= 0 {
+		o.MaxIngestBodyBytes = defaultIngestBodyLimit
+	}
+	if o.SelectLimit <= 0 {
+		o.SelectLimit = defaultSelectLimit
+	}
+	return o
+}
+
+// Server is the HTTP facade over a shared database.
+type Server struct {
+	db      *core.SharedDB
+	mux     *http.ServeMux
+	handler http.Handler
+	log     *slog.Logger
+	reg     *obs.Registry
+	opts    Options
+}
+
+// New creates a server over an empty database with default options.
 func New(cfg core.Config) *Server {
-	return wrap(core.OpenShared(cfg))
+	return NewWith(cfg, Options{})
+}
+
+// NewWith creates a server over an empty database.
+func NewWith(cfg core.Config, opts Options) *Server {
+	return wrap(core.OpenShared(cfg), opts)
 }
 
 // NewFromReader creates a server over a database persisted by
 // core.VideoDB.Save / SharedDB.Save.
 func NewFromReader(r io.Reader, cfg core.Config) (*Server, error) {
+	return NewFromReaderWith(r, cfg, Options{})
+}
+
+// NewFromReaderWith is NewFromReader with observability options.
+func NewFromReaderWith(r io.Reader, cfg core.Config, opts Options) (*Server, error) {
 	db, err := core.LoadShared(r, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return wrap(db), nil
+	return wrap(db, opts), nil
 }
 
-func wrap(db *core.SharedDB) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+func wrap(db *core.SharedDB, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{db: db, mux: http.NewServeMux(), log: opts.Logger, reg: opts.Registry, opts: opts}
 	s.mux.HandleFunc("POST /v1/segments", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/query/knn", s.handleKNN)
 	s.mux.HandleFunc("POST /v1/query/range", s.handleRange)
 	s.mux.HandleFunc("POST /v1/query/select", s.handleSelect)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Method mismatches on known paths envelope as 405; everything else
+	// falls through to the catch-all 404. Both stay JSON: a /v1 client
+	// should never see a text/plain error.
+	for _, p := range []string{"/v1/segments", "/v1/query/knn", "/v1/query/range", "/v1/query/select", "/v1/stats"} {
+		s.mux.HandleFunc(p, s.handleMethodNotAllowed)
+	}
+	s.mux.HandleFunc("/", s.handleNotFound)
+	if opts.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = s.middleware(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // DB exposes the underlying shared database (tests, embedding).
 func (s *Server) DB() *core.SharedDB { return s.db }
+
+// Metrics exposes the server's HTTP metric registry (tests, embedding).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// decode parses a size-limited JSON body, writing the error envelope
+// (400 bad_request or 413 too_large) and returning false on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, r, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+		} else {
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "decoding body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// queryError reports a failed Ctx query: cancellation means the client
+// disconnected (the envelope goes nowhere, but the status makes the
+// request metric and log line honest); anything else is a pool failure.
+func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.log.Warn("query canceled",
+			"request_id", obs.RequestIDFrom(r.Context()),
+			"path", r.URL.Path, "cause", err)
+		writeError(w, r, statusClientClosed, CodeInternal, "query canceled: %v", err)
+		return
+	}
+	s.log.Error("query failed",
+		"request_id", obs.RequestIDFrom(r.Context()),
+		"path", r.URL.Path, "err", err)
+	writeError(w, r, http.StatusInternalServerError, CodeInternal, "query failed")
+}
 
 // ingestRequest is the POST /v1/segments body.
 type ingestRequest struct {
@@ -95,17 +228,17 @@ func toMatchJSON(ms []core.Match) []matchJSON {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+	if !s.decode(w, r, s.opts.MaxIngestBodyBytes, &req) {
 		return
 	}
 	if req.Stream == "" || req.Segment == nil || len(req.Segment.Frames) == 0 {
-		httpError(w, http.StatusBadRequest, "stream and a non-empty segment are required")
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest,
+			"stream and a non-empty segment are required")
 		return
 	}
 	stats, err := s.db.IngestSegment(req.Stream, req.Segment)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "ingest: %v", err)
+		writeError(w, r, http.StatusUnprocessableEntity, CodeBadRequest, "ingest: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, stats)
@@ -135,13 +268,12 @@ func (t *trajectoryRequest) sequence() (dist.Sequence, error) {
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	var req trajectoryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+	if !s.decode(w, r, queryBodyLimit, &req) {
 		return
 	}
 	seq, err := req.sequence()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	if req.K <= 0 {
@@ -149,29 +281,37 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	}
 	var matches []core.Match
 	if req.Exact {
-		matches = s.db.QueryTrajectoryExact(seq, req.K)
+		matches, err = s.db.QueryTrajectoryExactCtx(r.Context(), seq, req.K)
 	} else {
-		matches = s.db.QueryTrajectory(seq, req.K)
+		matches, err = s.db.QueryTrajectoryCtx(r.Context(), seq, req.K)
+	}
+	if err != nil {
+		s.queryError(w, r, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, toMatchJSON(matches))
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	var req trajectoryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+	if !s.decode(w, r, queryBodyLimit, &req) {
 		return
 	}
 	seq, err := req.sequence()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	if req.Radius <= 0 {
-		httpError(w, http.StatusBadRequest, "radius must be positive")
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "radius must be positive")
 		return
 	}
-	writeJSON(w, http.StatusOK, toMatchJSON(s.db.QueryRange(seq, req.Radius)))
+	matches, err := s.db.QueryRangeCtx(r.Context(), seq, req.Radius)
+	if err != nil {
+		s.queryError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toMatchJSON(matches))
 }
 
 // selectRequest is a declarative predicate description.
@@ -187,6 +327,20 @@ type selectRequest struct {
 	UTurn      bool     `json:"u_turn,omitempty"`
 	FrameFrom  *int     `json:"frame_from,omitempty"`
 	FrameTo    *int     `json:"frame_to,omitempty"`
+	// Limit caps the number of returned matches; 0 means the server
+	// default. The response reports the applied limit and whether the
+	// scan's hits were truncated by it.
+	Limit int `json:"limit,omitempty"`
+}
+
+// selectResponse is the POST /v1/query/select reply: matches are capped
+// at Limit so an unbounded predicate scan cannot return an arbitrarily
+// large payload; Total is the untruncated hit count.
+type selectResponse struct {
+	Matches   []matchJSON `json:"matches"`
+	Total     int         `json:"total"`
+	Limit     int         `json:"limit"`
+	Truncated bool        `json:"truncated"`
 }
 
 type rectJSON struct {
@@ -264,28 +418,67 @@ func (req *selectRequest) predicate() (query.Predicate, error) {
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req selectRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+	if !s.decode(w, r, queryBodyLimit, &req) {
+		return
+	}
+	if req.Limit < 0 {
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "limit must be non-negative")
 		return
 	}
 	pred, err := req.predicate()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toMatchJSON(s.db.Select(pred)))
+	matches, err := s.db.SelectCtx(r.Context(), pred)
+	if err != nil {
+		s.queryError(w, r, err)
+		return
+	}
+	limit := req.Limit
+	if limit == 0 {
+		limit = s.opts.SelectLimit
+	}
+	resp := selectResponse{Total: len(matches), Limit: limit}
+	if len(matches) > limit {
+		matches = matches[:limit]
+		resp.Truncated = true
+	}
+	resp.Matches = toMatchJSON(matches)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.db.Stats())
 }
 
+// handleHealthz is the liveness probe: it takes no database lock, so it
+// answers even while a long ingest holds the write lock.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the server's HTTP metrics followed by the
+// process-global pipeline metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+	if s.reg != obs.Default {
+		obs.Default.WritePrometheus(w)
+	}
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, r, http.StatusNotFound, CodeNotFound, "no such endpoint: %s", r.URL.Path)
+}
+
+func (s *Server) handleMethodNotAllowed(w http.ResponseWriter, r *http.Request) {
+	writeError(w, r, http.StatusMethodNotAllowed, CodeNotFound,
+		"method %s not allowed on %s", r.Method, r.URL.Path)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

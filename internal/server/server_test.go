@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -13,6 +15,11 @@ import (
 	"strgindex/internal/graph"
 	"strgindex/internal/video"
 )
+
+// quietOptions silences per-request logging in tests.
+func quietOptions() Options {
+	return Options{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}
+}
 
 // testSegment builds a small scene with one eastbound walker.
 func testSegment(t *testing.T, label string, y float64, seed int64) *video.Segment {
@@ -39,10 +46,20 @@ func testSegment(t *testing.T, label string, y float64, seed int64) *video.Segme
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(core.DefaultConfig())
+	s := NewWith(core.DefaultConfig(), quietOptions())
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts
+}
+
+// decodeSelect parses the enveloped /v1/query/select response.
+func decodeSelect(t *testing.T, body []byte) selectResponse {
+	t.Helper()
+	var resp selectResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("select response %s: %v", body, err)
+	}
+	return resp
 }
 
 func post(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -146,20 +163,37 @@ func TestSelectQuery(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var matches []map[string]any
-	if err := json.Unmarshal(body, &matches); err != nil {
-		t.Fatal(err)
-	}
-	if len(matches) != 1 {
-		t.Errorf("matches = %d, want 1 (%s)", len(matches), body)
+	sel := decodeSelect(t, body)
+	if len(sel.Matches) != 1 || sel.Total != 1 || sel.Truncated {
+		t.Errorf("select = %+v, want 1 untruncated match (%s)", sel, body)
 	}
 	// The opposite heading matches nothing.
 	_, body = post(t, ts.URL+"/v1/query/select", map[string]any{"heading": "west"})
-	if err := json.Unmarshal(body, &matches); err != nil {
-		t.Fatal(err)
+	if sel := decodeSelect(t, body); len(sel.Matches) != 0 || sel.Total != 0 {
+		t.Errorf("westbound matches = %+v, want 0", sel)
 	}
-	if len(matches) != 0 {
-		t.Errorf("westbound matches = %d, want 0", len(matches))
+}
+
+func TestSelectLimitTruncates(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingest(t, ts, "a", 60, 1)
+	ingest(t, ts, "b", 120, 2)
+	ingest(t, ts, "c", 180, 3)
+	resp, body := post(t, ts.URL+"/v1/query/select", map[string]any{
+		"heading": "east",
+		"limit":   2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	sel := decodeSelect(t, body)
+	if len(sel.Matches) != 2 || sel.Total != 3 || !sel.Truncated || sel.Limit != 2 {
+		t.Errorf("select = %+v, want 2/3 truncated at limit 2", sel)
+	}
+	// A negative limit is rejected.
+	resp, _ = post(t, ts.URL+"/v1/query/select", map[string]any{"heading": "east", "limit": -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative limit status = %d, want 400", resp.StatusCode)
 	}
 }
 
@@ -183,9 +217,18 @@ func TestBadRequests(t *testing.T) {
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Errorf("status %d, want 400 (%s)", resp.StatusCode, body)
 			}
-			var e map[string]string
-			if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
-				t.Errorf("error body missing: %s", body)
+			var e errorEnvelope
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("envelope: %s: %v", body, err)
+			}
+			if e.Error.Code != CodeBadRequest {
+				t.Errorf("code = %q, want %q (%s)", e.Error.Code, CodeBadRequest, body)
+			}
+			if e.Error.Message == "" || e.Error.RequestID == "" {
+				t.Errorf("envelope incomplete: %s", body)
+			}
+			if got := resp.Header.Get("X-Request-ID"); got != e.Error.RequestID {
+				t.Errorf("header request id %q != envelope %q", got, e.Error.RequestID)
 			}
 		})
 	}
@@ -197,6 +240,47 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed JSON status %d", resp.StatusCode)
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A query body over the 1 MiB query limit: a huge (valid) JSON string.
+	big := append([]byte(`{"trajectory": [[1,1]], "k": 1, "pad": "`), bytes.Repeat([]byte("x"), 2<<20)...)
+	big = append(big, []byte(`"}`)...)
+	resp, err := http.Post(ts.URL+"/v1/query/knn", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var e errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != CodeTooLarge {
+		t.Errorf("code = %q, want %q", e.Error.Code, CodeTooLarge)
+	}
+}
+
+func TestNotFoundEnvelope(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	var e errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != CodeNotFound || e.Error.RequestID == "" {
+		t.Errorf("envelope = %+v", e)
 	}
 }
 
@@ -246,7 +330,7 @@ func TestNewFromReader(t *testing.T) {
 	if err := s.DB().Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := NewFromReader(&buf, core.DefaultConfig())
+	loaded, err := NewFromReaderWith(&buf, core.DefaultConfig(), quietOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,6 +355,25 @@ func TestNewFromReader(t *testing.T) {
 	}
 }
 
+func TestMethodNotAllowedEnvelope(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/query/knn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+	var e errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != CodeNotFound || e.Error.RequestID == "" {
+		t.Errorf("envelope = %+v", e)
+	}
+}
+
 func TestSelectSpeedAndFrames(t *testing.T) {
 	_, ts := newTestServer(t)
 	ingest(t, ts, "walker", 120, 1)
@@ -283,19 +386,12 @@ func TestSelectSpeedAndFrames(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var matches []map[string]any
-	if err := json.Unmarshal(body, &matches); err != nil {
-		t.Fatal(err)
-	}
-	if len(matches) != 1 {
-		t.Errorf("matches = %d, want 1 (%s)", len(matches), body)
+	if sel := decodeSelect(t, body); len(sel.Matches) != 1 {
+		t.Errorf("matches = %d, want 1 (%s)", len(sel.Matches), body)
 	}
 	// Impossible speed band.
 	_, body = post(t, ts.URL+"/v1/query/select", map[string]any{"min_speed": 1e6})
-	if err := json.Unmarshal(body, &matches); err != nil {
-		t.Fatal(err)
-	}
-	if len(matches) != 0 {
-		t.Errorf("impossible speed matched %d", len(matches))
+	if sel := decodeSelect(t, body); len(sel.Matches) != 0 {
+		t.Errorf("impossible speed matched %d", len(sel.Matches))
 	}
 }

@@ -1,0 +1,13 @@
+package strg
+
+import "strgindex/internal/obs"
+
+// Construction instrumentation: Build observes its two dominant phases per
+// segment, so an operator can tell whether ingest time goes to per-frame
+// segmentation (RAG construction) or to Algorithm 1's temporal stitching.
+var (
+	ragBuildSeconds = obs.Default.Histogram("strg_build_rag_seconds",
+		"per-segment RAG construction time in seconds", nil, nil)
+	trackSeconds = obs.Default.Histogram("strg_build_track_seconds",
+		"per-segment Algorithm 1 tracking time in seconds (incl. occlusion bridging)", nil, nil)
+)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"strgindex/internal/geom"
 	"strgindex/internal/graph"
@@ -174,17 +175,20 @@ func Build(seg *video.Segment, cfg Config) (*STRG, error) {
 		bases[i] = base
 		base += graph.NodeID(len(f.Regions))
 	}
+	ragStart := time.Now()
 	if err := parallel.ForEach(cfg.Concurrency, len(seg.Frames), func(i int) error {
 		s.Frames[i] = rag.Build(seg.Frames[i], cfg.RAG, bases[i])
 		return nil
 	}); err != nil {
 		return nil, fmt.Errorf("strg: building RAGs: %w", err)
 	}
+	ragBuildSeconds.Observe(time.Since(ragStart).Seconds())
 	for i, g := range s.Frames {
 		for _, id := range g.NodeIDs() {
 			s.frameOf[id] = i
 		}
 	}
+	trackStart := time.Now()
 	matcher := graph.NewMatcher(cfg.Tol)
 	for m := 0; m+1 < len(s.Frames); m++ {
 		s.trackPair(matcher, cfg, s.Frames[m], s.Frames[m+1])
@@ -192,6 +196,7 @@ func Build(seg *video.Segment, cfg Config) (*STRG, error) {
 	if cfg.BridgeFrames > 0 {
 		s.bridgeGaps(cfg)
 	}
+	trackSeconds.Observe(time.Since(trackStart).Seconds())
 	return s, nil
 }
 
