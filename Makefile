@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race vet bench bench-json cover experiments experiments-full examples clean
+.PHONY: build test test-race vet bench bench-json bench-cascade cover experiments experiments-full examples clean
 
 build:
 	go build ./...
@@ -12,10 +12,11 @@ vet:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
 # Default test path: static checks, the full suite, and a race-detector run
-# of the HTTP middleware/observability tests.
+# of the concurrency-heavy packages (distance cascade, index search, HTTP
+# middleware/observability).
 test: vet
 	go test ./...
-	go test -race ./internal/server
+	go test -race ./internal/dist ./internal/index ./internal/server
 
 test-race:
 	go test -race ./...
@@ -30,6 +31,12 @@ bench:
 bench-json:
 	go test -run='^$$' -bench='PairwiseMatrix|STRGBuildParallel|Figure6ClusterBuildParallel|Figure7KNNParallel' -benchmem . \
 		| go run ./cmd/benchjson > BENCH_parallel.json
+
+# Filter-and-refine cascade benchmarks (DP cells and per-stage pruning as
+# custom /op metrics), as JSON.
+bench-cascade:
+	go test -run='^$$' -bench='Cascade' -benchmem . \
+		| go run ./cmd/benchjson > BENCH_cascade.json
 
 # Regenerate the paper's tables and figures (quick scale: tens of seconds).
 experiments:

@@ -6,6 +6,7 @@
 package strgindex
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -351,6 +352,111 @@ func BenchmarkFigure7KNNParallel(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				tr.KNNExact(nil, queries[rng.Intn(len(queries))], 10)
 			}
+		})
+	}
+}
+
+// --- Filter-and-refine distance cascade --------------------------------
+
+// BenchmarkCascadeKNNExact measures the three-stage distance cascade on
+// the exact k-NN workload over one tree layout:
+//
+//	stage=exact    cascade disabled — every surviving record pays the
+//	               full DP (the pre-cascade baseline)
+//	stage=cascade  lower bounds + early-abandoning kernels
+//	stage=cached   cascade plus the distance cache, with queries repeating
+//	               as real workloads do
+//
+// Beyond ns/op it reports DP cells evaluated and the per-stage record
+// dispositions as custom /op metrics (benchjson collects them under
+// "extra"), so BENCH_cascade.json records how much work each stage of
+// the cascade eliminated.
+func BenchmarkCascadeKNNExact(b *testing.B) {
+	ds := benchSequences(b, 20, 12)
+	items := make([]index.Item[int], len(ds.Items))
+	for i, seq := range ds.Items {
+		items[i] = index.Item[int]{Seq: seq, Payload: i}
+	}
+	queries := benchSequences(b, 1, 12).Items
+	for _, tc := range []struct {
+		name string
+		mut  func(*index.Config)
+	}{
+		{"stage=exact", func(c *index.Config) { c.DisableCascade = true }},
+		{"stage=cascade", nil},
+		{"stage=cached", func(c *index.Config) { c.Cache = core.NewDistCache(core.DefaultDistCacheSize) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := index.Config{NumClusters: 12, EMMaxIter: 12, Seed: 1}
+			if tc.mut != nil {
+				tc.mut(&cfg)
+			}
+			tr := index.New[int](cfg)
+			if err := tr.AddSegment(nil, items); err != nil {
+				b.Fatal(err)
+			}
+			var agg index.SearchStats
+			cells := dist.DPCells()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := tr.KNNExactStats(nil, queries[i%len(queries)], 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg.Records += st.Records
+				agg.CacheHits += st.CacheHits
+				agg.LBQuickPruned += st.LBQuickPruned
+				agg.LBEnvelopePruned += st.LBEnvelopePruned
+				agg.DPEvaluated += st.DPEvaluated
+				agg.DPAbandoned += st.DPAbandoned
+			}
+			b.StopTimer()
+			n := float64(b.N)
+			b.ReportMetric(float64(dist.DPCells()-cells)/n, "dp_cells/op")
+			b.ReportMetric(float64(agg.Records)/n, "records/op")
+			b.ReportMetric(float64(agg.LBPruned())/n, "lb_pruned/op")
+			b.ReportMetric(float64(agg.DPAbandoned)/n, "dp_abandoned/op")
+			b.ReportMetric(float64(agg.DPEvaluated)/n, "dp_evaluated/op")
+			b.ReportMetric(float64(agg.CacheHits)/n, "cache_hits/op")
+		})
+	}
+}
+
+// BenchmarkCascadeRange is the range-query counterpart: the fixed radius
+// is a hard threshold for every cascade stage, so pruning is strongest
+// here.
+func BenchmarkCascadeRange(b *testing.B) {
+	ds := benchSequences(b, 20, 12)
+	items := make([]index.Item[int], len(ds.Items))
+	for i, seq := range ds.Items {
+		items[i] = index.Item[int]{Seq: seq, Payload: i}
+	}
+	queries := benchSequences(b, 1, 12).Items
+	for _, tc := range []struct {
+		name string
+		mut  func(*index.Config)
+	}{
+		{"stage=exact", func(c *index.Config) { c.DisableCascade = true }},
+		{"stage=cascade", nil},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := index.Config{NumClusters: 12, EMMaxIter: 12, Seed: 1}
+			if tc.mut != nil {
+				tc.mut(&cfg)
+			}
+			tr := index.New[int](cfg)
+			if err := tr.AddSegment(nil, items); err != nil {
+				b.Fatal(err)
+			}
+			cells := dist.DPCells()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.RangeCtx(context.Background(), nil, queries[i%len(queries)], 120); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(dist.DPCells()-cells)/float64(b.N), "dp_cells/op")
 		})
 	}
 }

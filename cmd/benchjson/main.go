@@ -5,8 +5,10 @@
 //
 // Each object carries the benchmark name (with any /workers=N suffix split
 // out), iteration count, ns/op and — when -benchmem was set — B/op and
-// allocs/op. Non-benchmark lines pass through to stderr so failures stay
-// visible.
+// allocs/op. Custom units reported via testing.B.ReportMetric (for example
+// dp_cells/op from the distance-cascade benchmarks) land in an "extra"
+// map keyed by unit. Non-benchmark lines pass through to stderr so
+// failures stay visible.
 package main
 
 import (
@@ -26,6 +28,8 @@ type Point struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Extra holds custom ReportMetric units (e.g. "dp_cells/op").
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -97,6 +101,14 @@ func parseLine(line string) (Point, bool) {
 		case "allocs/op":
 			a := int64(val)
 			p.AllocsPerOp = &a
+		default:
+			// Any other "<value> <unit>/op" pair is a custom metric.
+			if strings.HasSuffix(fields[i+1], "/op") {
+				if p.Extra == nil {
+					p.Extra = make(map[string]float64)
+				}
+				p.Extra[fields[i+1]] = val
+			}
 		}
 	}
 	return p, ok

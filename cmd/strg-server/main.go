@@ -38,12 +38,14 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dbPath := flag.String("db", "", "optional database file written by strg-ingest to preload")
 	workers := flag.Int("workers", 0, "worker budget for ingest and search (0 = one per CPU, 1 = sequential); responses are identical at every setting")
+	distCache := flag.Int("dist-cache", -1, "distance cache capacity in entries (0 disables, negative = built-in default); results are identical either way")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	logger := obs.NewLogger()
 	cfg := core.DefaultConfig()
 	cfg.Concurrency = *workers
+	cfg.DistCacheSize = *distCache
 	opts := server.Options{Logger: logger, EnablePprof: *pprof}
 
 	srv := server.NewWith(cfg, opts)

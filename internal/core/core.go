@@ -52,7 +52,18 @@ type Config struct {
 	// 1 reproduces the fully sequential pipeline. Results are identical
 	// at every setting.
 	Concurrency int
+	// DistCacheSize bounds the distance cache in entries: searches memoize
+	// fully evaluated query-to-record distances under content-hash
+	// identity, so repeated or overlapping queries skip the DP entirely.
+	// 0 (the default) disables the cache; negative selects
+	// DefaultDistCacheSize. Cached values are bit-identical to
+	// re-evaluation, so results are unchanged at every setting.
+	DistCacheSize int
 }
+
+// DefaultDistCacheSize is the cache bound selected by a negative
+// Config.DistCacheSize: 64k entries ≈ 4 MB of entries plus map overhead.
+const DefaultDistCacheSize = 1 << 16
 
 // DefaultConfig is the configuration used by the examples and experiments.
 func DefaultConfig() Config {
@@ -86,6 +97,7 @@ type IngestStats struct {
 // VideoDB is an indexed video database. Not safe for concurrent use.
 type VideoDB struct {
 	cfg       Config
+	cache     *distCache
 	tree      *index.Tree[ClipRecord]
 	segments  int
 	ogCount   int
@@ -110,7 +122,16 @@ func Open(cfg Config) *VideoDB {
 			cfg.Index.Concurrency = cfg.Concurrency
 		}
 	}
-	return &VideoDB{cfg: cfg, tree: index.New[ClipRecord](cfg.Index)}
+	if cfg.DistCacheSize < 0 {
+		cfg.DistCacheSize = DefaultDistCacheSize
+	}
+	db := &VideoDB{cfg: cfg}
+	if cfg.DistCacheSize > 0 && cfg.Index.Cache == nil {
+		db.cache = newDistCache(cfg.DistCacheSize)
+		db.cfg.Index.Cache = db.cache
+	}
+	db.tree = index.New[ClipRecord](db.cfg.Index)
+	return db
 }
 
 // builtSegment is the side-effect-free part of one segment's ingest: the
@@ -166,6 +187,12 @@ func (db *VideoDB) commitSegment(stream string, b *builtSegment) (*IngestStats, 
 	}
 	if err := db.tree.AddSegment(d.BG, items); err != nil {
 		return nil, fmt.Errorf("core: indexing %s: %w", seg.Name, err)
+	}
+	if db.cache != nil {
+		// Invalidate cached distances: content hashing already makes them
+		// immune to staleness, but bumping the generation keeps the cache
+		// protocol independent of the key scheme.
+		db.cache.Bump()
 	}
 	for i, og := range d.OGs {
 		db.ogs = append(db.ogs, og)
@@ -246,7 +273,14 @@ func (db *VideoDB) QueryTrajectory(seq dist.Sequence, k int) []Match {
 // evaluations, drains the in-flight ones, and returns ctx.Err() — so a
 // disconnected HTTP client cancels its search instead of burning workers.
 func (db *VideoDB) QueryTrajectoryCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, error) {
-	return db.knnCtx(ctx, nil, seq, k, false)
+	ms, _, err := db.QueryTrajectoryStatsCtx(ctx, seq, k)
+	return ms, err
+}
+
+// QueryTrajectoryStatsCtx is QueryTrajectoryCtx returning the search's
+// filter-and-refine accounting.
+func (db *VideoDB) QueryTrajectoryStatsCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, index.SearchStats, error) {
+	return db.knnStatsCtx(ctx, nil, seq, k, false)
 }
 
 // QueryTrajectoryExact is QueryTrajectory with the exact (all-cluster)
@@ -257,7 +291,14 @@ func (db *VideoDB) QueryTrajectoryExact(seq dist.Sequence, k int) []Match {
 
 // QueryTrajectoryExactCtx is QueryTrajectoryExact with cancellation.
 func (db *VideoDB) QueryTrajectoryExactCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, error) {
-	return db.knnCtx(ctx, nil, seq, k, true)
+	ms, _, err := db.QueryTrajectoryExactStatsCtx(ctx, seq, k)
+	return ms, err
+}
+
+// QueryTrajectoryExactStatsCtx is QueryTrajectoryExactCtx returning the
+// search's filter-and-refine accounting.
+func (db *VideoDB) QueryTrajectoryExactStatsCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, index.SearchStats, error) {
+	return db.knnStatsCtx(ctx, nil, seq, k, true)
 }
 
 // QueryRange returns every indexed OG within radius of the trajectory.
@@ -267,37 +308,46 @@ func (db *VideoDB) QueryRange(seq dist.Sequence, radius float64) []Match {
 
 // QueryRangeCtx is QueryRange with cancellation.
 func (db *VideoDB) QueryRangeCtx(ctx context.Context, seq dist.Sequence, radius float64) ([]Match, error) {
+	ms, _, err := db.QueryRangeStatsCtx(ctx, seq, radius)
+	return ms, err
+}
+
+// QueryRangeStatsCtx is QueryRangeCtx returning the search's
+// filter-and-refine accounting.
+func (db *VideoDB) QueryRangeStatsCtx(ctx context.Context, seq dist.Sequence, radius float64) ([]Match, index.SearchStats, error) {
 	start := time.Now()
-	rs, err := db.tree.RangeCtx(ctx, nil, seq, radius)
+	rs, st, err := db.tree.RangeStatsCtx(ctx, nil, seq, radius)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	queryRangeSeconds.Observe(time.Since(start).Seconds())
-	return toMatches(rs), nil
+	return toMatches(rs), st, nil
 }
 
 func (db *VideoDB) knn(bg *graph.Graph, seq dist.Sequence, k int, exact bool) []Match {
-	return mustMatches(db.knnCtx(context.Background(), bg, seq, k, exact))
+	ms, _, err := db.knnStatsCtx(context.Background(), bg, seq, k, exact)
+	return mustMatches(ms, err)
 }
 
-func (db *VideoDB) knnCtx(ctx context.Context, bg *graph.Graph, seq dist.Sequence, k int, exact bool) ([]Match, error) {
+func (db *VideoDB) knnStatsCtx(ctx context.Context, bg *graph.Graph, seq dist.Sequence, k int, exact bool) ([]Match, index.SearchStats, error) {
 	start := time.Now()
 	var rs []index.Result[ClipRecord]
+	var st index.SearchStats
 	var err error
 	if exact {
-		rs, err = db.tree.KNNExactCtx(ctx, bg, seq, k)
+		rs, st, err = db.tree.KNNExactStatsCtx(ctx, bg, seq, k)
 	} else {
-		rs, err = db.tree.KNNCtx(ctx, bg, seq, k)
+		rs, st, err = db.tree.KNNStatsCtx(ctx, bg, seq, k)
 	}
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	if exact {
 		queryKNNExactSeconds.Observe(time.Since(start).Seconds())
 	} else {
 		queryKNNSeconds.Observe(time.Since(start).Seconds())
 	}
-	return toMatches(rs), nil
+	return toMatches(rs), st, nil
 }
 
 // mustMatches adapts a Ctx query to the context-free legacy surface: with

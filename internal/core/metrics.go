@@ -5,13 +5,16 @@ import (
 	"strgindex/internal/obs"
 )
 
-// The distance engine owns its eval counter (dist.TotalEvals); the bridge
-// into the exposition lives here because core is the package that always
-// links both sides.
+// The distance engine owns its eval counter (dist.TotalEvals) and DP-cell
+// counter (dist.DPCells); the bridges into the exposition live here
+// because core is the package that always links both sides.
 func init() {
 	obs.Default.CounterFunc("strg_dist_evals_total",
 		"sequence distance evaluations (EGED/EGED_M/DTW/LCS/edit/Lp)", nil,
 		func() float64 { return float64(dist.TotalEvals()) })
+	obs.Default.CounterFunc("strg_dist_dp_cells_total",
+		"dynamic-programming cells evaluated by the distance kernels", nil,
+		func() float64 { return float64(dist.DPCells()) })
 }
 
 // Pipeline instrumentation, registered against the default observability
@@ -38,4 +41,21 @@ var (
 		"database query duration in seconds, by kind", obs.Labels{"kind": "range"}, nil)
 	querySelectSeconds = obs.Default.Histogram("strg_query_seconds",
 		"database query duration in seconds, by kind", obs.Labels{"kind": "select"}, nil)
+)
+
+// Distance-cache instrumentation (see distcache.go for the protocol).
+//
+//	strg_dist_cache_hits_total       lookups answered from the cache
+//	strg_dist_cache_misses_total     lookups that fell through to the
+//	                                 cascade (including stale-generation
+//	                                 entries)
+//	strg_dist_cache_evictions_total  entries dropped by LRU pressure or
+//	                                 generation invalidation
+var (
+	cacheHits = obs.Default.Counter("strg_dist_cache_hits_total",
+		"distance-cache lookups answered from the cache", nil)
+	cacheMisses = obs.Default.Counter("strg_dist_cache_misses_total",
+		"distance-cache lookups that fell through to the cascade", nil)
+	cacheEvictions = obs.Default.Counter("strg_dist_cache_evictions_total",
+		"distance-cache entries dropped by LRU pressure or invalidation", nil)
 )

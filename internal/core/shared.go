@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"strgindex/internal/dist"
+	"strgindex/internal/index"
 	"strgindex/internal/query"
 	"strgindex/internal/shot"
 	"strgindex/internal/video"
@@ -70,6 +71,14 @@ func (s *SharedDB) QueryTrajectoryCtx(ctx context.Context, seq dist.Sequence, k 
 	return s.db.QueryTrajectoryCtx(ctx, seq, k)
 }
 
+// QueryTrajectoryStatsCtx is VideoDB.QueryTrajectoryStatsCtx under a read
+// lock.
+func (s *SharedDB) QueryTrajectoryStatsCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, index.SearchStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.QueryTrajectoryStatsCtx(ctx, seq, k)
+}
+
 // QueryTrajectoryExact is VideoDB.QueryTrajectoryExact under a read lock.
 func (s *SharedDB) QueryTrajectoryExact(seq dist.Sequence, k int) []Match {
 	s.mu.RLock()
@@ -85,6 +94,14 @@ func (s *SharedDB) QueryTrajectoryExactCtx(ctx context.Context, seq dist.Sequenc
 	return s.db.QueryTrajectoryExactCtx(ctx, seq, k)
 }
 
+// QueryTrajectoryExactStatsCtx is VideoDB.QueryTrajectoryExactStatsCtx
+// under a read lock.
+func (s *SharedDB) QueryTrajectoryExactStatsCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, index.SearchStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.QueryTrajectoryExactStatsCtx(ctx, seq, k)
+}
+
 // QueryRange is VideoDB.QueryRange under a read lock.
 func (s *SharedDB) QueryRange(seq dist.Sequence, radius float64) []Match {
 	s.mu.RLock()
@@ -97,6 +114,13 @@ func (s *SharedDB) QueryRangeCtx(ctx context.Context, seq dist.Sequence, radius 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.db.QueryRangeCtx(ctx, seq, radius)
+}
+
+// QueryRangeStatsCtx is VideoDB.QueryRangeStatsCtx under a read lock.
+func (s *SharedDB) QueryRangeStatsCtx(ctx context.Context, seq dist.Sequence, radius float64) ([]Match, index.SearchStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.QueryRangeStatsCtx(ctx, seq, radius)
 }
 
 // Select is VideoDB.Select under a read lock.

@@ -164,10 +164,27 @@ const (
 // The DP runs over two pooled rolling rows and virtualizes the gap
 // reference vectors (see dp.go), so the steady state allocates nothing.
 func EGEDWith(a, b Sequence, model GapModel, g Vec) float64 {
+	d, _ := EGEDWithUB(a, b, model, g, math.Inf(1))
+	return d
+}
+
+// EGEDWithUB is the threshold-aware form of EGEDWith: it runs the same DP
+// but abandons as soon as the minimum of a completed row exceeds ub.
+// Every cost in the DP is non-negative and every alignment path visits
+// every row, so the final distance is at least any row's minimum — once a
+// row minimum exceeds ub the true distance provably does too.
+//
+// When abandoned is false, d is the exact distance, bit-for-bit identical
+// to EGEDWith (the cutoff only observes row minima; it never changes a
+// cell). When abandoned is true, d is the offending row minimum — an
+// admissible lower bound on the true distance, which is strictly greater
+// than ub. With ub = +Inf the cutoff can never fire (rowMin > +Inf is
+// false even for rowMin = +Inf), so the exact path delegates here.
+func EGEDWithUB(a, b Sequence, model GapModel, g Vec, ub float64) (d float64, abandoned bool) {
 	totalEvals.Add(1)
 	m, n := len(a), len(b)
 	if m == 0 && n == 0 {
-		return 0
+		return 0, false
 	}
 	dim := a.Dim()
 	if dim == 0 {
@@ -185,15 +202,24 @@ func EGEDWith(a, b Sequence, model GapModel, g Vec) float64 {
 	}
 	for i := 1; i <= m; i++ {
 		cur[0] = prev[0] + gapCost(model, a[i-1], b, 0, dim, g)
+		rowMin := cur[0]
 		for j := 1; j <= n; j++ {
 			match := prev[j-1] + Norm(a[i-1], b[j-1])
 			gapA := prev[j] + gapCost(model, a[i-1], b, j, dim, g)
 			gapB := cur[j-1] + gapCost(model, b[j-1], a, i, dim, g)
 			cur[j] = math.Min(match, math.Min(gapA, gapB))
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
 		}
 		prev, cur = cur, prev
+		if rowMin > ub {
+			dpCells.Add(int64(n) + int64(i)*int64(n+1))
+			return rowMin, true
+		}
 	}
-	return prev[n]
+	dpCells.Add(int64(n) + int64(m)*int64(n+1))
+	return prev[n], false
 }
 
 // zeroVecs caches the zero gap references for the low dimensions the
@@ -228,17 +254,47 @@ func EGEDMZero(a, b Sequence) float64 { return EGEDM(a, b, nil) }
 // as a named baseline since the paper derives EGED from it.
 func ERP(a, b Sequence, g Vec) float64 { return EGEDM(a, b, g) }
 
+// MetricUB is a threshold-aware dissimilarity: it may abandon the
+// computation once the distance is provably above ub. When abandoned is
+// false, d is the exact distance (bit-identical to the plain Metric);
+// when abandoned is true, d is an admissible lower bound > ub.
+type MetricUB func(a, b Sequence, ub float64) (d float64, abandoned bool)
+
+// EGEDMUB is the threshold-aware EGED_M kernel (early row abandoning).
+func EGEDMUB(a, b Sequence, g Vec, ub float64) (float64, bool) {
+	return EGEDWithUB(a, b, GapConstant, g, ub)
+}
+
+// EGEDMZeroUB is EGEDMUB with the zero gap, in MetricUB form.
+func EGEDMZeroUB(a, b Sequence, ub float64) (float64, bool) {
+	return EGEDMUB(a, b, nil, ub)
+}
+
+// ERPUB is the threshold-aware ERP kernel (identical to EGEDMUB).
+func ERPUB(a, b Sequence, g Vec, ub float64) (float64, bool) {
+	return EGEDMUB(a, b, g, ub)
+}
+
 // DTW is classic Dynamic Time Warping: monotone alignment with repetition,
 // no gap penalty. It is not a metric (triangle inequality fails).
 // DTW of anything against an empty sequence is +Inf (no alignment exists).
 func DTW(a, b Sequence) float64 {
+	d, _ := DTWUB(a, b, math.Inf(1))
+	return d
+}
+
+// DTWUB is the threshold-aware DTW kernel: same abandoning argument as
+// EGEDWithUB (warping paths visit every row, per-cell costs are
+// non-negative), same exactness contract — with ub = +Inf or when
+// abandoned is false the result is bit-identical to DTW.
+func DTWUB(a, b Sequence, ub float64) (d float64, abandoned bool) {
 	totalEvals.Add(1)
 	m, n := len(a), len(b)
 	if m == 0 || n == 0 {
 		if m == 0 && n == 0 {
-			return 0
+			return 0, false
 		}
-		return math.Inf(1)
+		return math.Inf(1), false
 	}
 	sc := getScratch()
 	defer putScratch(sc)
@@ -249,6 +305,7 @@ func DTW(a, b Sequence) float64 {
 	}
 	for i := 1; i <= m; i++ {
 		cur[0] = math.Inf(1)
+		rowMin := math.Inf(1)
 		for j := 1; j <= n; j++ {
 			c := Norm(a[i-1], b[j-1])
 			best := prev[j-1]
@@ -259,11 +316,19 @@ func DTW(a, b Sequence) float64 {
 				best = cur[j-1]
 			}
 			cur[j] = c + best
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
 		}
 		prev, cur = cur, prev
 		prev[0] = math.Inf(1)
+		if rowMin > ub {
+			dpCells.Add(int64(i) * int64(n))
+			return rowMin, true
+		}
 	}
-	return prev[n]
+	dpCells.Add(int64(m) * int64(n))
+	return prev[n], false
 }
 
 // LCSLength returns the length of the longest common subsequence of a and
@@ -299,6 +364,7 @@ func LCSLength(a, b Sequence, eps float64) int {
 			cur[k] = 0
 		}
 	}
+	dpCells.Add(int64(m) * int64(n))
 	return prev[n]
 }
 
@@ -360,6 +426,7 @@ func EditDistance(a, b Sequence, eps float64) int {
 		}
 		prev, cur = cur, prev
 	}
+	dpCells.Add(int64(m) * int64(n))
 	return prev[n]
 }
 
@@ -411,6 +478,17 @@ var totalEvals atomic.Int64
 // TotalEvals returns the process-wide number of distance evaluations. The
 // HTTP server exposes it as the strg_dist_evals_total metric.
 func TotalEvals() int64 { return totalEvals.Load() }
+
+// dpCells counts DP cells actually evaluated by the sequence kernels
+// (EGED family, DTW, LCS, edit distance) — the denominator of the
+// filter-and-refine cascade's win: early-abandoned kernels add only the
+// rows they completed. One atomic add per kernel call, like totalEvals.
+var dpCells atomic.Int64
+
+// DPCells returns the process-wide number of DP cells evaluated. The
+// cascade benchmarks report deltas of this counter; the HTTP server
+// exposes it as strg_dist_dp_cells_total.
+func DPCells() int64 { return dpCells.Load() }
 
 // Counter counts distance evaluations. The paper's query-cost model
 // (Section 6.3) takes the number of distance evaluations as the dominant

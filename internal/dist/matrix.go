@@ -28,6 +28,13 @@ func PairwiseMatrix(seqs []Sequence, m Metric, workers int) ([][]float64, error)
 	return PairwiseMatrixCtx(context.Background(), seqs, m, workers)
 }
 
+// minParallelCells is the upper-triangle size below which PairwiseMatrix
+// runs sequentially: for small matrices the pool's goroutine startup and
+// work-claim traffic costs more than the distance evaluations it spreads
+// (the workers=2 regression in BENCH_parallel.json came from exactly this
+// per-row claim overhead on short rows).
+const minParallelCells = 512
+
 // PairwiseMatrixCtx is PairwiseMatrix with cancellation: a done context
 // abandons the remaining rows and returns ctx.Err().
 func PairwiseMatrixCtx(ctx context.Context, seqs []Sequence, m Metric, workers int) ([][]float64, error) {
@@ -37,22 +44,72 @@ func PairwiseMatrixCtx(ctx context.Context, seqs []Sequence, m Metric, workers i
 	for i := range d {
 		d[i] = cells[i*n : (i+1)*n]
 	}
-	// Row i owns cells d[i][j] and their mirrors d[j][i] for j > i; rows
-	// are claimed in order, so the long rows (low i) start first and the
-	// pool self-balances the triangle's skew.
-	err := parallel.ForEachCtx(ctx, workers, n, func(i int) error {
-		row := d[i]
-		for j := i + 1; j < n; j++ {
-			v := m(seqs[i], seqs[j])
-			row[j] = v
-			d[j][i] = v
+	// fillRows evaluates the upper-triangle cells of rows [lo, hi) and
+	// mirrors them; every cell is written by exactly one task, so results
+	// are identical to a sequential evaluation.
+	fillRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := d[i]
+			for j := i + 1; j < n; j++ {
+				v := m(seqs[i], seqs[j])
+				row[j] = v
+				d[j][i] = v
+			}
 		}
-		return nil
-	})
+	}
+	w := parallel.Workers(workers)
+	total := n * (n - 1) / 2
+	var err error
+	if w <= 1 || total < minParallelCells {
+		// Sequential fallback, still claiming row by row through the
+		// pool's sequential path so cancellation is observed per row.
+		err = parallel.ForEachCtx(ctx, 1, n, func(i int) error {
+			fillRows(i, i+1)
+			return nil
+		})
+	} else {
+		// Each task owns a contiguous block of rows holding roughly equal
+		// upper-triangle cell mass — a handful of claims per worker
+		// instead of one per row, with ~4 blocks per worker so the pool
+		// can still rebalance when metric costs are skewed.
+		chunks := rowChunks(n, 4*w)
+		err = parallel.ForEachCtx(ctx, workers, len(chunks), func(c int) error {
+			fillRows(chunks[c][0], chunks[c][1])
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, matrixErr(err)
 	}
 	return d, nil
+}
+
+// rowChunks splits the strict upper triangle of an n×n matrix into at
+// most maxChunks contiguous [lo, hi) row blocks of roughly equal cell
+// mass (row i holds n−1−i cells, so early blocks span few rows and late
+// blocks span many).
+func rowChunks(n, maxChunks int) [][2]int {
+	total := n * (n - 1) / 2
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	per := (total + maxChunks - 1) / maxChunks
+	if per < 1 {
+		per = 1
+	}
+	var chunks [][2]int
+	lo, mass := 0, 0
+	for i := 0; i < n; i++ {
+		mass += n - 1 - i
+		if mass >= per {
+			chunks = append(chunks, [2]int{lo, i + 1})
+			lo, mass = i+1, 0
+		}
+	}
+	if lo < n {
+		chunks = append(chunks, [2]int{lo, n})
+	}
+	return chunks
 }
 
 // CrossMatrix computes the rectangular distance matrix

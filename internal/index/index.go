@@ -28,12 +28,40 @@ import (
 	"strgindex/internal/parallel"
 )
 
+// DistCache is an optional cache of leaf distance evaluations, consulted
+// before the lower-bound cascade. Keys are content hashes (dist.
+// HashSequence) of the query and the stored sequence; cached values must
+// have been produced by this tree's key metric, so a hit returns the
+// exact bits an evaluation would. Implementations must be safe for
+// concurrent use (leaf scans run on the worker pool) and own their
+// invalidation — core's versioned cache bumps a generation on ingest.
+type DistCache interface {
+	Get(query, seq uint64) (float64, bool)
+	Put(query, seq uint64, d float64)
+}
+
 // Config parameterizes an STRG-Index.
 type Config struct {
 	// Metric is the leaf key metric — EGED_M in the paper. It must satisfy
 	// the metric axioms for key pruning to be sound. Nil means EGED_M with
 	// the zero gap.
 	Metric dist.Metric
+	// Cascade supplies the key metric's lower-bound cascade (admissible
+	// bounds + early-abandoning kernel) for filter-and-refine leaf scans.
+	// Nil means: the default cascade for the default metric (EGED_M, zero
+	// gap) when Metric is nil, or exact-only evaluation when a custom
+	// Metric is set (its bounds are unknown). When Cascade is set and
+	// Metric is nil, the cascade's metric becomes the key metric. Results
+	// are byte-identical with the cascade on or off: bounds are
+	// admissible and abandonment only fires strictly above the pruning
+	// threshold.
+	Cascade dist.Cascade
+	// DisableCascade forces exact-only evaluation even for the default
+	// metric (ablation/benchmark knob).
+	DisableCascade bool
+	// Cache is an optional distance cache for leaf scans. Nil disables
+	// caching. The cache must be scoped to this tree's key metric.
+	Cache DistCache
 	// ClusterDistance is the (possibly non-metric) distance used to build
 	// and choose clusters — the non-metric EGED in the paper. Nil means
 	// dist.EGED.
@@ -67,8 +95,27 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Metric == nil {
+	switch {
+	case c.DisableCascade:
+		if c.Metric == nil {
+			if c.Cascade != nil {
+				c.Metric = c.Cascade.Metric
+			} else {
+				c.Metric = dist.EGEDMZero
+			}
+		}
+		c.Cascade = dist.ExactOnly(c.Metric)
+	case c.Cascade != nil:
+		if c.Metric == nil {
+			c.Metric = c.Cascade.Metric
+		}
+	case c.Metric == nil:
 		c.Metric = dist.EGEDMZero
+		c.Cascade = dist.EGEDMCascade(nil)
+	default:
+		// A custom metric without a declared cascade: bounds unknown, so
+		// every candidate is refined exactly (pre-cascade behavior).
+		c.Cascade = dist.ExactOnly(c.Metric)
 	}
 	if c.ClusterDistance == nil {
 		c.ClusterDistance = dist.EGED
@@ -104,11 +151,29 @@ type Result[P any] struct {
 	Distance float64
 }
 
-// leafRecord is one record of a leaf node: (Key, OG_mem, ptr).
+// leafRecord is one record of a leaf node: (Key, OG_mem, ptr), extended
+// with the lower-bound cascade's per-sequence precomputation (gap sum and
+// envelope) and the sequence's content hash (distance-cache identity).
+// Both are derived from seq at insert/restore time, never serialized.
 type leafRecord[P any] struct {
 	key     float64
 	seq     dist.Sequence
 	payload P
+	sum     dist.Summary
+	hash    uint64
+}
+
+// newLeafRecord builds a leaf record for seq under centroid: the key is
+// the metric distance to the centroid, the summary and hash are the
+// cascade/cache precomputations.
+func (t *Tree[P]) newLeafRecord(centroid, seq dist.Sequence, payload P) leafRecord[P] {
+	return leafRecord[P]{
+		key:     t.cfg.Metric(seq, centroid),
+		seq:     seq,
+		payload: payload,
+		sum:     t.cfg.Cascade.Summarize(seq),
+		hash:    dist.HashSequence(seq),
+	}
 }
 
 // clusterRecord is one record of a cluster node: (iD_clus, OG_clus, ptr to
@@ -257,11 +322,7 @@ func (t *Tree[P]) buildClusters(root *rootRecord[P], items []Item[P]) error {
 		cl := &clusterRecord[P]{id: t.nextCl, centroid: res.Centroids[k]}
 		t.nextCl++
 		for _, j := range members {
-			cl.insertSorted(leafRecord[P]{
-				key:     t.cfg.Metric(items[j].Seq, cl.centroid),
-				seq:     items[j].Seq,
-				payload: items[j].Payload,
-			})
+			cl.insertSorted(t.newLeafRecord(cl.centroid, items[j].Seq, items[j].Payload))
 		}
 		root.clusters = append(root.clusters, cl)
 		t.size += len(members)
@@ -280,11 +341,7 @@ func (t *Tree[P]) insertIntoRoot(root *rootRecord[P], it Item[P]) error {
 	if best == nil {
 		return fmt.Errorf("index: root %d has no clusters", root.id)
 	}
-	best.insertSorted(leafRecord[P]{
-		key:     t.cfg.Metric(it.Seq, best.centroid),
-		seq:     it.Seq,
-		payload: it.Payload,
-	})
+	best.insertSorted(t.newLeafRecord(best.centroid, it.Seq, it.Payload))
 	t.size++
 	t.maybeSplit(root, best)
 	return nil
@@ -385,18 +442,16 @@ func (t *Tree[P]) maybeSplit(root *rootRecord[P], cl *clusterRecord[P]) {
 	cl.centroid = res2.Centroids[0]
 	cl.leaf = nil
 	for _, j := range mem0 {
-		cl.insertSorted(leafRecord[P]{
-			key:     t.cfg.Metric(records[j].seq, cl.centroid),
-			seq:     records[j].seq,
-			payload: records[j].payload,
-		})
+		// Re-key against the new centroid, but keep the record's summary
+		// and hash: both depend only on the sequence, not the cluster.
+		rec := records[j]
+		rec.key = t.cfg.Metric(rec.seq, cl.centroid)
+		cl.insertSorted(rec)
 	}
 	for _, j := range mem1 {
-		newCl.insertSorted(leafRecord[P]{
-			key:     t.cfg.Metric(records[j].seq, newCl.centroid),
-			seq:     records[j].seq,
-			payload: records[j].payload,
-		})
+		rec := records[j]
+		rec.key = t.cfg.Metric(rec.seq, newCl.centroid)
+		newCl.insertSorted(rec)
 	}
 	root.clusters = append(root.clusters, newCl)
 }

@@ -33,6 +33,50 @@ var (
 		"per-search fraction of candidate leaves pruned", nil, obs.RatioBuckets)
 )
 
+// Distance-cascade instrumentation: per-record disposition counts across
+// the filter-and-refine stages (see SearchStats for the taxonomy).
+//
+//	strg_dist_lb_pruned_total{stage}   records rejected by a lower bound
+//	strg_dist_lb_passed_total          records that survived both bounds
+//	                                   and reached the DP kernel
+//	strg_dist_dp_abandoned_total       DP kernels cut short by the
+//	                                   early-abandoning threshold
+//	strg_dist_cache_search_hits_total  records answered by the distance
+//	                                   cache without touching the cascade
+var (
+	lbPrunedQuick = obs.Default.Counter("strg_dist_lb_pruned_total",
+		"cascade records rejected by a lower bound, by stage",
+		obs.Labels{"stage": "quick"})
+	lbPrunedEnvelope = obs.Default.Counter("strg_dist_lb_pruned_total",
+		"cascade records rejected by a lower bound, by stage",
+		obs.Labels{"stage": "envelope"})
+	lbPassed = obs.Default.Counter("strg_dist_lb_passed_total",
+		"cascade records that passed all lower bounds into the DP kernel", nil)
+	dpAbandoned = obs.Default.Counter("strg_dist_dp_abandoned_total",
+		"DP evaluations abandoned early above the pruning threshold", nil)
+	cascadeCacheHits = obs.Default.Counter("strg_dist_cache_search_hits_total",
+		"cascade records answered by the distance cache", nil)
+)
+
+// observeCascade records one search's cascade accounting.
+func observeCascade(st SearchStats) {
+	if st.LBQuickPruned > 0 {
+		lbPrunedQuick.Add(int64(st.LBQuickPruned))
+	}
+	if st.LBEnvelopePruned > 0 {
+		lbPrunedEnvelope.Add(int64(st.LBEnvelopePruned))
+	}
+	if passed := st.DPEvaluated + st.DPAbandoned; passed > 0 {
+		lbPassed.Add(int64(passed))
+	}
+	if st.DPAbandoned > 0 {
+		dpAbandoned.Add(int64(st.DPAbandoned))
+	}
+	if st.CacheHits > 0 {
+		cascadeCacheHits.Add(int64(st.CacheHits))
+	}
+}
+
 // observeSearch records one search's leaf accounting: scanned leaves,
 // pruned leaves and the pruning ratio over the candidate set.
 func observeSearch(candidates, scanned int) {

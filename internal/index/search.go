@@ -11,6 +11,83 @@ import (
 	"strgindex/internal/parallel"
 )
 
+// SearchStats is one search's filter-and-refine accounting: how many
+// candidates each stage of the distance cascade disposed of. Counts are
+// deterministic at Concurrency 1; at higher worker counts the same
+// records are pruned, but snapshot thresholds inside a batch may shift a
+// few candidates between stages (never into or out of the result set).
+type SearchStats struct {
+	// CandidateLeaves is the number of leaves considered; ScannedLeaves
+	// the number actually scanned (the rest were pruned by the cluster
+	// lower bound).
+	CandidateLeaves int
+	ScannedLeaves   int
+	// Records is the number of leaf records that survived key-window
+	// pruning and entered the distance cascade.
+	Records int
+	// CacheHits is the number of records answered by the distance cache.
+	CacheHits int
+	// LBQuickPruned and LBEnvelopePruned count records rejected by the
+	// O(1) and O(m) lower bounds respectively.
+	LBQuickPruned    int
+	LBEnvelopePruned int
+	// DPEvaluated counts full DP evaluations; DPAbandoned counts DP
+	// kernels cut short by the early-abandoning threshold.
+	DPEvaluated int
+	DPAbandoned int
+}
+
+// LBPruned is the total number of records rejected by lower bounds.
+func (s SearchStats) LBPruned() int { return s.LBQuickPruned + s.LBEnvelopePruned }
+
+// add accumulates another (per-leaf or per-cluster) stats block.
+func (s *SearchStats) add(o SearchStats) {
+	s.Records += o.Records
+	s.CacheHits += o.CacheHits
+	s.LBQuickPruned += o.LBQuickPruned
+	s.LBEnvelopePruned += o.LBEnvelopePruned
+	s.DPEvaluated += o.DPEvaluated
+	s.DPAbandoned += o.DPAbandoned
+}
+
+// queryState is the per-search precomputation shared by every leaf scan:
+// the query's cascade summary and content hash, plus handles resolved
+// once instead of per record.
+type queryState struct {
+	query dist.Sequence
+	qs    dist.Summary
+	qh    uint64
+	casc  dist.Cascade
+	cache DistCache
+}
+
+func (t *Tree[P]) newQueryState(query dist.Sequence) *queryState {
+	q := &queryState{query: query, casc: t.cfg.Cascade, cache: t.cfg.Cache}
+	q.qs = q.casc.Summarize(query)
+	if q.cache != nil {
+		q.qh = dist.HashSequence(query)
+	}
+	return q
+}
+
+// cachedDist looks the (query, record) pair up in the distance cache.
+// Cached values were produced by the same deterministic kernel under
+// content-hash identity, so a hit is bit-identical to re-evaluating.
+func (q *queryState) cachedDist(hash uint64) (float64, bool) {
+	if q.cache == nil {
+		return 0, false
+	}
+	return q.cache.Get(q.qh, hash)
+}
+
+// putDist records a fully evaluated distance. Abandoned evaluations are
+// never cached — they are threshold-relative, not values of the metric.
+func (q *queryState) putDist(hash uint64, d float64) {
+	if q.cache != nil {
+		q.cache.Put(q.qh, hash, d)
+	}
+}
+
 // KNN implements Algorithm 3: match the query background against the root
 // records with SimGraph (skipped when bg is nil — "when a query does not
 // consider a background"), descend to the most similar centroid OG under
@@ -32,8 +109,20 @@ func (t *Tree[P]) KNN(bg *graph.Graph, query dist.Sequence, k int) []Result[P] {
 // claiming centroid evaluations, in-flight ones drain, and ctx.Err() is
 // returned. A cancelled search returns no partial results.
 func (t *Tree[P]) KNNCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, k int) ([]Result[P], error) {
+	res, _, err := t.KNNStatsCtx(ctx, bg, query, k)
+	return res, err
+}
+
+// KNNStats is KNN returning the search's cascade accounting.
+func (t *Tree[P]) KNNStats(bg *graph.Graph, query dist.Sequence, k int) ([]Result[P], SearchStats, error) {
+	return t.KNNStatsCtx(context.Background(), bg, query, k)
+}
+
+// KNNStatsCtx is KNNCtx returning the search's cascade accounting.
+func (t *Tree[P]) KNNStatsCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, k int) ([]Result[P], SearchStats, error) {
+	var st SearchStats
 	if k <= 0 || t.size == 0 {
-		return nil, nil
+		return nil, st, nil
 	}
 	searchesKNN.Inc()
 	cls := t.candidateClusters(bg)
@@ -41,15 +130,19 @@ func (t *Tree[P]) KNNCtx(ctx context.Context, bg *graph.Graph, query dist.Sequen
 	// Step 3: most similar centroid across the candidate roots.
 	best, err := argminClusterCtx(ctx, cls, query, t.cfg.ClusterDistance, t.cfg.Concurrency)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	if best < 0 {
-		return nil, nil
+		return nil, st, nil
 	}
 	h := newResultHeap[P](k)
-	t.searchLeaf(cls[best], query, 0, h)
+	q := t.newQueryState(query)
+	cl := cls[best]
+	t.searchLeafWithCentroidDist(cl, q, t.cfg.Metric(query, cl.centroid), 0, h, math.Inf(1), &st)
+	st.CandidateLeaves, st.ScannedLeaves = len(cls), 1
 	observeSearch(len(cls), 1)
-	return h.sorted(), nil
+	observeCascade(st)
+	return h.sorted(), st, nil
 }
 
 // KNNExact searches every cluster best-first with metric lower bounds, so
@@ -77,8 +170,21 @@ func (t *Tree[P]) KNNExact(bg *graph.Graph, query dist.Sequence, k int) []Result
 // in-flight leaf scans. A cancelled search returns ctx.Err() and no
 // partial results.
 func (t *Tree[P]) KNNExactCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, k int) ([]Result[P], error) {
+	res, _, err := t.KNNExactStatsCtx(ctx, bg, query, k)
+	return res, err
+}
+
+// KNNExactStats is KNNExact returning the search's cascade accounting.
+func (t *Tree[P]) KNNExactStats(bg *graph.Graph, query dist.Sequence, k int) ([]Result[P], SearchStats, error) {
+	return t.KNNExactStatsCtx(context.Background(), bg, query, k)
+}
+
+// KNNExactStatsCtx is KNNExactCtx returning the search's cascade
+// accounting.
+func (t *Tree[P]) KNNExactStatsCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, k int) ([]Result[P], SearchStats, error) {
+	var st SearchStats
 	if k <= 0 || t.size == 0 {
-		return nil, nil
+		return nil, st, nil
 	}
 	searchesKNNExact.Inc()
 	cls := t.candidateClusters(bg)
@@ -90,7 +196,7 @@ func (t *Tree[P]) KNNExactCtx(ctx context.Context, bg *graph.Graph, query dist.S
 		return t.cfg.Metric(query, cls[i].centroid), nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	type cand struct {
 		cl    *clusterRecord[P]
@@ -105,41 +211,55 @@ func (t *Tree[P]) KNNExactCtx(ctx context.Context, bg *graph.Graph, query dist.S
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].bound < cands[j].bound })
 
+	q := t.newQueryState(query)
 	h := newResultHeap[P](k)
 	batch := parallel.Workers(t.cfg.Concurrency)
 	var scanned atomic.Int64
+	type leafScan struct {
+		h  *resultHeap[P]
+		st SearchStats
+	}
 	for start := 0; start < len(cands); start += batch {
 		if h.full() && cands[start].bound > h.worst() {
 			break
 		}
 		end := min(start+batch, len(cands))
 		// Snapshot the global worst: h is not mutated during the batch, so
-		// workers can prune against it without synchronizing.
+		// workers can prune against it without synchronizing. Once the
+		// global heap is full its worst only decreases, so any record a
+		// scan drops against this snapshot would also lose the merge.
 		worst, pruning := h.worst(), h.full()
-		locals, err := parallel.MapCtx(ctx, t.cfg.Concurrency, end-start, func(i int) (*resultHeap[P], error) {
+		bound := math.Inf(1)
+		if pruning {
+			bound = worst
+		}
+		locals, err := parallel.MapCtx(ctx, t.cfg.Concurrency, end-start, func(i int) (*leafScan, error) {
 			c := cands[start+i]
 			if pruning && c.bound > worst {
 				return nil, nil
 			}
 			scanned.Add(1)
-			lh := newResultHeap[P](k)
-			t.searchLeafWithCentroidDist(c.cl, query, c.keyQ, start+i, lh)
-			return lh, nil
+			ls := &leafScan{h: newResultHeap[P](k)}
+			t.searchLeafWithCentroidDist(c.cl, q, c.keyQ, start+i, ls.h, bound, &ls.st)
+			return ls, nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
-		for _, lh := range locals {
-			if lh == nil {
+		for _, ls := range locals {
+			if ls == nil {
 				continue
 			}
-			for _, it := range lh.items {
+			for _, it := range ls.h.items {
 				h.offer(it.res, it.ord)
 			}
+			st.add(ls.st)
 		}
 	}
-	observeSearch(len(cands), int(scanned.Load()))
-	return h.sorted(), nil
+	st.CandidateLeaves, st.ScannedLeaves = len(cands), int(scanned.Load())
+	observeSearch(st.CandidateLeaves, st.ScannedLeaves)
+	observeCascade(st)
+	return h.sorted(), st, nil
 }
 
 // Range returns every indexed OG within radius of the query under the key
@@ -156,37 +276,82 @@ func (t *Tree[P]) Range(bg *graph.Graph, query dist.Sequence, radius float64) []
 // RangeCtx is Range with cancellation: once ctx is done the pool stops
 // claiming cluster scans, in-flight ones drain, and ctx.Err() is returned.
 func (t *Tree[P]) RangeCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, radius float64) ([]Result[P], error) {
+	res, _, err := t.RangeStatsCtx(ctx, bg, query, radius)
+	return res, err
+}
+
+// RangeStatsCtx is RangeCtx returning the search's cascade accounting.
+// The radius is a fixed refinement threshold, so every cascade stage
+// prunes against it: a record whose lower bound exceeds the radius, or
+// whose DP abandons above it, provably is not a hit.
+func (t *Tree[P]) RangeStatsCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, radius float64) ([]Result[P], SearchStats, error) {
+	var st SearchStats
 	searchesRange.Inc()
 	cls := t.candidateClusters(bg)
 	nodeVisits.Add(int64(len(cls)))
+	q := t.newQueryState(query)
 	var scanned atomic.Int64
-	lists, err := parallel.MapCtx(ctx, t.cfg.Concurrency, len(cls), func(i int) ([]Result[P], error) {
+	type clusterScan struct {
+		hits []Result[P]
+		st   SearchStats
+	}
+	scans, err := parallel.MapCtx(ctx, t.cfg.Concurrency, len(cls), func(i int) (*clusterScan, error) {
 		cl := cls[i]
 		dc := t.cfg.Metric(query, cl.centroid)
 		if dc-cl.maxKey() > radius {
 			return nil, nil
 		}
 		scanned.Add(1)
+		cs := &clusterScan{}
 		// Key window: |key - dc| <= radius is necessary for a hit.
-		var hits []Result[P]
 		lo := sort.Search(len(cl.leaf), func(i int) bool { return cl.leaf[i].key >= dc-radius })
 		for i := lo; i < len(cl.leaf) && cl.leaf[i].key <= dc+radius; i++ {
-			if d := t.cfg.Metric(query, cl.leaf[i].seq); d <= radius {
-				hits = append(hits, Result[P]{Payload: cl.leaf[i].payload, Distance: d})
+			rec := &cl.leaf[i]
+			cs.st.Records++
+			if d, ok := q.cachedDist(rec.hash); ok {
+				cs.st.CacheHits++
+				if d <= radius {
+					cs.hits = append(cs.hits, Result[P]{Payload: rec.payload, Distance: d})
+				}
+				continue
+			}
+			if lb := q.casc.LBQuick(query, rec.seq, q.qs, rec.sum); lb > radius {
+				cs.st.LBQuickPruned++
+				continue
+			}
+			if lb := q.casc.LBEnvelope(query, rec.sum); lb > radius {
+				cs.st.LBEnvelopePruned++
+				continue
+			}
+			d, abandoned := q.casc.DistanceUB(query, rec.seq, radius)
+			if abandoned {
+				cs.st.DPAbandoned++
+				continue
+			}
+			cs.st.DPEvaluated++
+			q.putDist(rec.hash, d)
+			if d <= radius {
+				cs.hits = append(cs.hits, Result[P]{Payload: rec.payload, Distance: d})
 			}
 		}
-		return hits, nil
+		return cs, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	observeSearch(len(cls), int(scanned.Load()))
 	var out []Result[P]
-	for _, l := range lists {
-		out = append(out, l...)
+	for _, cs := range scans {
+		if cs == nil {
+			continue
+		}
+		out = append(out, cs.hits...)
+		st.add(cs.st)
 	}
+	st.CandidateLeaves, st.ScannedLeaves = len(cls), int(scanned.Load())
+	observeSearch(st.CandidateLeaves, st.ScannedLeaves)
+	observeCascade(st)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
-	return out, nil
+	return out, st, nil
 }
 
 // candidateRoots applies Algorithm 3 step 2: the most similar stored
@@ -223,15 +388,22 @@ func (t *Tree[P]) candidateClusters(bg *graph.Graph) []*clusterRecord[P] {
 	return cls
 }
 
-// searchLeaf k-NNs one leaf: compute Key_q = d(query, centroid) once, then
+// searchLeafWithCentroidDist k-NNs one leaf through the distance cascade:
 // expand outward from Key_q's position in the sorted keys, stopping each
 // side when the reverse triangle inequality (|key - Key_q| <= d(query,
-// member)) proves no closer member can remain.
-func (t *Tree[P]) searchLeaf(cl *clusterRecord[P], query dist.Sequence, leafRank int, h *resultHeap[P]) {
-	t.searchLeafWithCentroidDist(cl, query, t.cfg.Metric(query, cl.centroid), leafRank, h)
-}
-
-func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], query dist.Sequence, keyQ float64, leafRank int, h *resultHeap[P]) {
+// member)) proves no closer member can remain, and running each surviving
+// record through cache -> LBQuick -> LBEnvelope -> early-abandoning DP.
+//
+// Every pruning comparison is strictly `>` against the threshold, and
+// every bound (including the DP's row minimum) is <= the true distance,
+// so a record whose distance ties the heap's worst is never pruned — the
+// (distance, ordinal) tie-break sees exactly the same contenders as an
+// exhaustive scan, keeping results byte-identical with the cascade off.
+//
+// bound is an external threshold that is valid for the whole scan (the
+// batch-snapshot global worst in KNNExact; +Inf when there is none): the
+// effective threshold is min(bound, local heap worst once full).
+func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], q *queryState, keyQ float64, leafRank int, h *resultHeap[P], bound float64, st *SearchStats) {
 	n := len(cl.leaf)
 	if n == 0 {
 		return
@@ -259,9 +431,13 @@ func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], query dist.Se
 			i = hi
 			hi++
 		}
-		rec := cl.leaf[i]
+		rec := &cl.leaf[i]
+		thresh := bound
+		if h.full() && h.worst() < thresh {
+			thresh = h.worst()
+		}
 		gap := math.Abs(rec.key - keyQ)
-		if h.full() && gap > h.worst() {
+		if gap > thresh {
 			// Keys only diverge further on both sides once the nearer side
 			// has been exhausted in order; this record's side is done.
 			if i < start {
@@ -271,7 +447,27 @@ func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], query dist.Se
 			}
 			continue
 		}
-		d := t.cfg.Metric(query, rec.seq)
+		st.Records++
+		if d, ok := q.cachedDist(rec.hash); ok {
+			st.CacheHits++
+			h.offer(Result[P]{Payload: rec.payload, Distance: d}, uint64(leafRank)<<32|uint64(step))
+			continue
+		}
+		if lb := q.casc.LBQuick(q.query, rec.seq, q.qs, rec.sum); lb > thresh {
+			st.LBQuickPruned++
+			continue
+		}
+		if lb := q.casc.LBEnvelope(q.query, rec.sum); lb > thresh {
+			st.LBEnvelopePruned++
+			continue
+		}
+		d, abandoned := q.casc.DistanceUB(q.query, rec.seq, thresh)
+		if abandoned {
+			st.DPAbandoned++
+			continue
+		}
+		st.DPEvaluated++
+		q.putDist(rec.hash, d)
 		h.offer(Result[P]{Payload: rec.payload, Distance: d}, uint64(leafRank)<<32|uint64(step))
 	}
 }

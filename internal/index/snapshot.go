@@ -74,10 +74,14 @@ func FromSnapshot[P any](s Snapshot[P], cfg Config) (*Tree[P], error) {
 			}
 			cl := &clusterRecord[P]{id: cs.ID, centroid: cs.Centroid}
 			for i := range cs.Keys {
+				// The cascade summary and cache hash are derived state;
+				// recompute them rather than trusting the snapshot.
 				cl.leaf = append(cl.leaf, leafRecord[P]{
 					key:     cs.Keys[i],
 					seq:     cs.Seqs[i],
 					payload: cs.Payloads[i],
+					sum:     t.cfg.Cascade.Summarize(cs.Seqs[i]),
+					hash:    dist.HashSequence(cs.Seqs[i]),
 				})
 				t.size++
 			}

@@ -10,6 +10,11 @@
 //	GET  /healthz              liveness probe
 //	GET  /metrics              Prometheus text exposition
 //
+// The knn and range queries reply with the envelope
+// {"matches": [...], "stats": {...}} where stats is the search's
+// filter-and-refine accounting (candidates evaluated, records pruned by
+// each lower-bound stage, DP kernels abandoned, cache hits).
+//
 // Every error response is the JSON envelope
 // {"error": {"code", "message", "request_id"}} with a stable
 // machine-readable code (see errors.go); the request ID also appears in
@@ -35,6 +40,7 @@ import (
 	"strgindex/internal/core"
 	"strgindex/internal/dist"
 	"strgindex/internal/geom"
+	"strgindex/internal/index"
 	"strgindex/internal/obs"
 	"strgindex/internal/query"
 	"strgindex/internal/video"
@@ -226,6 +232,38 @@ func toMatchJSON(ms []core.Match) []matchJSON {
 	return out
 }
 
+// searchStatsJSON is one search's filter-and-refine accounting on the
+// wire (see index.SearchStats for the taxonomy).
+type searchStatsJSON struct {
+	CandidateLeaves  int `json:"candidate_leaves"`
+	ScannedLeaves    int `json:"scanned_leaves"`
+	Records          int `json:"records"`
+	CacheHits        int `json:"cache_hits"`
+	LBQuickPruned    int `json:"lb_quick_pruned"`
+	LBEnvelopePruned int `json:"lb_envelope_pruned"`
+	DPEvaluated      int `json:"dp_evaluated"`
+	DPAbandoned      int `json:"dp_abandoned"`
+}
+
+func toStatsJSON(st index.SearchStats) searchStatsJSON {
+	return searchStatsJSON{
+		CandidateLeaves:  st.CandidateLeaves,
+		ScannedLeaves:    st.ScannedLeaves,
+		Records:          st.Records,
+		CacheHits:        st.CacheHits,
+		LBQuickPruned:    st.LBQuickPruned,
+		LBEnvelopePruned: st.LBEnvelopePruned,
+		DPEvaluated:      st.DPEvaluated,
+		DPAbandoned:      st.DPAbandoned,
+	}
+}
+
+// queryResponse is the POST /v1/query/{knn,range} reply envelope.
+type queryResponse struct {
+	Matches []matchJSON     `json:"matches"`
+	Stats   searchStatsJSON `json:"stats"`
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
 	if !s.decode(w, r, s.opts.MaxIngestBodyBytes, &req) {
@@ -280,16 +318,17 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		req.K = 5
 	}
 	var matches []core.Match
+	var st index.SearchStats
 	if req.Exact {
-		matches, err = s.db.QueryTrajectoryExactCtx(r.Context(), seq, req.K)
+		matches, st, err = s.db.QueryTrajectoryExactStatsCtx(r.Context(), seq, req.K)
 	} else {
-		matches, err = s.db.QueryTrajectoryCtx(r.Context(), seq, req.K)
+		matches, st, err = s.db.QueryTrajectoryStatsCtx(r.Context(), seq, req.K)
 	}
 	if err != nil {
 		s.queryError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toMatchJSON(matches))
+	writeJSON(w, http.StatusOK, queryResponse{Matches: toMatchJSON(matches), Stats: toStatsJSON(st)})
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -306,12 +345,12 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "radius must be positive")
 		return
 	}
-	matches, err := s.db.QueryRangeCtx(r.Context(), seq, req.Radius)
+	matches, st, err := s.db.QueryRangeStatsCtx(r.Context(), seq, req.Radius)
 	if err != nil {
 		s.queryError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toMatchJSON(matches))
+	writeJSON(w, http.StatusOK, queryResponse{Matches: toMatchJSON(matches), Stats: toStatsJSON(st)})
 }
 
 // selectRequest is a declarative predicate description.

@@ -52,6 +52,16 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	return s, ts
 }
 
+// decodeQuery parses the enveloped /v1/query/{knn,range} response.
+func decodeQuery(t *testing.T, body []byte) queryResponse {
+	t.Helper()
+	var q queryResponse
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatalf("decoding query response %s: %v", body, err)
+	}
+	return q
+}
+
 // decodeSelect parses the enveloped /v1/query/select response.
 func decodeSelect(t *testing.T, body []byte) selectResponse {
 	t.Helper()
@@ -122,15 +132,19 @@ func TestKNNQuery(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var matches []map[string]any
-	if err := json.Unmarshal(body, &matches); err != nil {
-		t.Fatal(err)
+	q := decodeQuery(t, body)
+	if len(q.Matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(q.Matches))
 	}
-	if len(matches) != 1 {
-		t.Fatalf("matches = %d, want 1", len(matches))
+	if q.Matches[0].Label != "high" {
+		t.Errorf("top match label = %v, want high", q.Matches[0].Label)
 	}
-	if matches[0]["label"] != "high" {
-		t.Errorf("top match label = %v, want high", matches[0]["label"])
+	if q.Stats.Records == 0 {
+		t.Errorf("stats.records = 0, want > 0 (%s)", body)
+	}
+	if got := q.Stats.CacheHits + q.Stats.LBQuickPruned + q.Stats.LBEnvelopePruned +
+		q.Stats.DPEvaluated + q.Stats.DPAbandoned; got != q.Stats.Records {
+		t.Errorf("stats dispositions = %d, want records = %d (%s)", got, q.Stats.Records, body)
 	}
 }
 
@@ -144,12 +158,9 @@ func TestRangeQuery(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var matches []map[string]any
-	if err := json.Unmarshal(body, &matches); err != nil {
-		t.Fatal(err)
-	}
-	if len(matches) != 1 {
-		t.Errorf("matches = %d, want 1", len(matches))
+	q := decodeQuery(t, body)
+	if len(q.Matches) != 1 {
+		t.Errorf("matches = %d, want 1", len(q.Matches))
 	}
 }
 
@@ -343,11 +354,8 @@ func TestNewFromReader(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var matches []map[string]any
-	if err := json.Unmarshal(body, &matches); err != nil {
-		t.Fatal(err)
-	}
-	if len(matches) != 1 || matches[0]["label"] != "walker" {
+	q := decodeQuery(t, body)
+	if len(q.Matches) != 1 || q.Matches[0].Label != "walker" {
 		t.Errorf("matches = %s", body)
 	}
 	if _, err := NewFromReader(bytes.NewReader([]byte("junk")), core.DefaultConfig()); err == nil {
