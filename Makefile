@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race vet bench bench-json bench-cascade cover experiments experiments-full examples clean
+.PHONY: build test test-race vet chaos bench bench-json bench-cascade cover experiments experiments-full examples clean
 
 build:
 	go build ./...
@@ -11,15 +11,23 @@ vet:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
-# Default test path: static checks, the full suite, and a race-detector run
+# Default test path: static checks, the full suite, a race-detector run
 # of the concurrency-heavy packages (distance cascade, index search, HTTP
-# middleware/observability).
+# middleware/observability), and the crash-recovery fault-injection matrix.
 test: vet
 	go test ./...
 	go test -race ./internal/dist ./internal/index ./internal/server
+	$(MAKE) chaos
 
 test-race:
 	go test -race ./...
+
+# Crash-recovery fault-injection matrix: every WAL prefix (including
+# mid-record tears), torn snapshots, rotation crash states, and bit flips
+# in both containers, under the internal/faultfs injection filesystem.
+chaos:
+	go test -race -count=1 -run 'Crash|EveryPrefix|Durable|BitFlip|Torn|Atomic' \
+		./internal/wal ./internal/faultfs ./internal/core
 
 cover:
 	go test -cover ./internal/...

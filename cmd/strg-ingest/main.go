@@ -42,10 +42,9 @@ func main() {
 		fmt.Printf("%s: %d frames, %d temporal edges, %d OGs, %d BG nodes\n",
 			seg.Name, st.Frames, st.TemporalEdges, st.OGs, st.BGNodes)
 		if *out != "" {
-			fo, err := os.Create(*out)
-			fail(err)
-			fail(db.Save(fo))
-			fail(fo.Close())
+			// Atomic: temp file + fsync + rename, so a crash mid-save can
+			// never leave a half-written database at *out.
+			fail(db.SaveFile(nil, *out))
 			fmt.Printf("saved database to %s\n", *out)
 		}
 		return
@@ -86,10 +85,7 @@ func main() {
 		float64(s.STRGBytes)/float64(s.IndexBytes))
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		fail(err)
-		fail(db.Save(f))
-		fail(f.Close())
+		fail(db.SaveFile(nil, *out))
 		fmt.Printf("saved database to %s\n", *out)
 	}
 }

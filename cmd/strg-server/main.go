@@ -1,6 +1,6 @@
 // Command strg-server serves a video database over HTTP (JSON API).
 //
-//	strg-server -addr :8080 [-db db.gob] [-pprof]
+//	strg-server -addr :8080 [-data-dir ./data] [-db db.gob] [-pprof]
 //
 // Endpoints:
 //
@@ -9,12 +9,29 @@
 //	POST /v1/query/range    radius search
 //	POST /v1/query/select   predicate search (region / heading / speed / U-turn)
 //	GET  /v1/stats          database statistics
-//	GET  /healthz           liveness probe
+//	GET  /healthz           liveness probe (200 while the process runs)
+//	GET  /readyz            readiness probe (503 until recovery completes,
+//	                        and again while shutdown drains)
 //	GET  /metrics           Prometheus text exposition
 //
+// With -data-dir the database is durable: every ingest is written to a
+// checksummed write-ahead log before it is acknowledged, and on boot the
+// server recovers by loading the last snapshot and replaying the log —
+// the listener answers probes during replay, but /readyz stays 503 until
+// the database is consistent.
+//
+// Admission control sheds load before it hurts: at most -max-inflight
+// API requests run concurrently, excess requests wait up to
+// -queue-timeout and are then refused with 429 + Retry-After, and every
+// request carries a -request-timeout server-side deadline (504 when
+// exceeded). Probe and metrics endpoints are exempt.
+//
 // With -pprof, net/http/pprof profiling handlers are mounted under
-// /debug/pprof/. SIGINT/SIGTERM trigger a graceful shutdown: the listener
-// stops accepting, in-flight requests get up to 10s to drain.
+// /debug/pprof/. SIGINT/SIGTERM trigger a graceful shutdown: readiness
+// drops, the listener stops accepting, in-flight requests get -grace to
+// drain, and a durable database writes a final checkpoint so the next
+// boot loads one snapshot instead of replaying the log. A second signal
+// forces immediate exit.
 //
 // See internal/server for the request formats.
 package main
@@ -23,9 +40,11 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -34,63 +53,141 @@ import (
 	"strgindex/internal/server"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	addr := flag.String("addr", ":8080", "listen address")
-	dbPath := flag.String("db", "", "optional database file written by strg-ingest to preload")
+	dataDir := flag.String("data-dir", "", "durable data directory (write-ahead log + snapshots); empty = in-memory only")
+	dbPath := flag.String("db", "", "optional database file written by strg-ingest to preload (in-memory mode)")
 	workers := flag.Int("workers", 0, "worker budget for ingest and search (0 = one per CPU, 1 = sequential); responses are identical at every setting")
 	distCache := flag.Int("dist-cache", -1, "distance cache capacity in entries (0 disables, negative = built-in default); results are identical either way")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
+	maxInFlight := flag.Int("max-inflight", 256, "maximum concurrently served API requests (0 = unlimited); excess requests are shed with 429")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "how long a request may wait for an in-flight slot before 429")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "server-side deadline per API request (0 = none)")
 	flag.Parse()
 
 	logger := obs.NewLogger()
+	if *dataDir != "" && *dbPath != "" {
+		logger.Error("-data-dir and -db are mutually exclusive (put the ingested database in the data dir instead)")
+		return 2
+	}
 	cfg := core.DefaultConfig()
 	cfg.Concurrency = *workers
 	cfg.DistCacheSize = *distCache
-	opts := server.Options{Logger: logger, EnablePprof: *pprof}
-
-	srv := server.NewWith(cfg, opts)
-	if *dbPath != "" {
-		// Preload by replaying into the shared DB via core.Load.
-		f, err := os.Open(*dbPath)
-		if err != nil {
-			logger.Error("open database", "err", err)
-			os.Exit(1)
-		}
-		loaded, err := server.NewFromReaderWith(f, cfg, opts)
-		f.Close()
-		if err != nil {
-			logger.Error("load database", "path", *dbPath, "err", err)
-			os.Exit(1)
-		}
-		srv = loaded
-		st := srv.DB().Stats()
-		logger.Info("database loaded", "path", *dbPath, "ogs", st.OGs, "clusters", st.Clusters)
+	opts := server.Options{
+		Logger:         logger,
+		EnablePprof:    *pprof,
+		MaxInFlight:    *maxInFlight,
+		QueueTimeout:   *queueTimeout,
+		RequestTimeout: *requestTimeout,
+		StartUnready:   true,
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	// Bind before recovery so orchestrator probes reach us immediately:
+	// /healthz says the process lives, /readyz says not yet.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		return 1
+	}
+	logger.Info("listening", "addr", ln.Addr().String(), "pprof", *pprof)
+
+	var handler atomic.Pointer[http.Handler]
+	boot := http.Handler(http.HandlerFunc(recoveringHandler))
+	handler.Store(&boot)
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	})}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() {
-		logger.Info("listening", "addr", *addr, "pprof", *pprof)
-		errc <- hs.ListenAndServe()
-	}()
+	var srv *server.Server
+	var db *core.SharedDB
+	switch {
+	case *dataDir != "":
+		shared, rec, err := core.OpenDurable(cfg, core.Durability{Dir: *dataDir})
+		if err != nil {
+			logger.Error("recovery failed", "dir", *dataDir, "err", err)
+			return 1
+		}
+		db = shared
+		logger.Info("recovered",
+			"dir", *dataDir,
+			"snapshot", rec.SnapshotLoaded,
+			"wal_logs", rec.ReplayedLogs,
+			"wal_records", rec.ReplayedRecords,
+			"torn_tail", rec.TornTail,
+			"duration_ms", float64(rec.Duration.Nanoseconds())/1e6)
+		srv = server.NewShared(shared, opts)
+	case *dbPath != "":
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			logger.Error("open database", "err", err)
+			return 1
+		}
+		srv, err = server.NewFromReaderWith(f, cfg, opts)
+		f.Close()
+		if err != nil {
+			logger.Error("load database", "path", *dbPath, "err", err)
+			return 1
+		}
+	default:
+		srv = server.NewWith(cfg, opts)
+	}
+	live := http.Handler(srv)
+	handler.Store(&live)
+	srv.SetReady(true)
+	st := srv.DB().Stats()
+	logger.Info("ready", "segments", st.Segments, "ogs", st.OGs, "clusters", st.Clusters)
 
 	select {
 	case err := <-errc:
 		logger.Error("serve", "err", err)
-		os.Exit(1)
+		return 1
 	case <-ctx.Done():
 	}
+	// Unregister the handler: a second SIGTERM takes the default
+	// disposition and kills the process outright.
+	stop()
 
-	// Drain: stop accepting, give in-flight requests 10s to finish.
-	logger.Info("shutting down", "grace", "10s")
-	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	srv.SetReady(false)
+	logger.Info("shutting down", "grace", grace.String())
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Error("shutdown", "err", err)
-		os.Exit(1)
+	}
+	if db != nil {
+		// Fold the log into a final snapshot so the next boot is a single
+		// file load; failure is not fatal — the WAL already has everything.
+		if err := db.Checkpoint(); err != nil {
+			logger.Warn("final checkpoint", "err", err)
+		}
+		if err := db.Close(); err != nil {
+			logger.Error("closing database", "err", err)
+			return 1
+		}
+		logger.Info("database closed")
 	}
 	logger.Info("bye")
+	return 0
+}
+
+// recoveringHandler answers probes while recovery replays the log: the
+// process is alive but not ready, and API requests get a clean 503.
+func recoveringHandler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_, _ = w.Write([]byte(`{"error":{"code":"unavailable","message":"recovering"}}` + "\n"))
 }

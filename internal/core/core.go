@@ -107,6 +107,10 @@ type VideoDB struct {
 	// ClipRecords) for predicate queries.
 	ogs     []*strg.OG
 	records []ClipRecord
+	// onCommit, when set, runs at the top of every segment commit, before
+	// any database state mutates — the write-ahead hook of the durability
+	// layer (see durable.go). An error aborts the commit.
+	onCommit func(stream string, seg *video.Segment) error
 }
 
 // Open creates an empty database.
@@ -171,6 +175,11 @@ func (db *VideoDB) IngestSegment(stream string, seg *video.Segment) (*IngestStat
 // size accounting all depend on ingest order, so commits stay sequential.
 func (db *VideoDB) commitSegment(stream string, b *builtSegment) (*IngestStats, error) {
 	seg, s, d := b.seg, b.s, b.d
+	if db.onCommit != nil {
+		if err := db.onCommit(stream, seg); err != nil {
+			return nil, fmt.Errorf("core: write-ahead log for %s: %w", seg.Name, err)
+		}
+	}
 	items := make([]index.Item[ClipRecord], len(d.OGs))
 	for i, og := range d.OGs {
 		clip := og.Clip

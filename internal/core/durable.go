@@ -1,0 +1,490 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"strgindex/internal/faultfs"
+	"strgindex/internal/video"
+	"strgindex/internal/wal"
+)
+
+// Durability configures crash-safe persistence for a SharedDB: every
+// ingest is appended to a write-ahead log (fsynced) before it mutates the
+// in-memory database, and the log is periodically folded into a
+// checksummed snapshot.
+//
+// The directory holds one current snapshot plus a chain of sequence-
+// numbered logs:
+//
+//	snapshot.strg       versioned, checksummed, atomically renamed
+//	wal-00000001.log    ingest operations since (or before) the snapshot
+//	wal-00000002.log    ...
+//
+// The snapshot records the first log sequence it does NOT cover; recovery
+// loads the snapshot and replays the remaining logs in order, truncating
+// a torn final record.
+type Durability struct {
+	// Dir is the data directory (created if missing). Required.
+	Dir string
+	// FS is the filesystem to operate on. Nil means the real one; tests
+	// inject faults here.
+	FS faultfs.FS
+	// SnapshotOps triggers a background snapshot + log rotation once this
+	// many operations have accumulated in the log chain since the last
+	// snapshot. 0 means the 256 default; negative disables the trigger.
+	SnapshotOps int
+	// SnapshotBytes triggers the same once the current log exceeds this
+	// size. 0 means the 64 MiB default; negative disables the trigger.
+	SnapshotBytes int64
+}
+
+// DefaultSnapshotOps and DefaultSnapshotBytes are the rotation thresholds
+// selected by zero Durability fields.
+const (
+	DefaultSnapshotOps   = 256
+	DefaultSnapshotBytes = 64 << 20
+)
+
+const (
+	snapshotName = "snapshot.strg"
+	walNameFmt   = "wal-%08d.log"
+)
+
+func walFileName(seq uint64) string { return fmt.Sprintf(walNameFmt, seq) }
+
+// parseWALName extracts the sequence from a wal file name, reporting
+// whether the name is one.
+func parseWALName(name string) (uint64, bool) {
+	var seq uint64
+	if n, err := fmt.Sscanf(name, walNameFmt, &seq); n == 1 && err == nil && name == walFileName(seq) {
+		return seq, true
+	}
+	return 0, false
+}
+
+// RecoveryStats reports what OpenDurable did to reach a servable state.
+type RecoveryStats struct {
+	// SnapshotLoaded reports whether a snapshot file was found and loaded.
+	SnapshotLoaded bool
+	// ReplayedLogs and ReplayedRecords count the WAL chain re-applied on
+	// top of the snapshot.
+	ReplayedLogs    int
+	ReplayedRecords int
+	// TornTail reports whether the final log ended in a partial record
+	// (the residue of a crash mid-append) that was measured off and
+	// truncated.
+	TornTail bool
+	// Duration is the wall time of recovery.
+	Duration time.Duration
+}
+
+// walOp is one logged ingest operation. Replay re-runs the deterministic
+// pipeline on the segment, reproducing the exact database state.
+type walOp struct {
+	Stream  string
+	Segment *video.Segment
+}
+
+func encodeOp(op walOp) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&op); err != nil {
+		return nil, fmt.Errorf("core: encoding wal op: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeOp(payload []byte) (walOp, error) {
+	var op walOp
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&op); err != nil {
+		return op, fmt.Errorf("core: decoding wal op: %w", err)
+	}
+	return op, nil
+}
+
+// durable is the persistence state hanging off a SharedDB. All fields
+// except the background-goroutine coordination are guarded by the
+// SharedDB write lock.
+type durable struct {
+	fsys faultfs.FS
+	dir  string
+	cfg  Durability
+
+	log *wal.Log
+	// seq is the sequence number of the current log.
+	seq uint64
+	// ops counts records in the log chain since the last snapshot.
+	ops int
+	// pendingStart is the log offset before the in-flight append, or -1;
+	// a failed commit rolls the log back to it.
+	pendingStart int64
+
+	// snapshotting single-flights background snapshots; inflight tracks
+	// the running one so Close and Checkpoint can wait without holding
+	// the database lock.
+	snapshotting atomic.Bool
+	inflight     chan struct{}
+	// errMu guards lastSnapErr, the most recent snapshot failure.
+	errMu       sync.Mutex
+	lastSnapErr error
+	closed      bool
+}
+
+func (d *durable) setSnapErr(err error) {
+	d.errMu.Lock()
+	d.lastSnapErr = err
+	d.errMu.Unlock()
+}
+
+func (d *durable) takeSnapErr() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	err := d.lastSnapErr
+	d.lastSnapErr = nil
+	return err
+}
+
+func (d *durable) path(name string) string { return filepath.Join(d.dir, name) }
+
+// OpenDurable opens (or creates) a crash-safe database in d.Dir:
+// recovery loads the last good snapshot, replays the write-ahead log
+// chain on top of it, truncates a torn final record, and leaves the log
+// open for appending. A checksum failure in the snapshot or in a
+// non-final log record aborts with an error matching ErrCorrupt — damaged
+// state is never silently loaded.
+func OpenDurable(cfg Config, d Durability) (*SharedDB, RecoveryStats, error) {
+	start := time.Now()
+	var stats RecoveryStats
+	if d.Dir == "" {
+		return nil, stats, fmt.Errorf("core: durability requires a data directory")
+	}
+	if d.FS == nil {
+		d.FS = faultfs.OS{}
+	}
+	if d.SnapshotOps == 0 {
+		d.SnapshotOps = DefaultSnapshotOps
+	}
+	if d.SnapshotBytes == 0 {
+		d.SnapshotBytes = DefaultSnapshotBytes
+	}
+	fsys := d.FS
+	if err := fsys.MkdirAll(d.Dir, 0o755); err != nil {
+		return nil, stats, fmt.Errorf("core: creating data directory: %w", err)
+	}
+
+	dur := &durable{fsys: fsys, dir: d.Dir, cfg: d, pendingStart: -1}
+
+	// Sweep leftovers of an interrupted atomic write: a *.tmp never
+	// renamed into place is dead weight.
+	entries, err := fsys.ReadDir(d.Dir)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: reading data directory: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			_ = fsys.Remove(dur.path(e.Name()))
+		}
+	}
+
+	// Phase 1: last good snapshot.
+	db := Open(cfg)
+	startSeq := uint64(1)
+	if _, serr := fsys.Stat(dur.path(snapshotName)); serr == nil {
+		img, lerr := snapshotImage(fsys, dur.path(snapshotName))
+		if lerr != nil {
+			return nil, stats, fmt.Errorf("core: recovering %s: %w", dur.path(snapshotName), lerr)
+		}
+		if rerr := db.restore(img); rerr != nil {
+			return nil, stats, rerr
+		}
+		if img.WALSeq > 0 {
+			startSeq = img.WALSeq
+		}
+		stats.SnapshotLoaded = true
+	}
+
+	// Phase 2: the log chain. Logs below startSeq are subsumed by the
+	// snapshot (a crash can interleave the snapshot rename and their
+	// removal); logs at or above it must be contiguous.
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseWALName(e.Name()); ok {
+			if seq < startSeq {
+				_ = fsys.Remove(dur.path(e.Name()))
+				continue
+			}
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for i, seq := range seqs {
+		if want := startSeq + uint64(i); seq != want {
+			return nil, stats, fmt.Errorf("core: write-ahead log chain has a gap: found %s, want %s: %w",
+				walFileName(seq), walFileName(want), ErrCorrupt)
+		}
+	}
+
+	replay := func(payload []byte) error {
+		op, err := decodeOp(payload)
+		if err != nil {
+			return err
+		}
+		if _, err := db.IngestSegment(op.Stream, op.Segment); err != nil {
+			return err
+		}
+		stats.ReplayedRecords++
+		return nil
+	}
+	lastCommitted := int64(0)
+	for i, seq := range seqs {
+		res, err := wal.Scan(fsys, dur.path(walFileName(seq)), replay)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: replaying %s: %w", walFileName(seq), err)
+		}
+		if res.Torn {
+			if i != len(seqs)-1 {
+				// Only the final log may end mid-record: earlier logs
+				// were sealed by a completed rotation.
+				return nil, stats, fmt.Errorf("core: %s torn at offset %d but is not the final log: %w",
+					walFileName(seq), res.TornOffset, ErrCorrupt)
+			}
+			stats.TornTail = true
+		}
+		stats.ReplayedLogs++
+		lastCommitted = res.CommittedSize
+	}
+
+	// Phase 3: reopen the final log for appending (truncating the torn
+	// tail), or start the chain.
+	if len(seqs) > 0 {
+		dur.seq = seqs[len(seqs)-1]
+		dur.log, err = wal.OpenAppend(fsys, dur.path(walFileName(dur.seq)), lastCommitted)
+	} else {
+		dur.seq = startSeq
+		dur.log, err = wal.Create(fsys, dur.path(walFileName(dur.seq)))
+	}
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: opening write-ahead log: %w", err)
+	}
+	dur.ops = stats.ReplayedRecords
+
+	s := &SharedDB{db: db, dur: dur}
+	db.onCommit = dur.append
+	stats.Duration = time.Since(start)
+	recoverySeconds.Observe(stats.Duration.Seconds())
+	recoveryReplayed.Add(int64(stats.ReplayedRecords))
+	return s, stats, nil
+}
+
+// snapshotImage reads just the container image of a snapshot file.
+func snapshotImage(fsys faultfs.FS, path string) (dbImage, error) {
+	f, err := fsys.OpenFile(path, 0, 0)
+	if err != nil {
+		return dbImage{}, err
+	}
+	defer f.Close()
+	return readSnapshot(f)
+}
+
+// append is the write-ahead hook: it durably logs the operation before
+// the commit mutates any state.
+func (d *durable) append(stream string, seg *video.Segment) error {
+	if d.closed {
+		return fmt.Errorf("core: database closed")
+	}
+	payload, err := encodeOp(walOp{Stream: stream, Segment: seg})
+	if err != nil {
+		return err
+	}
+	d.pendingStart = d.log.Size()
+	if err := d.log.Append(payload); err != nil {
+		return err
+	}
+	d.ops++
+	return nil
+}
+
+// rollbackPending undoes the in-flight append after a failed ingest,
+// restoring WAL == memory. On a dead disk the truncate fails too; the
+// next recovery measures the torn bytes off instead.
+func (d *durable) rollbackPending() {
+	if d.pendingStart < 0 {
+		return
+	}
+	appended := d.log.Size() > d.pendingStart
+	if err := d.log.TruncateTo(d.pendingStart); err == nil && appended {
+		d.ops--
+	}
+	d.pendingStart = -1
+}
+
+// afterIngestLocked settles the WAL after an ingest call: rollback on
+// failure, snapshot-threshold check on success. Called with the write
+// lock held.
+func (s *SharedDB) afterIngestLocked(err error) {
+	d := s.dur
+	if d == nil {
+		return
+	}
+	if err != nil {
+		d.rollbackPending()
+		return
+	}
+	d.pendingStart = -1
+	if (d.cfg.SnapshotOps > 0 && d.ops >= d.cfg.SnapshotOps) ||
+		(d.cfg.SnapshotBytes > 0 && d.log.Size() >= d.cfg.SnapshotBytes) {
+		s.rotateLocked(false)
+	}
+}
+
+// rotateLocked starts a snapshot + log rotation: under the held write
+// lock it captures the state image and switches appends to a fresh log;
+// the expensive encode + fsync of the snapshot then runs in the
+// background (or synchronously for Checkpoint). On snapshot failure the
+// previous snapshot + full log chain stay authoritative — nothing is
+// deleted until the new snapshot is durably in place.
+func (s *SharedDB) rotateLocked(sync bool) {
+	d := s.dur
+	if !d.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	img := s.db.image()
+	img.WALSeq = d.seq + 1
+	newLog, err := wal.Create(d.fsys, d.path(walFileName(d.seq+1)))
+	if err != nil {
+		d.setSnapErr(fmt.Errorf("core: rotating write-ahead log: %w", err))
+		snapshotSaveFailures.Inc()
+		d.snapshotting.Store(false)
+		return
+	}
+	oldLog := d.log
+	d.log = newLog
+	d.seq++
+	d.ops = 0
+	d.pendingStart = -1
+	walRotations.Inc()
+
+	done := make(chan struct{})
+	d.inflight = done
+	write := func() {
+		defer close(done)
+		defer d.snapshotting.Store(false)
+		_ = oldLog.Close()
+		err := faultfs.WriteAtomic(d.fsys, d.path(snapshotName), func(w io.Writer) error {
+			return writeSnapshot(w, img)
+		})
+		if err != nil {
+			d.setSnapErr(fmt.Errorf("core: writing snapshot: %w", err))
+			snapshotSaveFailures.Inc()
+			return
+		}
+		snapshotSaves.Inc()
+		// The snapshot now covers every log below img.WALSeq.
+		if entries, err := d.fsys.ReadDir(d.dir); err == nil {
+			for _, e := range entries {
+				if seq, ok := parseWALName(e.Name()); ok && seq < img.WALSeq {
+					_ = d.fsys.Remove(d.path(e.Name()))
+				}
+			}
+		}
+	}
+	if sync {
+		write()
+	} else {
+		go write()
+	}
+}
+
+// Checkpoint forces a synchronous snapshot + log rotation, waiting out
+// any background snapshot first. A clean shutdown checkpoints so the next
+// boot loads one file instead of replaying the log chain.
+func (s *SharedDB) Checkpoint() error {
+	if s.dur == nil {
+		return fmt.Errorf("core: Checkpoint on a non-durable database")
+	}
+	for {
+		s.waitSnapshot()
+		s.mu.Lock()
+		if s.dur.closed {
+			s.mu.Unlock()
+			return fmt.Errorf("core: database closed")
+		}
+		if s.dur.snapshotting.Load() {
+			// A background rotation slipped in; wait it out and retry.
+			s.mu.Unlock()
+			continue
+		}
+		// Clear any stale failure so the error returned is this
+		// checkpoint's own outcome.
+		s.dur.takeSnapErr()
+		s.rotateLocked(true)
+		err := s.dur.takeSnapErr()
+		s.mu.Unlock()
+		return err
+	}
+}
+
+// waitSnapshot blocks until no background snapshot is in flight.
+func (s *SharedDB) waitSnapshot() {
+	for {
+		s.mu.RLock()
+		ch := s.dur.inflight
+		s.mu.RUnlock()
+		if ch == nil {
+			return
+		}
+		<-ch
+		s.mu.RLock()
+		same := s.dur.inflight == ch
+		s.mu.RUnlock()
+		if same {
+			return
+		}
+	}
+}
+
+// SnapshotErr returns (and clears) the most recent background snapshot
+// failure, nil if none. Monitoring should alarm on it: while snapshots
+// fail the log chain only grows.
+func (s *SharedDB) SnapshotErr() error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.takeSnapErr()
+}
+
+// WALSize returns the committed size of the current write-ahead log, or 0
+// for a non-durable database.
+func (s *SharedDB) WALSize() int64 {
+	if s.dur == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dur.log.Size()
+}
+
+// Close flushes and closes the write-ahead log after waiting for any
+// background snapshot. Further ingests fail; queries keep working off the
+// in-memory state. A nil receiver or non-durable database is a no-op.
+func (s *SharedDB) Close() error {
+	if s == nil || s.dur == nil {
+		return nil
+	}
+	s.waitSnapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur.closed {
+		return nil
+	}
+	s.dur.closed = true
+	return s.dur.log.Close()
+}

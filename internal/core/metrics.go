@@ -59,3 +59,32 @@ var (
 	cacheEvictions = obs.Default.Counter("strg_dist_cache_evictions_total",
 		"distance-cache entries dropped by LRU pressure or invalidation", nil)
 )
+
+// Durability instrumentation (see durable.go and persist.go).
+//
+//	strg_snapshot_saves_total              snapshot files durably written
+//	strg_snapshot_save_failures_total      snapshot writes that failed
+//	                                       (the previous snapshot + WAL
+//	                                       chain stays authoritative)
+//	strg_snapshot_checksum_failures_total  snapshot loads rejected by the
+//	                                       container checksum
+//	strg_wal_rotations_total               WAL rotations (a new log opened
+//	                                       by a snapshot cycle)
+//	strg_recovery_seconds                  duration of crash recovery
+//	                                       (snapshot load + WAL replay)
+//	strg_recovery_replayed_total           WAL records re-applied during
+//	                                       recovery
+var (
+	snapshotSaves = obs.Default.Counter("strg_snapshot_saves_total",
+		"snapshot files durably written", nil)
+	snapshotSaveFailures = obs.Default.Counter("strg_snapshot_save_failures_total",
+		"snapshot writes that failed, leaving the WAL chain authoritative", nil)
+	snapshotChecksumFailures = obs.Default.Counter("strg_snapshot_checksum_failures_total",
+		"snapshot loads rejected by the container checksum", nil)
+	walRotations = obs.Default.Counter("strg_wal_rotations_total",
+		"write-ahead log rotations", nil)
+	recoverySeconds = obs.Default.Histogram("strg_recovery_seconds",
+		"crash recovery duration in seconds (snapshot load + WAL replay)", nil, nil)
+	recoveryReplayed = obs.Default.Counter("strg_recovery_replayed_total",
+		"write-ahead log records re-applied during recovery", nil)
+)

@@ -1,12 +1,60 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
 
+	"strgindex/internal/faultfs"
 	"strgindex/internal/index"
 )
+
+// Snapshot container format. A saved database is
+//
+//	[8]byte magic "STRGSNP\x01" | uint32 LE version | gob payload |
+//	uint64 LE payload length | uint32 LE CRC32C(payload)
+//
+// The trailer makes truncation detectable (the length never matches) and
+// the checksum makes bit rot detectable; Load refuses both with a
+// *CorruptError instead of handing gob a poisoned stream.
+var snapshotMagic = [8]byte{'S', 'T', 'R', 'G', 'S', 'N', 'P', 1}
+
+const (
+	snapshotVersion     = 1
+	snapshotHeaderSize  = 12 // magic + version
+	snapshotTrailerSize = 12 // payload length + CRC32C
+)
+
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is the sentinel matched (via errors.Is) by every error Load
+// reports for a damaged database file: truncation, bad magic, checksum
+// mismatch, or an undecodable payload. A file that fails this way must be
+// restored from a snapshot or rebuilt by re-ingesting; see the recovery
+// runbook in the README.
+var ErrCorrupt = errors.New("core: corrupt database file")
+
+// CorruptError carries where and why a database file was rejected.
+type CorruptError struct {
+	// Offset is the byte offset the damage was detected at (0 for header
+	// problems, the payload start for checksum and decode failures).
+	Offset int64
+	// Reason is a human-readable diagnosis.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("core: corrupt database file at offset %d: %s", e.Offset, e.Reason)
+}
+
+// Is matches ErrCorrupt.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
 
 // dbImage is the gob-encoded form of a VideoDB.
 type dbImage struct {
@@ -15,42 +63,136 @@ type dbImage struct {
 	STRGBytes int
 	RawBytes  int
 	Index     index.Snapshot[ClipRecord]
+	// WALSeq is the sequence number of the first write-ahead log NOT
+	// covered by this snapshot; recovery replays logs from WALSeq on.
+	// Zero for databases saved outside a durable directory.
+	WALSeq uint64
 }
 
-// Save writes the database to w (gob encoding). The configuration is not
-// persisted — metrics are functions — so Load must be given the same
-// Config the database was built with.
-func (db *VideoDB) Save(w io.Writer) error {
-	img := dbImage{
+// image captures the persistable state.
+func (db *VideoDB) image() dbImage {
+	return dbImage{
 		Segments:  db.segments,
 		OGCount:   db.ogCount,
 		STRGBytes: db.strgBytes,
 		RawBytes:  db.rawBytes,
 		Index:     db.tree.Snapshot(),
 	}
-	if err := gob.NewEncoder(w).Encode(&img); err != nil {
-		return fmt.Errorf("core: encoding database: %w", err)
-	}
-	return nil
 }
 
-// Load reads a database previously written by Save, under cfg (which must
-// match the saving configuration — leaf keys are verified against the
-// configured metric).
-func Load(r io.Reader, cfg Config) (*VideoDB, error) {
-	var img dbImage
-	if err := gob.NewDecoder(r).Decode(&img); err != nil {
-		return nil, fmt.Errorf("core: decoding database: %w", err)
-	}
-	db := Open(cfg)
+// restore installs a decoded image into a freshly opened database.
+func (db *VideoDB) restore(img dbImage) error {
 	tree, err := index.FromSnapshot(img.Index, db.cfg.Index)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	db.tree = tree
 	db.segments = img.Segments
 	db.ogCount = img.OGCount
 	db.strgBytes = img.STRGBytes
 	db.rawBytes = img.RawBytes
+	return nil
+}
+
+// Save writes the database to w in the versioned, checksummed snapshot
+// container. The configuration is not persisted — metrics are functions —
+// so Load must be given the same Config the database was built with.
+func (db *VideoDB) Save(w io.Writer) error {
+	return writeSnapshot(w, db.image())
+}
+
+// writeSnapshot encodes one image into the container format.
+func writeSnapshot(w io.Writer, img dbImage) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&img); err != nil {
+		return fmt.Errorf("core: encoding database: %w", err)
+	}
+	var header [snapshotHeaderSize]byte
+	copy(header[:], snapshotMagic[:])
+	binary.LittleEndian.PutUint32(header[8:], snapshotVersion)
+	var trailer [snapshotTrailerSize]byte
+	binary.LittleEndian.PutUint64(trailer[:], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(trailer[8:], crc32.Checksum(payload.Bytes(), snapshotCRC))
+	for _, chunk := range [][]byte{header[:], payload.Bytes(), trailer[:]} {
+		if _, err := w.Write(chunk); err != nil {
+			return fmt.Errorf("core: writing database: %w", err)
+		}
+	}
+	return nil
+}
+
+// readSnapshot validates the container and decodes the image.
+func readSnapshot(r io.Reader) (dbImage, error) {
+	var img dbImage
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return img, fmt.Errorf("core: reading database: %w", err)
+	}
+	if len(data) == 0 {
+		return img, &CorruptError{Offset: 0, Reason: "empty file"}
+	}
+	if len(data) < snapshotHeaderSize+snapshotTrailerSize {
+		return img, &CorruptError{Offset: int64(len(data)), Reason: "truncated: shorter than container framing"}
+	}
+	if [8]byte(data[:8]) != snapshotMagic {
+		return img, &CorruptError{Offset: 0, Reason: "bad magic (not a strgindex snapshot)"}
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != snapshotVersion {
+		return img, &CorruptError{Offset: 8, Reason: fmt.Sprintf("unsupported snapshot version %d", v)}
+	}
+	payload := data[snapshotHeaderSize : len(data)-snapshotTrailerSize]
+	trailer := data[len(data)-snapshotTrailerSize:]
+	if got := binary.LittleEndian.Uint64(trailer); got != uint64(len(payload)) {
+		return img, &CorruptError{Offset: int64(len(data) - snapshotTrailerSize),
+			Reason: fmt.Sprintf("truncated: trailer claims %d payload bytes, file holds %d", got, len(payload))}
+	}
+	if got, want := crc32.Checksum(payload, snapshotCRC), binary.LittleEndian.Uint32(trailer[8:]); got != want {
+		snapshotChecksumFailures.Inc()
+		return img, &CorruptError{Offset: snapshotHeaderSize, Reason: "checksum mismatch"}
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img); err != nil {
+		return img, &CorruptError{Offset: snapshotHeaderSize, Reason: fmt.Sprintf("decoding payload: %v", err)}
+	}
+	return img, nil
+}
+
+// Load reads a database previously written by Save, under cfg (which must
+// match the saving configuration — leaf keys are verified against the
+// configured metric). Damaged input — truncated, bit-flipped, empty, or
+// not a snapshot at all — is reported as a *CorruptError matching
+// ErrCorrupt, never silently loaded.
+func Load(r io.Reader, cfg Config) (*VideoDB, error) {
+	img, err := readSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	db := Open(cfg)
+	if err := db.restore(img); err != nil {
+		return nil, err
+	}
 	return db, nil
+}
+
+// SaveFile durably writes the database to path: the container goes to
+// path+".tmp", is fsynced, atomically renamed into place, and the
+// directory is fsynced — a crash at any point leaves either the old file
+// or the new one, never a torn mix.
+func (db *VideoDB) SaveFile(fsys faultfs.FS, path string) error {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	return faultfs.WriteAtomic(fsys, path, db.Save)
+}
+
+// LoadFile reads a database from path (see Load).
+func LoadFile(fsys faultfs.FS, path string, cfg Config) (*VideoDB, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, cfg)
 }

@@ -2,9 +2,13 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"strgindex/internal/dist"
+	"strgindex/internal/faultfs"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -45,8 +49,9 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadGarbageFails(t *testing.T) {
-	if _, err := Load(bytes.NewReader([]byte("not a gob stream")), DefaultConfig()); err == nil {
-		t.Error("loading garbage did not error")
+	_, err := Load(bytes.NewReader([]byte("not a gob stream, not a snapshot either")), DefaultConfig())
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("loading garbage: err = %v, want ErrCorrupt", err)
 	}
 }
 
@@ -62,5 +67,93 @@ func TestLoadEmptyDatabase(t *testing.T) {
 	}
 	if loaded.Stats().OGs != 0 {
 		t.Errorf("empty round trip has %d OGs", loaded.Stats().OGs)
+	}
+}
+
+// savedDB returns the serialized container of a small ingested database.
+func savedDB(t *testing.T) []byte {
+	t.Helper()
+	db := Open(DefaultConfig())
+	if err := db.IngestStream(miniStream(t, 6, 9)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadEmptyFileIsCorrupt(t *testing.T) {
+	_, err := Load(bytes.NewReader(nil), DefaultConfig())
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptError", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Error("CorruptError does not match ErrCorrupt")
+	}
+}
+
+func TestLoadTruncatedIsCorrupt(t *testing.T) {
+	data := savedDB(t)
+	// Every kind of truncation: inside the header, inside the payload,
+	// inside the trailer, and one byte short.
+	for _, cut := range []int{1, snapshotHeaderSize - 2, len(data) / 2, len(data) - snapshotTrailerSize + 3, len(data) - 1} {
+		_, err := Load(bytes.NewReader(data[:cut]), DefaultConfig())
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("cut at %d/%d: err = %v, want ErrCorrupt", cut, len(data), err)
+		}
+	}
+}
+
+func TestLoadBitFlipIsCorrupt(t *testing.T) {
+	data := savedDB(t)
+	// Flip one bit in the payload, in the stored CRC, and in the magic.
+	for _, off := range []int{0, snapshotHeaderSize + 10, len(data)/2 + 1, len(data) - 2} {
+		flipped := bytes.Clone(data)
+		flipped[off] ^= 0x10
+		_, err := Load(bytes.NewReader(flipped), DefaultConfig())
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("flip at %d/%d: err = %v, want ErrCorrupt", off, len(data), err)
+		}
+	}
+}
+
+func TestLoadTrailingGarbageIsCorrupt(t *testing.T) {
+	data := append(savedDB(t), []byte("extra")...)
+	if _, err := Load(bytes.NewReader(data), DefaultConfig()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing garbage: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSaveFileLoadFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.strg")
+	db := Open(DefaultConfig())
+	if err := db.IngestStream(miniStream(t, 6, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveFile(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temporary file left behind: %v", err)
+	}
+	loaded, err := LoadFile(nil, path, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats() != db.Stats() {
+		t.Errorf("stats differ after file round trip")
+	}
+
+	// A torn rewrite must leave the previous file intact.
+	fsys := faultfs.NewInject(faultfs.OS{}, faultfs.Config{WriteBudget: 64, FailSyncAfter: -1})
+	if err := db.SaveFile(fsys, path); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("torn SaveFile err = %v", err)
+	}
+	if _, err := LoadFile(nil, path, DefaultConfig()); err != nil {
+		t.Errorf("previous snapshot damaged by torn rewrite: %v", err)
 	}
 }

@@ -16,9 +16,14 @@ import (
 // queries run in parallel with each other; ingest and persistence take the
 // write lock. A live deployment ingests from one camera goroutine while
 // serving queries from many.
+//
+// A SharedDB opened with OpenDurable is additionally crash-safe: every
+// ingest is appended to a write-ahead log before it mutates state, and
+// snapshots fold the log down in the background (see durable.go).
 type SharedDB struct {
-	mu sync.RWMutex
-	db *VideoDB
+	mu  sync.RWMutex
+	db  *VideoDB
+	dur *durable
 }
 
 // OpenShared creates an empty concurrent database.
@@ -36,17 +41,23 @@ func LoadShared(r io.Reader, cfg Config) (*SharedDB, error) {
 }
 
 // IngestSegment runs the pipeline on one segment under the write lock.
+// On a durable database the segment is write-ahead logged before any
+// state mutates.
 func (s *SharedDB) IngestSegment(stream string, seg *video.Segment) (*IngestStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.db.IngestSegment(stream, seg)
+	st, err := s.db.IngestSegment(stream, seg)
+	s.afterIngestLocked(err)
+	return st, err
 }
 
 // IngestStream ingests a whole stream under the write lock.
 func (s *SharedDB) IngestStream(stream *video.Stream) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.db.IngestStream(stream)
+	err := s.db.IngestStream(stream)
+	s.afterIngestLocked(err)
+	return err
 }
 
 // IngestVideo shot-parses and ingests a long recording under the write
@@ -54,7 +65,9 @@ func (s *SharedDB) IngestStream(stream *video.Stream) error {
 func (s *SharedDB) IngestVideo(stream string, seg *video.Segment, shotCfg shot.Config) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.db.IngestVideo(stream, seg, shotCfg)
+	n, err := s.db.IngestVideo(stream, seg, shotCfg)
+	s.afterIngestLocked(err)
+	return n, err
 }
 
 // QueryTrajectory is VideoDB.QueryTrajectory under a read lock.

@@ -1,0 +1,228 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// noFaults is the configuration under which Inject must behave exactly
+// like the wrapped filesystem.
+func noFaults() Config {
+	return Config{WriteBudget: -1, FailSyncAfter: -1}
+}
+
+func TestInjectPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(OS{}, noFaults())
+	path := filepath.Join(dir, "f")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("read %q", got)
+	}
+	if fs.Crashed() {
+		t.Error("no-fault filesystem reports crashed")
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(OS{}, Config{WriteBudget: 3, FailSyncAfter: -1})
+	path := filepath.Join(dir, "f")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write persisted %d bytes, want 3", n)
+	}
+	f.Close()
+	if !fs.Crashed() {
+		t.Error("not crashed after budget exhausted")
+	}
+	// Every later mutation fails.
+	if _, err := fs.OpenFile(filepath.Join(dir, "g"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-crash create err = %v", err)
+	}
+	if err := fs.Rename(path, path+"2"); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-crash rename err = %v", err)
+	}
+	// The on-disk state is the persisted prefix.
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hel" {
+		t.Errorf("on disk after tear: %q", got)
+	}
+}
+
+func TestWriteBudgetZeroTearsImmediately(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(OS{}, Config{WriteBudget: 0, FailSyncAfter: -1})
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("x"))
+	if n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = (%d, %v), want (0, ErrInjected)", n, err)
+	}
+}
+
+func TestFailSyncAfter(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInject(OS{}, Config{WriteBudget: -1, FailSyncAfter: 1})
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync err = %v", err)
+	}
+	if !fs.Crashed() {
+		t.Error("not crashed after sync failure")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-crash write err = %v", err)
+	}
+}
+
+func TestBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	if err := os.WriteFile(path, []byte("abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := noFaults()
+	cfg.Flips = []BitFlip{{Name: "data", Offset: 2, Mask: 0x01}}
+	fs := NewInject(OS{}, cfg)
+	got, err := ReadFile(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abbdef" {
+		t.Errorf("flipped read = %q, want abbdef", got)
+	}
+	// ReadAt sees the same corruption when its window covers the offset.
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 3)
+	if _, err := f.ReadAt(buf, 1); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "bbd" {
+		t.Errorf("flipped ReadAt = %q, want bbd", buf)
+	}
+	// The file on disk is untouched: the flip is read-time only.
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "abcdef" {
+		t.Errorf("disk mutated: %q", raw)
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := noFaults()
+	cfg.MaxReadChunk = 7
+	fs := NewInject(OS{}, cfg)
+	got, err := ReadFile(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("short-read loop returned %d bytes, want %d", len(got), len(payload))
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], payload[i])
+		}
+	}
+}
+
+func TestWriteAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	fs := NewInject(OS{}, noFaults())
+	if err := WriteAtomic(fs, path, func(w io.Writer) error {
+		_, err := w.Write([]byte("v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAtomic(fs, path, func(w io.Writer) error {
+		_, err := w.Write([]byte("v2"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Errorf("content = %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temporary file left behind: %v", err)
+	}
+}
+
+func TestWriteAtomicTornLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewInject(OS{}, Config{WriteBudget: 2, FailSyncAfter: -1})
+	err := WriteAtomic(fs, path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new-content"))
+		return err
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn atomic write err = %v", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "old" {
+		t.Errorf("target mutated by failed atomic write: %q", got)
+	}
+}

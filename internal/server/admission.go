@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// exempt reports whether a path bypasses admission control: probes and
+// metrics must answer even when the API is saturated — that is the whole
+// point of having them.
+func exempt(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	return strings.HasPrefix(path, "/debug/pprof")
+}
+
+// admission wraps the mux with load shedding and per-request deadlines.
+// It sits under the observability middleware, so shed requests still get
+// a request ID, a metric sample and a log line.
+//
+// The model is a counting semaphore of MaxInFlight slots with a bounded
+// queue in time rather than space: a request that cannot get a slot
+// within QueueTimeout is shed with 429 and a Retry-After hint, which
+// keeps worst-case latency bounded and tells well-behaved clients to
+// back off instead of piling on.
+func (s *Server) admission(next http.Handler) http.Handler {
+	if s.opts.MaxInFlight <= 0 && s.opts.RequestTimeout <= 0 {
+		return next
+	}
+	shed := s.reg.Counter("strg_http_shed_total",
+		"requests rejected by admission control with 429", nil)
+	var slots chan struct{}
+	if s.opts.MaxInFlight > 0 {
+		slots = make(chan struct{}, s.opts.MaxInFlight)
+	}
+	retryAfter := strconv.Itoa(int((s.opts.QueueTimeout + time.Second - 1) / time.Second))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if slots != nil {
+			select {
+			case slots <- struct{}{}:
+			default:
+				// Saturated: wait for a slot, but not forever.
+				queue := time.NewTimer(s.opts.QueueTimeout)
+				select {
+				case slots <- struct{}{}:
+					queue.Stop()
+				case <-queue.C:
+					shed.Inc()
+					w.Header().Set("Retry-After", retryAfter)
+					writeError(w, r, http.StatusTooManyRequests, CodeOverloaded,
+						"server at capacity (%d in flight); retry after %ss",
+						s.opts.MaxInFlight, retryAfter)
+					return
+				case <-r.Context().Done():
+					queue.Stop()
+					return // client gave up while queued; 499 via middleware
+				}
+			}
+			defer func() { <-slots }()
+		}
+		if s.opts.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleReadyz is the readiness probe: 200 only when the server should
+// receive traffic. It is false while recovery replays the write-ahead
+// log and during shutdown drain, so orchestrators route around the
+// process without killing it (that is /healthz's call).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, r, http.StatusServiceUnavailable, CodeUnavailable, "not ready")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// SetReady flips the readiness probe: true once recovery completes,
+// false when shutdown starts draining.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current readiness state.
+func (s *Server) Ready() bool { return s.ready.Load() }

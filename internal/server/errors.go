@@ -20,6 +20,16 @@ const (
 	CodeTooLarge = "too_large"
 	// CodeInternal covers handler panics and pool failures.
 	CodeInternal = "internal"
+	// CodeOverloaded covers requests shed by admission control: the
+	// in-flight cap was reached and the request timed out in the queue.
+	// The response carries a Retry-After header.
+	CodeOverloaded = "overloaded"
+	// CodeTimeout covers requests cut off by the server-side per-request
+	// deadline (504).
+	CodeTimeout = "timeout"
+	// CodeUnavailable covers /readyz while the server is not ready:
+	// recovery still replaying, or shutdown draining.
+	CodeUnavailable = "unavailable"
 )
 
 // errorBody is the payload of the envelope:

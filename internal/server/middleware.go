@@ -49,7 +49,7 @@ func (w *statusWriter) status() int { return w.code }
 func routeLabel(path string) string {
 	switch path {
 	case "/v1/segments", "/v1/query/knn", "/v1/query/range", "/v1/query/select",
-		"/v1/stats", "/metrics", "/healthz":
+		"/v1/stats", "/metrics", "/healthz", "/readyz":
 		return path
 	}
 	return "other"

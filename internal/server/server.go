@@ -36,6 +36,8 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
+	"time"
 
 	"strgindex/internal/core"
 	"strgindex/internal/dist"
@@ -77,6 +79,20 @@ type Options struct {
 	// SelectLimit overrides the default /v1/query/select response cap.
 	// Zero means 1000.
 	SelectLimit int
+	// MaxInFlight caps concurrently served API requests (probe and
+	// metrics endpoints are exempt). Excess requests queue up to
+	// QueueTimeout and are then shed with 429 + Retry-After. Zero means
+	// no cap.
+	MaxInFlight int
+	// QueueTimeout bounds how long a request may wait for an in-flight
+	// slot. Zero means 1 second when MaxInFlight is set.
+	QueueTimeout time.Duration
+	// RequestTimeout is the server-side deadline on each API request's
+	// context; an expired deadline answers 504. Zero means no deadline.
+	RequestTimeout time.Duration
+	// StartUnready makes /readyz answer 503 until SetReady(true) — for a
+	// process that binds its listener before recovery has finished.
+	StartUnready bool
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +108,9 @@ func (o Options) withDefaults() Options {
 	if o.SelectLimit <= 0 {
 		o.SelectLimit = defaultSelectLimit
 	}
+	if o.MaxInFlight > 0 && o.QueueTimeout <= 0 {
+		o.QueueTimeout = time.Second
+	}
 	return o
 }
 
@@ -103,6 +122,9 @@ type Server struct {
 	log     *slog.Logger
 	reg     *obs.Registry
 	opts    Options
+	// ready gates /readyz: false while recovery is replaying or shutdown
+	// is draining. Liveness (/healthz) is independent of it.
+	ready atomic.Bool
 }
 
 // New creates a server over an empty database with default options.
@@ -130,6 +152,12 @@ func NewFromReaderWith(r io.Reader, cfg core.Config, opts Options) (*Server, err
 	return wrap(db, opts), nil
 }
 
+// NewShared creates a server over an existing shared database — e.g. one
+// recovered with core.OpenDurable.
+func NewShared(db *core.SharedDB, opts Options) *Server {
+	return wrap(db, opts)
+}
+
 func wrap(db *core.SharedDB, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{db: db, mux: http.NewServeMux(), log: opts.Logger, reg: opts.Registry, opts: opts}
@@ -139,6 +167,7 @@ func wrap(db *core.SharedDB, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/query/select", s.handleSelect)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Method mismatches on known paths envelope as 405; everything else
 	// falls through to the catch-all 404. Both stay JSON: a /v1 client
@@ -154,7 +183,8 @@ func wrap(db *core.SharedDB, opts Options) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	s.handler = s.middleware(s.mux)
+	s.ready.Store(!opts.StartUnready)
+	s.handler = s.middleware(s.admission(s.mux))
 	return s
 }
 
@@ -186,10 +216,19 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, limit int64, v a
 	return true
 }
 
-// queryError reports a failed Ctx query: cancellation means the client
-// disconnected (the envelope goes nowhere, but the status makes the
-// request metric and log line honest); anything else is a pool failure.
+// queryError reports a failed Ctx query: a server-imposed deadline
+// answers 504; client cancellation means the client disconnected (the
+// envelope goes nowhere, but the status makes the request metric and log
+// line honest); anything else is a pool failure.
 func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == context.DeadlineExceeded {
+		s.log.Warn("query deadline exceeded",
+			"request_id", obs.RequestIDFrom(r.Context()),
+			"path", r.URL.Path, "timeout", s.opts.RequestTimeout)
+		writeError(w, r, http.StatusGatewayTimeout, CodeTimeout,
+			"query exceeded the %s request deadline", s.opts.RequestTimeout)
+		return
+	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		s.log.Warn("query canceled",
 			"request_id", obs.RequestIDFrom(r.Context()),

@@ -1,0 +1,302 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"strgindex/internal/faultfs"
+)
+
+func noFaults() faultfs.Config {
+	return faultfs.Config{WriteBudget: -1, FailSyncAfter: -1}
+}
+
+func testPayloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		p := make([]byte, 5+i*7)
+		for j := range p {
+			p[j] = byte(i*31 + j)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func writeLog(t *testing.T, path string, payloads [][]byte) {
+	t.Helper()
+	l, err := Create(faultfs.OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scanAll(t *testing.T, fsys faultfs.FS, path string) ([][]byte, Result, error) {
+	t.Helper()
+	var got [][]byte
+	res, err := Scan(fsys, path, func(p []byte) error {
+		got = append(got, bytes.Clone(p))
+		return nil
+	})
+	return got, res, err
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	payloads := testPayloads(5)
+	writeLog(t, path, payloads)
+	got, res, err := scanAll(t, faultfs.OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn {
+		t.Error("clean log reported torn")
+	}
+	if res.Records != len(payloads) {
+		t.Fatalf("Records = %d, want %d", res.Records, len(payloads))
+	}
+	info, _ := os.Stat(path)
+	if res.CommittedSize != info.Size() {
+		t.Errorf("CommittedSize = %d, file is %d", res.CommittedSize, info.Size())
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+// TestScanEveryPrefix is the torn-write property: for EVERY byte-length
+// prefix of a log — including cuts inside the file header, inside a
+// record's length/CRC frame and inside a payload — Scan returns exactly
+// the records that were fully persisted, flags the tear, and never
+// reports corruption.
+func TestScanEveryPrefix(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	payloads := testPayloads(4)
+	writeLog(t, full, payloads)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// recordEnd[i] = offset after record i; boundaries[k] = number of
+	// complete records in a prefix of length k.
+	ends := []int64{HeaderSize}
+	off := int64(HeaderSize)
+	for _, p := range payloads {
+		off += frameOverhead + int64(len(p))
+		ends = append(ends, off)
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		prefix := filepath.Join(dir, "prefix.log")
+		if err := os.WriteFile(prefix, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, res, err := scanAll(t, faultfs.OS{}, prefix)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantRecords := 0
+		for i := 1; i < len(ends); i++ {
+			if int64(cut) >= ends[i] {
+				wantRecords = i
+			}
+		}
+		if res.Records != wantRecords || len(got) != wantRecords {
+			t.Fatalf("cut %d: Records = %d, want %d", cut, res.Records, wantRecords)
+		}
+		for i := 0; i < wantRecords; i++ {
+			if !bytes.Equal(got[i], payloads[i]) {
+				t.Fatalf("cut %d: record %d mismatch", cut, i)
+			}
+		}
+		wantCommitted := ends[wantRecords]
+		if int64(cut) < HeaderSize {
+			wantCommitted = 0
+		}
+		if res.CommittedSize != wantCommitted {
+			t.Fatalf("cut %d: CommittedSize = %d, want %d", cut, res.CommittedSize, wantCommitted)
+		}
+		wantTorn := int64(cut) != wantCommitted
+		if res.Torn != wantTorn {
+			t.Fatalf("cut %d: Torn = %v, want %v", cut, res.Torn, wantTorn)
+		}
+		// Recovery contract: truncating to CommittedSize and appending
+		// must yield a valid log.
+		l, err := OpenAppend(faultfs.OS{}, prefix, res.CommittedSize)
+		if err != nil {
+			t.Fatalf("cut %d: OpenAppend: %v", cut, err)
+		}
+		if err := l.Append([]byte("tail")); err != nil {
+			t.Fatalf("cut %d: post-recovery append: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got2, res2, err := scanAll(t, faultfs.OS{}, prefix)
+		if err != nil || res2.Torn {
+			t.Fatalf("cut %d: rescan after append: %v torn=%v", cut, err, res2.Torn)
+		}
+		if res2.Records != wantRecords+1 || !bytes.Equal(got2[wantRecords], []byte("tail")) {
+			t.Fatalf("cut %d: rescan got %d records", cut, res2.Records)
+		}
+	}
+}
+
+// TestBitFlipDetected proves a checksum failure is reported as corruption
+// — never silently loaded, never mistaken for a tear — wherever the flip
+// lands in a record's CRC or payload.
+func TestBitFlipDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	payloads := testPayloads(3)
+	writeLog(t, path, payloads)
+
+	// Flip one bit in the middle record's payload, then in its CRC field.
+	rec1Start := int64(HeaderSize + frameOverhead + len(payloads[0]))
+	for name, offset := range map[string]int64{
+		"payload": rec1Start + frameOverhead + 2,
+		"crc":     rec1Start + 5,
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := noFaults()
+			cfg.Flips = []faultfs.BitFlip{{Name: "wal.log", Offset: offset, Mask: 0x40}}
+			fsys := faultfs.NewInject(faultfs.OS{}, cfg)
+			got, res, err := scanAll(t, fsys, path)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) || ce.Offset != rec1Start {
+				t.Fatalf("corrupt error = %+v, want offset %d", err, rec1Start)
+			}
+			// The intact prefix was still delivered.
+			if res.Records != 1 || len(got) != 1 || !bytes.Equal(got[0], payloads[0]) {
+				t.Errorf("prefix delivery: %d records", res.Records)
+			}
+		})
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("GARBAGE!moredata"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := scanAll(t, faultfs.OS{}, path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOversizedLengthRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	frame := make([]byte, HeaderSize+frameOverhead+4)
+	copy(frame, Magic[:])
+	// Length field far beyond MaxRecordBytes.
+	frame[HeaderSize] = 0xff
+	frame[HeaderSize+1] = 0xff
+	frame[HeaderSize+2] = 0xff
+	frame[HeaderSize+3] = 0xff
+	if err := os.WriteFile(path, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := scanAll(t, faultfs.OS{}, path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncateToRollsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(faultfs.OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	mark := l.Size()
+	if err := l.Append([]byte("drop")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateTo(mark); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := scanAll(t, faultfs.OS{}, path)
+	if err != nil || res.Torn {
+		t.Fatalf("scan: %v torn=%v", err, res.Torn)
+	}
+	if len(got) != 2 || string(got[0]) != "keep" || string(got[1]) != "after" {
+		t.Fatalf("records = %q", got)
+	}
+}
+
+func TestAppendFailsCleanlyOnCrashedDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	// Budget covers the header plus one full record, then tears.
+	payload := []byte("0123456789")
+	budget := int64(HeaderSize + frameOverhead + len(payload) + 5)
+	fsys := faultfs.NewInject(faultfs.OS{}, faultfs.Config{WriteBudget: budget, FailSyncAfter: -1})
+	l, err := Create(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(payload); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := l.Append(payload); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("torn append err = %v", err)
+	}
+	l.Close()
+	// Recovery on the real filesystem sees one intact record and a tear.
+	got, res, err := scanAll(t, faultfs.OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 1 || !res.Torn || !bytes.Equal(got[0], payload) {
+		t.Fatalf("post-crash scan: %+v", res)
+	}
+}
+
+func TestScanApplyErrorAborts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	writeLog(t, path, testPayloads(3))
+	calls := 0
+	boom := fmt.Errorf("boom")
+	_, err := Scan(faultfs.OS{}, path, func(p []byte) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("apply called %d times", calls)
+	}
+}
