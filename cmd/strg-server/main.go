@@ -1,6 +1,6 @@
 // Command strg-server serves a video database over HTTP (JSON API).
 //
-//	strg-server -addr :8080 [-data-dir ./data] [-db db.gob] [-pprof]
+//	strg-server -addr :8080 [-data-dir ./data] [-db db.gob] [-shards 4] [-pprof]
 //
 // Endpoints:
 //
@@ -60,6 +60,8 @@ func run() int {
 	dataDir := flag.String("data-dir", "", "durable data directory (write-ahead log + snapshots); empty = in-memory only")
 	dbPath := flag.String("db", "", "optional database file written by strg-ingest to preload (in-memory mode)")
 	workers := flag.Int("workers", 0, "worker budget for ingest and search (0 = one per CPU, 1 = sequential); responses are identical at every setting")
+	shards := flag.Int("shards", 4, "copy-on-write index shard count (1-256); queries never block on ingest, and responses are identical at every setting")
+	asyncSplit := flag.Bool("async-split", true, "evaluate BIC cluster splits on background goroutines instead of the ingest path")
 	distCache := flag.Int("dist-cache", -1, "distance cache capacity in entries (0 disables, negative = built-in default); results are identical either way")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
@@ -76,6 +78,8 @@ func run() int {
 	cfg := core.DefaultConfig()
 	cfg.Concurrency = *workers
 	cfg.DistCacheSize = *distCache
+	cfg.Index.Shards = *shards
+	cfg.Index.AsyncSplit = *asyncSplit
 	opts := server.Options{
 		Logger:         logger,
 		EnablePprof:    *pprof,
@@ -143,7 +147,7 @@ func run() int {
 	handler.Store(&live)
 	srv.SetReady(true)
 	st := srv.DB().Stats()
-	logger.Info("ready", "segments", st.Segments, "ogs", st.OGs, "clusters", st.Clusters)
+	logger.Info("ready", "segments", st.Segments, "ogs", st.OGs, "clusters", st.Clusters, "shards", st.Shards)
 
 	select {
 	case err := <-errc:
@@ -163,8 +167,10 @@ func run() int {
 		logger.Error("shutdown", "err", err)
 	}
 	if db != nil {
-		// Fold the log into a final snapshot so the next boot is a single
-		// file load; failure is not fatal — the WAL already has everything.
+		// Settle in-flight asynchronous splits, then fold the log into a
+		// final snapshot so the next boot is a single file load; failure is
+		// not fatal — the WAL already has everything.
+		db.QuiesceIndex()
 		if err := db.Checkpoint(); err != nil {
 			logger.Warn("final checkpoint", "err", err)
 		}

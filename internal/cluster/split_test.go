@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"strgindex/internal/dist"
+)
+
+// blob generates n short sequences jittered around a base value.
+func blob(rng *rand.Rand, n int, base float64) []dist.Sequence {
+	out := make([]dist.Sequence, n)
+	for i := range out {
+		s := make(dist.Sequence, 6)
+		for j := range s {
+			s[j] = dist.Vec{base + rng.Float64(), base + rng.Float64()}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestSplitEvalAdoptsSeparatedBlobs: two well-separated groups should beat
+// the single-component model under BIC and carry both memberships.
+func TestSplitEvalAdoptsSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seqs := append(blob(rng, 20, 0), blob(rng, 20, 500)...)
+	dec, err := SplitEval(seqs, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Adopt {
+		t.Fatalf("Adopt = false (gain %v) on two separated blobs", dec.Gain)
+	}
+	if dec.Gain <= 0 {
+		t.Fatalf("Adopt without positive gain: %v", dec.Gain)
+	}
+	m0, m1 := dec.Two.Members(0), dec.Two.Members(1)
+	if len(m0) == 0 || len(m1) == 0 {
+		t.Fatalf("degenerate split memberships: %d / %d", len(m0), len(m1))
+	}
+	if len(m0)+len(m1) != len(seqs) {
+		t.Fatalf("memberships cover %d of %d items", len(m0)+len(m1), len(seqs))
+	}
+}
+
+// TestSplitEvalDeclinesSingleBlob: one tight group gains nothing from a
+// second component once the BIC parameter penalty is paid.
+func TestSplitEvalDeclinesSingleBlob(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seqs := blob(rng, 40, 10)
+	dec, err := SplitEval(seqs, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Adopt {
+		t.Fatalf("Adopt = true (gain %v) on a single tight blob", dec.Gain)
+	}
+}
+
+// TestSplitEvalDeterministic: identical input and seed reproduce the exact
+// verdict, gain bits and memberships — the property that keeps inline and
+// deferred split evaluations interchangeable.
+func TestSplitEvalDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	seqs := append(blob(rng, 18, 0), blob(rng, 18, 200)...)
+	a, err := SplitEval(seqs, Config{Seed: 5, Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SplitEval(seqs, Config{Seed: 5, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Adopt != b.Adopt || a.Gain != b.Gain {
+		t.Fatalf("verdicts diverged: (%v, %v) vs (%v, %v)", a.Adopt, a.Gain, b.Adopt, b.Gain)
+	}
+	for i := range a.Two.Assignments {
+		if a.Two.Assignments[i] != b.Two.Assignments[i] {
+			t.Fatalf("assignment %d diverged: %d vs %d", i, a.Two.Assignments[i], b.Two.Assignments[i])
+		}
+	}
+}
+
+// TestSplitEvalTooFewItems: a membership of one cannot fit K = 2; the
+// evaluation must error rather than fabricate a verdict.
+func TestSplitEvalTooFewItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	if _, err := SplitEval(blob(rng, 1, 0), Config{Seed: 1}); err == nil {
+		t.Fatal("expected an error for a single-member evaluation")
+	}
+}

@@ -77,6 +77,11 @@ type Stats struct {
 	OGs      int
 	Roots    int
 	Clusters int
+	// Shards is the number of copy-on-write index partitions. Snapshot
+	// versions are runtime state, not content — read them via
+	// IndexVersions or the shard metrics, not here, so that two databases
+	// with identical contents report identical Stats.
+	Shards int
 	// STRGBytes is Equation 9 aggregated over segments: the decomposed
 	// STRG with the background repeated per frame.
 	STRGBytes int
@@ -98,7 +103,7 @@ type IngestStats struct {
 type VideoDB struct {
 	cfg       Config
 	cache     *distCache
-	tree      *index.Tree[ClipRecord]
+	tree      *index.Sharded[ClipRecord]
 	segments  int
 	ogCount   int
 	strgBytes int
@@ -109,8 +114,10 @@ type VideoDB struct {
 	records []ClipRecord
 	// onCommit, when set, runs at the top of every segment commit, before
 	// any database state mutates — the write-ahead hook of the durability
-	// layer (see durable.go). An error aborts the commit.
-	onCommit func(stream string, seg *video.Segment) error
+	// layer (see durable.go). shard is the index shard the segment will
+	// land on (resolved before the commit, so the log can record the
+	// route). An error aborts the commit.
+	onCommit func(stream string, seg *video.Segment, shard int) error
 }
 
 // Open creates an empty database.
@@ -134,7 +141,7 @@ func Open(cfg Config) *VideoDB {
 		db.cache = newDistCache(cfg.DistCacheSize)
 		db.cfg.Index.Cache = db.cache
 	}
-	db.tree = index.New[ClipRecord](db.cfg.Index)
+	db.tree = index.NewSharded[ClipRecord](db.cfg.Index)
 	return db
 }
 
@@ -175,8 +182,11 @@ func (db *VideoDB) IngestSegment(stream string, seg *video.Segment) (*IngestStat
 // size accounting all depend on ingest order, so commits stay sequential.
 func (db *VideoDB) commitSegment(stream string, b *builtSegment) (*IngestStats, error) {
 	seg, s, d := b.seg, b.s, b.d
+	// Resolve the shard before anything mutates: the route is pure, and
+	// commits are serialized, so this is exactly where AddSegment lands.
+	shard := db.tree.RouteShard(d.BG)
 	if db.onCommit != nil {
-		if err := db.onCommit(stream, seg); err != nil {
+		if err := db.onCommit(stream, seg, shard); err != nil {
 			return nil, fmt.Errorf("core: write-ahead log for %s: %w", seg.Name, err)
 		}
 	}
@@ -198,10 +208,12 @@ func (db *VideoDB) commitSegment(stream string, b *builtSegment) (*IngestStats, 
 		return nil, fmt.Errorf("core: indexing %s: %w", seg.Name, err)
 	}
 	if db.cache != nil {
-		// Invalidate cached distances: content hashing already makes them
-		// immune to staleness, but bumping the generation keeps the cache
-		// protocol independent of the key scheme.
-		db.cache.Bump()
+		// Invalidate cached distances for the shard this commit touched:
+		// content hashing already makes entries immune to staleness, but
+		// bumping the generation keeps the cache protocol independent of
+		// the key scheme — and scoping the bump to one shard preserves the
+		// warm entries of every shard the commit could not have changed.
+		db.cache.BumpShard(uint32(shard))
 	}
 	for i, og := range d.OGs {
 		db.ogs = append(db.ogs, og)
@@ -376,15 +388,28 @@ func (db *VideoDB) Stats() Stats {
 		OGs:          db.tree.Len(),
 		Roots:        db.tree.NumRoots(),
 		Clusters:     db.tree.NumClusters(),
+		Shards:       db.tree.NumShards(),
 		STRGBytes:    db.strgBytes,
 		RawSTRGBytes: db.rawBytes,
 		IndexBytes:   db.tree.MemoryBytes(),
 	}
 }
 
-// Index exposes the underlying STRG-Index for advanced use (experiments,
-// invariant checks).
-func (db *VideoDB) Index() *index.Tree[ClipRecord] { return db.tree }
+// Index returns a read-only merged view of the STRG-Index for advanced
+// use (experiments, invariant checks). The view is a consistent snapshot:
+// later ingests do not appear in it. Callers must not mutate it.
+func (db *VideoDB) Index() *index.Tree[ClipRecord] { return db.tree.View() }
+
+// IndexSharded exposes the sharded index itself (concurrent-safe) for
+// tooling that needs shard versions or quiescing.
+func (db *VideoDB) IndexSharded() *index.Sharded[ClipRecord] { return db.tree }
+
+// IndexVersions returns each index shard's published snapshot version.
+func (db *VideoDB) IndexVersions() []uint64 { return db.tree.Versions() }
+
+// QuiesceIndex waits for any in-flight asynchronous split evaluations
+// (a no-op unless Config.Index.AsyncSplit is set).
+func (db *VideoDB) QuiesceIndex() { db.tree.Quiesce() }
 
 // Select returns the clip records of every indexed Object Graph satisfying
 // the predicate — the "queries on moving objects" surface (e.g. everything

@@ -38,8 +38,15 @@ func NewDistCache(capacity int) index.DistCache {
 // shards by key hash and serializes each shard under its own mutex. A
 // race between two workers computing the same pair is benign — both write
 // the identical bits.
+//
+// Generations are tracked per index shard (the cache implements
+// index.ShardAwareDistCache, so entries carry the shard their record
+// lives in): an ingest bumps only the shard it committed to, keeping
+// every other shard's warm entries servable. The table is sized to
+// index.MaxShards; entries written through the plain Put (non-sharded
+// callers) live in generation slot 0.
 type distCache struct {
-	gen    atomic.Uint64
+	gens   [index.MaxShards]atomic.Uint64
 	shards []cacheShard
 }
 
@@ -55,9 +62,10 @@ type cacheKey struct {
 }
 
 type cacheEntry struct {
-	key cacheKey
-	d   float64
-	gen uint64
+	key   cacheKey
+	d     float64
+	gen   uint64
+	shard uint32
 }
 
 // cacheShards is the fixed shard count — a small power of two; the worker
@@ -89,14 +97,23 @@ func (c *distCache) shard(k cacheKey) *cacheShard {
 	return &c.shards[(k.q^k.s)&(cacheShards-1)]
 }
 
-// Bump advances the generation, invalidating every cached entry. Called
-// after each successful ingest commit.
-func (c *distCache) Bump() { c.gen.Add(1) }
+// Bump advances every shard generation, invalidating every cached entry.
+func (c *distCache) Bump() {
+	for i := range c.gens {
+		c.gens[i].Add(1)
+	}
+}
+
+// BumpShard advances one index shard's generation, invalidating only the
+// entries whose records live there. Called after each ingest commit with
+// the shard the commit routed to.
+func (c *distCache) BumpShard(shard uint32) {
+	c.gens[shard%index.MaxShards].Add(1)
+}
 
 // Get implements index.DistCache.
 func (c *distCache) Get(query, seq uint64) (float64, bool) {
 	k := cacheKey{q: query, s: seq}
-	gen := c.gen.Load()
 	sh := c.shard(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -106,7 +123,7 @@ func (c *distCache) Get(query, seq uint64) (float64, bool) {
 		return 0, false
 	}
 	e := el.Value.(*cacheEntry)
-	if e.gen != gen {
+	if e.gen != c.gens[e.shard%index.MaxShards].Load() {
 		// Stale generation: drop it rather than refresh it, so the slot is
 		// reusable and the invalidation protocol is observable.
 		sh.lru.Remove(el)
@@ -120,16 +137,24 @@ func (c *distCache) Get(query, seq uint64) (float64, bool) {
 	return e.d, true
 }
 
-// Put implements index.DistCache.
+// Put implements index.DistCache (entries land in generation slot 0).
 func (c *distCache) Put(query, seq uint64, d float64) {
+	c.PutShard(query, seq, d, 0)
+}
+
+// PutShard implements index.ShardAwareDistCache: the entry is stamped
+// with its record's index shard, so only that shard's ingests invalidate
+// it.
+func (c *distCache) PutShard(query, seq uint64, d float64, shard uint32) {
 	k := cacheKey{q: query, s: seq}
-	gen := c.gen.Load()
+	shard %= index.MaxShards
+	gen := c.gens[shard].Load()
 	sh := c.shard(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if el, ok := sh.m[k]; ok {
 		e := el.Value.(*cacheEntry)
-		e.d, e.gen = d, gen
+		e.d, e.gen, e.shard = d, gen, shard
 		sh.lru.MoveToFront(el)
 		return
 	}
@@ -139,7 +164,7 @@ func (c *distCache) Put(query, seq uint64, d float64) {
 		delete(sh.m, oldest.Value.(*cacheEntry).key)
 		cacheEvictions.Inc()
 	}
-	sh.m[k] = sh.lru.PushFront(&cacheEntry{key: k, d: d, gen: gen})
+	sh.m[k] = sh.lru.PushFront(&cacheEntry{key: k, d: d, gen: gen, shard: shard})
 }
 
 // Len reports the current number of cached entries (for tests and stats).

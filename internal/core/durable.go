@@ -92,6 +92,11 @@ type RecoveryStats struct {
 type walOp struct {
 	Stream  string
 	Segment *video.Segment
+	// Shard records the index shard the commit routed to — diagnostic
+	// (replay re-derives the route deterministically, so a recovery under
+	// a different shard count still works). Logs written before sharding
+	// decode with Shard zero.
+	Shard int
 }
 
 func encodeOp(op walOp) ([]byte, error) {
@@ -296,11 +301,11 @@ func snapshotImage(fsys faultfs.FS, path string) (dbImage, error) {
 
 // append is the write-ahead hook: it durably logs the operation before
 // the commit mutates any state.
-func (d *durable) append(stream string, seg *video.Segment) error {
+func (d *durable) append(stream string, seg *video.Segment, shard int) error {
 	if d.closed {
 		return fmt.Errorf("core: database closed")
 	}
-	payload, err := encodeOp(walOp{Stream: stream, Segment: seg})
+	payload, err := encodeOp(walOp{Stream: stream, Segment: seg, Shard: shard})
 	if err != nil {
 		return err
 	}

@@ -69,8 +69,11 @@ type dbImage struct {
 	WALSeq uint64
 }
 
-// image captures the persistable state.
+// image captures the persistable state. Asynchronous split evaluations
+// are quiesced first so the image is a settled tree, not a moving target
+// (the snapshot itself is shard-count independent either way).
 func (db *VideoDB) image() dbImage {
+	db.tree.Quiesce()
 	return dbImage{
 		Segments:  db.segments,
 		OGCount:   db.ogCount,
@@ -80,9 +83,11 @@ func (db *VideoDB) image() dbImage {
 	}
 }
 
-// restore installs a decoded image into a freshly opened database.
+// restore installs a decoded image into a freshly opened database. Roots
+// are re-homed across the configured shard count, which may differ from
+// the saving process's — the snapshot is shard-layout independent.
 func (db *VideoDB) restore(img dbImage) error {
-	tree, err := index.FromSnapshot(img.Index, db.cfg.Index)
+	tree, err := index.NewShardedFromSnapshot(img.Index, db.cfg.Index)
 	if err != nil {
 		return err
 	}

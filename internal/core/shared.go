@@ -70,69 +70,55 @@ func (s *SharedDB) IngestVideo(stream string, seg *video.Segment, shotCfg shot.C
 	return n, err
 }
 
-// QueryTrajectory is VideoDB.QueryTrajectory under a read lock.
+// Similarity queries do not take the database lock: the sharded index
+// publishes immutable copy-on-write snapshots, so each search assembles a
+// consistent lock-free view and never waits on an in-flight ingest (the
+// distance cache is independently concurrency-safe). Only the scan-based
+// Select and the multi-field Stats/Save still synchronize with writers.
+
+// QueryTrajectory is VideoDB.QueryTrajectory, lock-free.
 func (s *SharedDB) QueryTrajectory(seq dist.Sequence, k int) []Match {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.QueryTrajectory(seq, k)
 }
 
-// QueryTrajectoryCtx is VideoDB.QueryTrajectoryCtx under a read lock.
+// QueryTrajectoryCtx is VideoDB.QueryTrajectoryCtx, lock-free.
 func (s *SharedDB) QueryTrajectoryCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.QueryTrajectoryCtx(ctx, seq, k)
 }
 
-// QueryTrajectoryStatsCtx is VideoDB.QueryTrajectoryStatsCtx under a read
-// lock.
+// QueryTrajectoryStatsCtx is VideoDB.QueryTrajectoryStatsCtx, lock-free.
 func (s *SharedDB) QueryTrajectoryStatsCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, index.SearchStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.QueryTrajectoryStatsCtx(ctx, seq, k)
 }
 
-// QueryTrajectoryExact is VideoDB.QueryTrajectoryExact under a read lock.
+// QueryTrajectoryExact is VideoDB.QueryTrajectoryExact, lock-free.
 func (s *SharedDB) QueryTrajectoryExact(seq dist.Sequence, k int) []Match {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.QueryTrajectoryExact(seq, k)
 }
 
-// QueryTrajectoryExactCtx is VideoDB.QueryTrajectoryExactCtx under a read
-// lock.
+// QueryTrajectoryExactCtx is VideoDB.QueryTrajectoryExactCtx, lock-free.
 func (s *SharedDB) QueryTrajectoryExactCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.QueryTrajectoryExactCtx(ctx, seq, k)
 }
 
-// QueryTrajectoryExactStatsCtx is VideoDB.QueryTrajectoryExactStatsCtx
-// under a read lock.
+// QueryTrajectoryExactStatsCtx is VideoDB.QueryTrajectoryExactStatsCtx,
+// lock-free.
 func (s *SharedDB) QueryTrajectoryExactStatsCtx(ctx context.Context, seq dist.Sequence, k int) ([]Match, index.SearchStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.QueryTrajectoryExactStatsCtx(ctx, seq, k)
 }
 
-// QueryRange is VideoDB.QueryRange under a read lock.
+// QueryRange is VideoDB.QueryRange, lock-free.
 func (s *SharedDB) QueryRange(seq dist.Sequence, radius float64) []Match {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.QueryRange(seq, radius)
 }
 
-// QueryRangeCtx is VideoDB.QueryRangeCtx under a read lock.
+// QueryRangeCtx is VideoDB.QueryRangeCtx, lock-free.
 func (s *SharedDB) QueryRangeCtx(ctx context.Context, seq dist.Sequence, radius float64) ([]Match, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.QueryRangeCtx(ctx, seq, radius)
 }
 
-// QueryRangeStatsCtx is VideoDB.QueryRangeStatsCtx under a read lock.
+// QueryRangeStatsCtx is VideoDB.QueryRangeStatsCtx, lock-free.
 func (s *SharedDB) QueryRangeStatsCtx(ctx context.Context, seq dist.Sequence, radius float64) ([]Match, index.SearchStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.QueryRangeStatsCtx(ctx, seq, radius)
 }
 
@@ -164,3 +150,10 @@ func (s *SharedDB) Save(w io.Writer) error {
 	defer s.mu.Unlock()
 	return s.db.Save(w)
 }
+
+// IndexVersions returns each index shard's published snapshot version
+// (lock-free; see VideoDB.IndexVersions).
+func (s *SharedDB) IndexVersions() []uint64 { return s.db.IndexVersions() }
+
+// QuiesceIndex waits out in-flight asynchronous split evaluations.
+func (s *SharedDB) QuiesceIndex() { s.db.QuiesceIndex() }

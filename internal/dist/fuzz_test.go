@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeFuzzSequences turns fuzz bytes into two small 2-D sequences with
+// finite coordinates (int16 sixteenths keep magnitudes sane while still
+// exercising negatives, zeros, and large values).
+func decodeFuzzSequences(data []byte) (a, b Sequence) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	la := int(data[0]) % 13
+	lb := int(data[0]>>4) % 13
+	data = data[1:]
+	next := func() float64 {
+		if len(data) == 0 {
+			return 0
+		}
+		var v int16
+		if len(data) == 1 {
+			v = int16(data[0])
+			data = nil
+		} else {
+			v = int16(binary.LittleEndian.Uint16(data))
+			data = data[2:]
+		}
+		return float64(v) / 16
+	}
+	a = make(Sequence, la)
+	for i := range a {
+		a[i] = Vec{next(), next()}
+	}
+	b = make(Sequence, lb)
+	for i := range b {
+		b[i] = Vec{next(), next()}
+	}
+	return a, b
+}
+
+// FuzzEGEDKernels cross-checks the distance kernels against each other on
+// arbitrary sequences: the early-abandoning forms must be bit-identical
+// to the exact forms whenever they do not abandon (and must never abandon
+// at ub = +Inf or ub = the exact distance), an abandoned result must be
+// an admissible lower bound strictly above the cutoff, and every cascade
+// lower bound must stay at or below the exact distance it gates.
+func FuzzEGEDKernels(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x32, 10, 0, 20, 0, 30, 0, 40, 0, 50, 0})
+	f.Add([]byte{0x11, 0xff, 0x7f, 0x00, 0x80}) // extreme coordinates
+	f.Add([]byte{0x05})                         // one empty side
+	f.Add([]byte{0xcc, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeFuzzSequences(data)
+
+		exact := EGEDMZero(a, b)
+		if math.IsNaN(exact) || exact < 0 {
+			t.Fatalf("EGEDMZero = %v on finite input", exact)
+		}
+		if d, ab := EGEDMZeroUB(a, b, math.Inf(1)); ab || math.Float64bits(d) != math.Float64bits(exact) {
+			t.Fatalf("EGEDMZeroUB(+Inf) = (%v, %v), want (%v, false) bit-identical", d, ab, exact)
+		}
+		// The cutoff fires strictly above ub, so ub = exact never abandons.
+		if d, ab := EGEDMZeroUB(a, b, exact); ab || math.Float64bits(d) != math.Float64bits(exact) {
+			t.Fatalf("EGEDMZeroUB(exact) = (%v, %v), want (%v, false) bit-identical", d, ab, exact)
+		}
+		if tight := exact / 2; tight < exact {
+			d, ab := EGEDMZeroUB(a, b, tight)
+			if ab {
+				if !(d > tight) || d > exact {
+					t.Fatalf("abandoned result %v not in (ub=%v, exact=%v]", d, tight, exact)
+				}
+			} else if math.Float64bits(d) != math.Float64bits(exact) {
+				t.Fatalf("non-abandoned EGEDMZeroUB(%v) = %v, want %v bit-identical", tight, d, exact)
+			}
+		}
+
+		dtw := DTW(a, b)
+		if d, ab := DTWUB(a, b, math.Inf(1)); ab || math.Float64bits(d) != math.Float64bits(dtw) {
+			t.Fatalf("DTWUB(+Inf) = (%v, %v), want (%v, false) bit-identical", d, ab, dtw)
+		}
+
+		// Lower bounds must be admissible against the distances they prune
+		// for; allow a hair of accumulation slack since the bounds and the
+		// DP sum in different orders.
+		tol := 1e-9 * math.Max(1, exact)
+		for _, c := range []struct {
+			name  string
+			casc  Cascade
+			exact float64
+		}{
+			{"EGEDMCascade", EGEDMCascade(nil), exact},
+			{"DTWCascade", DTWCascade(), dtw},
+		} {
+			sa, sb := c.casc.Summarize(a), c.casc.Summarize(b)
+			if lb := c.casc.LBQuick(a, b, sa, sb); lb > c.exact+tol {
+				t.Fatalf("%s.LBQuick = %v exceeds exact %v", c.name, lb, c.exact)
+			}
+			if lb := c.casc.LBEnvelope(a, sb); lb > c.exact+tol {
+				t.Fatalf("%s.LBEnvelope = %v exceeds exact %v", c.name, lb, c.exact)
+			}
+			if d, ab := c.casc.DistanceUB(a, b, math.Inf(1)); ab || math.Float64bits(d) != math.Float64bits(c.exact) {
+				t.Fatalf("%s.DistanceUB(+Inf) = (%v, %v), want (%v, false)", c.name, d, ab, c.exact)
+			}
+		}
+
+		// The cache key must be deterministic and length-sensitive enough
+		// that a sequence never collides with its own prefix.
+		if HashSequence(a) != HashSequence(a) {
+			t.Fatal("HashSequence not deterministic")
+		}
+		if len(a) > 1 && HashSequence(a) == HashSequence(a[:len(a)-1]) {
+			t.Fatalf("HashSequence collides with own prefix for %v", a)
+		}
+	})
+}

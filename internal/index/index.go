@@ -40,6 +40,18 @@ type DistCache interface {
 	Put(query, seq uint64, d float64)
 }
 
+// ShardAwareDistCache is an optional DistCache extension for sharded
+// trees: PutShard carries the stored record's shard, letting the cache
+// stamp each entry with a per-shard generation and invalidate only the
+// shard an ingest actually touched instead of wiping the whole warm cache
+// on every commit. Searches detect the extension once per query; plain
+// DistCache implementations keep working unchanged (their entries behave
+// as shard 0).
+type ShardAwareDistCache interface {
+	DistCache
+	PutShard(query, seq uint64, d float64, shard uint32)
+}
+
 // Config parameterizes an STRG-Index.
 type Config struct {
 	// Metric is the leaf key metric — EGED_M in the paper. It must satisfy
@@ -85,6 +97,16 @@ type Config struct {
 	Seed int64
 	// EMMaxIter bounds clustering iterations. Zero means 50.
 	EMMaxIter int
+	// Shards is the number of copy-on-write partitions a Sharded index
+	// splits its roots across (clamped to [1, MaxShards]; plain Trees
+	// ignore it). Query results are identical at every setting — sharding
+	// only changes which snapshot a root lives in.
+	Shards int
+	// AsyncSplit defers Section 5.3 split evaluations from the Sharded
+	// ingest path to background goroutines (plain Trees ignore it). Splits
+	// still publish through the writer lock; only the EM fits move off the
+	// commit path, so ingest latency stops paying for them.
+	AsyncSplit bool
 	// Concurrency bounds the worker pool used throughout the index: the
 	// pairwise matrices of EM clustering during construction and splits,
 	// the centroid descent of insertion and search, and the per-leaf scans
@@ -161,6 +183,9 @@ type leafRecord[P any] struct {
 	payload P
 	sum     dist.Summary
 	hash    uint64
+	// shard tags the record with its tree's shard index (0 for a plain
+	// tree) so shard-aware distance caches can scope invalidation.
+	shard uint32
 }
 
 // newLeafRecord builds a leaf record for seq under centroid: the key is
@@ -173,6 +198,7 @@ func (t *Tree[P]) newLeafRecord(centroid, seq dist.Sequence, payload P) leafReco
 		payload: payload,
 		sum:     t.cfg.Cascade.Summarize(seq),
 		hash:    dist.HashSequence(seq),
+		shard:   t.shardTag,
 	}
 }
 
@@ -182,6 +208,14 @@ type clusterRecord[P any] struct {
 	id       int
 	centroid dist.Sequence
 	leaf     []leafRecord[P]
+	// splitChecked is the leaf size at which the last BIC evaluation
+	// declined to split, 0 if never evaluated (or since invalidated by a
+	// delete or an adopted split). Cluster quality cannot have degraded
+	// while the membership is unchanged, so an occupancy check at the same
+	// size skips the two EM refits — the incremental half of Section 5.3.
+	// Advisory state: searches never read it, writers are serialized, so
+	// the copy-on-write path may update it in place on a shared record.
+	splitChecked int
 }
 
 func (c *clusterRecord[P]) maxKey() float64 {
@@ -199,13 +233,26 @@ type rootRecord[P any] struct {
 	clusters []*clusterRecord[P]
 }
 
-// Tree is an STRG-Index. Not safe for concurrent mutation.
+// Tree is an STRG-Index. Not safe for concurrent mutation; Sharded wraps
+// trees in copy-on-write snapshots for concurrent readers.
 type Tree[P any] struct {
 	cfg     Config
 	matcher *graph.Matcher
 	roots   []*rootRecord[P]
 	size    int
 	nextCl  int
+	// shardTag is this tree's index within a Sharded wrapper (0 for a
+	// plain tree); stamped into every leaf record at insert/restore time.
+	shardTag uint32
+}
+
+// clone returns a shallow copy sharing every root record — the starting
+// point of a copy-on-write transaction, which then privatizes only the
+// nodes it touches via txn.
+func (t *Tree[P]) clone() *Tree[P] {
+	c := *t
+	c.roots = append([]*rootRecord[P](nil), t.roots...)
+	return &c
 }
 
 // New creates an empty STRG-Index.
@@ -229,6 +276,69 @@ func (t *Tree[P]) NumClusters() int {
 	return n
 }
 
+// txn tracks one mutation's copy-on-write state. A plain tree mutates in
+// place (cow false: root/cluster return the nodes as-is); a Sharded write
+// runs on a fresh clone with cow true, privatizing each touched node once
+// so published snapshots stay immutable. With deferSplit set, occupancy
+// checks collect split candidates for the asynchronous evaluator instead
+// of fitting EM inline.
+type txn[P any] struct {
+	t   *Tree[P]
+	cow bool
+	// owned marks nodes this transaction created or already privatized.
+	owned map[any]bool
+	// rootIdx is the root the current insert batch targets (for split
+	// candidates).
+	rootIdx    int
+	deferSplit bool
+	splitCands []splitCand
+}
+
+// splitCand identifies an oversized cluster awaiting a deferred BIC
+// evaluation.
+type splitCand struct {
+	rootIdx   int
+	clusterID int
+}
+
+func (x *txn[P]) own(node any) {
+	if x.cow {
+		if x.owned == nil {
+			x.owned = make(map[any]bool)
+		}
+		x.owned[node] = true
+	}
+}
+
+// root returns the root at index i, privatized if this is a COW
+// transaction: the copy shares cluster pointers until cluster() privatizes
+// them individually.
+func (x *txn[P]) root(i int) *rootRecord[P] {
+	r := x.t.roots[i]
+	if !x.cow || x.owned[r] {
+		return r
+	}
+	c := *r
+	c.clusters = append([]*clusterRecord[P](nil), r.clusters...)
+	x.t.roots[i] = &c
+	x.own(&c)
+	return &c
+}
+
+// cluster returns root's ci-th cluster, privatized (leaf slice copied) if
+// this is a COW transaction. root must itself already be private.
+func (x *txn[P]) cluster(root *rootRecord[P], ci int) *clusterRecord[P] {
+	cl := root.clusters[ci]
+	if !x.cow || x.owned[cl] {
+		return cl
+	}
+	c := *cl
+	c.leaf = append([]leafRecord[P](nil), cl.leaf...)
+	root.clusters[ci] = &c
+	x.own(&c)
+	return &c
+}
+
 // AddSegment indexes one decomposed segment: its background graph plus its
 // OGs (Algorithm 2). If bg matches an existing root record by SimGraph the
 // OGs join that root's cluster node; otherwise a new root record is
@@ -236,15 +346,24 @@ func (t *Tree[P]) NumClusters() int {
 // experiments), in which case all items share a single nil-background
 // root.
 func (t *Tree[P]) AddSegment(bg *graph.Graph, items []Item[P]) error {
-	root := t.findOrCreateRoot(bg)
+	x := &txn[P]{t: t}
+	x.rootIdx = t.findOrCreateRoot(bg)
 	if len(items) == 0 {
 		return nil
 	}
+	return t.addItemsAt(x, x.rootIdx, items)
+}
+
+// addItemsAt inserts items into the root at index ri under the given
+// transaction: EM bootstrap for an empty root, per-item centroid routing
+// otherwise.
+func (t *Tree[P]) addItemsAt(x *txn[P], ri int, items []Item[P]) error {
+	root := x.root(ri)
 	if len(root.clusters) == 0 {
-		return t.buildClusters(root, items)
+		return t.buildClusters(x, root, items)
 	}
 	for _, it := range items {
-		if err := t.insertIntoRoot(root, it); err != nil {
+		if err := t.insertIntoRoot(x, root, it); err != nil {
 			return err
 		}
 	}
@@ -257,47 +376,55 @@ func (t *Tree[P]) Insert(bg *graph.Graph, seq dist.Sequence, payload P) error {
 }
 
 // findOrCreateRoot locates the root record whose background is most
-// similar to bg (SimGraph at least the threshold) or appends a new one.
-func (t *Tree[P]) findOrCreateRoot(bg *graph.Graph) *rootRecord[P] {
+// similar to bg (SimGraph at least the threshold) or appends a new one,
+// returning its index.
+func (t *Tree[P]) findOrCreateRoot(bg *graph.Graph) int {
 	if bg == nil {
-		for _, r := range t.roots {
+		for i, r := range t.roots {
 			if r.bg == nil {
-				return r
+				return i
 			}
 		}
 	} else {
-		var best *rootRecord[P]
+		best := -1
 		bestSim := 0.0
-		for _, r := range t.roots {
+		for i, r := range t.roots {
 			if r.bg == nil {
 				continue
 			}
 			if sim := t.matcher.SimGraph(bg, r.bg); sim > bestSim {
-				best, bestSim = r, sim
+				best, bestSim = i, sim
 			}
 		}
-		if best != nil && bestSim >= t.cfg.BGSimThreshold {
+		if best >= 0 && bestSim >= t.cfg.BGSimThreshold {
 			return best
 		}
 	}
 	r := &rootRecord[P]{id: len(t.roots), bg: bg}
 	t.roots = append(t.roots, r)
-	return r
+	return len(t.roots) - 1
 }
 
-// buildClusters bootstraps a root's cluster node from its first batch of
-// items: EM clustering with the non-metric EGED, K by BIC unless fixed.
-func (t *Tree[P]) buildClusters(root *rootRecord[P], items []Item[P]) error {
-	seqs := make([]dist.Sequence, len(items))
-	for i, it := range items {
-		seqs[i] = it.Seq
-	}
-	ccfg := cluster.Config{
+// clusterCfg assembles the clustering configuration shared by bootstrap,
+// inline splits and deferred split evaluations.
+func (t *Tree[P]) clusterCfg() cluster.Config {
+	return cluster.Config{
 		MaxIter:     t.cfg.EMMaxIter,
 		Seed:        t.cfg.Seed,
 		Distance:    t.cfg.ClusterDistance,
 		Concurrency: t.cfg.Concurrency,
 	}
+}
+
+// buildClusters bootstraps a root's cluster node from its first batch of
+// items: EM clustering with the non-metric EGED, K by BIC unless fixed.
+// root must be owned by the transaction.
+func (t *Tree[P]) buildClusters(x *txn[P], root *rootRecord[P], items []Item[P]) error {
+	seqs := make([]dist.Sequence, len(items))
+	for i, it := range items {
+		seqs[i] = it.Seq
+	}
+	ccfg := t.clusterCfg()
 	var res *cluster.Result
 	var err error
 	switch {
@@ -321,38 +448,35 @@ func (t *Tree[P]) buildClusters(root *rootRecord[P], items []Item[P]) error {
 		}
 		cl := &clusterRecord[P]{id: t.nextCl, centroid: res.Centroids[k]}
 		t.nextCl++
+		x.own(cl)
 		for _, j := range members {
 			cl.insertSorted(t.newLeafRecord(cl.centroid, items[j].Seq, items[j].Payload))
 		}
 		root.clusters = append(root.clusters, cl)
 		t.size += len(members)
 	}
-	// Respect the occupancy rule immediately.
+	// Respect the occupancy rule immediately. The range snapshots the
+	// slice header, so clusters appended by adopted splits are not
+	// re-examined — the original behavior.
 	for _, cl := range root.clusters {
-		t.maybeSplit(root, cl)
+		t.maybeSplit(x, root, cl)
 	}
 	return nil
 }
 
 // insertIntoRoot routes one item to the most similar centroid (non-metric
-// EGED, Algorithm 3's descent) and inserts it into that leaf by key.
-func (t *Tree[P]) insertIntoRoot(root *rootRecord[P], it Item[P]) error {
-	best := t.nearestCluster(root, it.Seq)
-	if best == nil {
+// EGED, Algorithm 3's descent) and inserts it into that leaf by key. root
+// must be owned by the transaction.
+func (t *Tree[P]) insertIntoRoot(x *txn[P], root *rootRecord[P], it Item[P]) error {
+	ci := argminCluster(root.clusters, it.Seq, t.cfg.ClusterDistance, t.cfg.Concurrency)
+	if ci < 0 {
 		return fmt.Errorf("index: root %d has no clusters", root.id)
 	}
-	best.insertSorted(t.newLeafRecord(best.centroid, it.Seq, it.Payload))
+	cl := x.cluster(root, ci)
+	cl.insertSorted(t.newLeafRecord(cl.centroid, it.Seq, it.Payload))
 	t.size++
-	t.maybeSplit(root, best)
+	t.maybeSplit(x, root, cl)
 	return nil
-}
-
-func (t *Tree[P]) nearestCluster(root *rootRecord[P], seq dist.Sequence) *clusterRecord[P] {
-	i := argminCluster(root.clusters, seq, t.cfg.ClusterDistance, t.cfg.Concurrency)
-	if i < 0 {
-		return nil
-	}
-	return root.clusters[i]
 }
 
 // argminCluster evaluates the distance from seq to every centroid across
@@ -405,42 +529,51 @@ func (c *clusterRecord[P]) insertSorted(rec leafRecord[P]) {
 
 // maybeSplit applies Section 5.3: when a leaf exceeds MaxLeafEntries, EM
 // with K = 2 is fitted to its members and adopted if it improves BIC over
-// the single-cluster model.
-func (t *Tree[P]) maybeSplit(root *rootRecord[P], cl *clusterRecord[P]) {
-	if len(cl.leaf) <= t.cfg.MaxLeafEntries {
+// the single-cluster model. A declined verdict is remembered at the
+// current leaf size (splitChecked), so re-checks at an unchanged
+// membership skip the refits. With deferSplit set, the transaction records
+// the cluster for the asynchronous evaluator instead of fitting inline.
+// cl must be owned by the transaction.
+func (t *Tree[P]) maybeSplit(x *txn[P], root *rootRecord[P], cl *clusterRecord[P]) {
+	if len(cl.leaf) <= t.cfg.MaxLeafEntries || len(cl.leaf) == cl.splitChecked {
+		return
+	}
+	if x.deferSplit {
+		x.splitCands = append(x.splitCands, splitCand{rootIdx: x.rootIdx, clusterID: cl.id})
 		return
 	}
 	seqs := make([]dist.Sequence, len(cl.leaf))
 	for i, rec := range cl.leaf {
 		seqs[i] = rec.seq
 	}
-	ccfg := cluster.Config{
-		MaxIter:     t.cfg.EMMaxIter,
-		Seed:        t.cfg.Seed,
-		Distance:    t.cfg.ClusterDistance,
-		Concurrency: t.cfg.Concurrency,
-	}
-	one := ccfg
-	one.K = 1
-	res1, err1 := cluster.EM(seqs, one)
-	two := ccfg
-	two.K = 2
-	res2, err2 := cluster.EM(seqs, two)
-	if err1 != nil || err2 != nil {
+	dec, err := cluster.SplitEval(seqs, t.clusterCfg())
+	splitEvals.Inc()
+	if err != nil {
 		return // splitting is an optimization; never fail an insert over it
 	}
-	if cluster.BIC(res2, len(seqs)) <= cluster.BIC(res1, len(seqs)) {
+	if !dec.Adopt || !t.applySplit(root, cl, dec.Two) {
+		cl.splitChecked = len(cl.leaf)
 		return
 	}
-	mem0, mem1 := res2.Members(0), res2.Members(1)
+	splitsInline.Inc()
+}
+
+// applySplit installs an adopted two-component fit: cl keeps component 0
+// (re-centroided, members re-keyed), a new cluster record takes component
+// 1, appended to the root. It reports false — leaving the tree unchanged —
+// when either membership is empty. root and cl must be owned by the
+// transaction.
+func (t *Tree[P]) applySplit(root *rootRecord[P], cl *clusterRecord[P], two *cluster.Result) bool {
+	mem0, mem1 := two.Members(0), two.Members(1)
 	if len(mem0) == 0 || len(mem1) == 0 {
-		return
+		return false
 	}
 	records := cl.leaf
-	newCl := &clusterRecord[P]{id: t.nextCl, centroid: res2.Centroids[1]}
+	newCl := &clusterRecord[P]{id: t.nextCl, centroid: two.Centroids[1]}
 	t.nextCl++
-	cl.centroid = res2.Centroids[0]
+	cl.centroid = two.Centroids[0]
 	cl.leaf = nil
+	cl.splitChecked = 0
 	for _, j := range mem0 {
 		// Re-key against the new centroid, but keep the record's summary
 		// and hash: both depend only on the sequence, not the cluster.
@@ -454,6 +587,7 @@ func (t *Tree[P]) maybeSplit(root *rootRecord[P], cl *clusterRecord[P]) {
 		newCl.insertSorted(rec)
 	}
 	root.clusters = append(root.clusters, newCl)
+	return true
 }
 
 // MemoryBytes evaluates Equation 10: Σ size(OG_mem) + Σ size(OG_clus) +
@@ -488,25 +622,42 @@ func seqBytes(s dist.Sequence) int {
 // records whose leaf empties are dropped; the root record stays (its
 // background may still route future segments).
 func (t *Tree[P]) Delete(seq dist.Sequence, pred func(P) bool) bool {
-	for _, r := range t.roots {
-		for ci, cl := range r.clusters {
-			key := t.cfg.Metric(seq, cl.centroid)
-			i := sort.Search(len(cl.leaf), func(i int) bool { return cl.leaf[i].key >= key-1e-9 })
-			for ; i < len(cl.leaf) && cl.leaf[i].key <= key+1e-9; i++ {
-				rec := cl.leaf[i]
-				if t.cfg.Metric(seq, rec.seq) > 1e-9 {
-					continue
-				}
-				if pred != nil && !pred(rec.payload) {
-					continue
-				}
-				cl.leaf = append(cl.leaf[:i], cl.leaf[i+1:]...)
-				t.size--
-				if len(cl.leaf) == 0 {
-					r.clusters = append(r.clusters[:ci], r.clusters[ci+1:]...)
-				}
-				return true
+	x := &txn[P]{t: t}
+	for ri := range t.roots {
+		if t.deleteFromRoot(x, ri, seq, pred) {
+			return true
+		}
+	}
+	return false
+}
+
+// deleteFromRoot is Delete scoped to one root. Under a COW transaction the
+// root and cluster are privatized only once a matching record is found, so
+// a miss leaves the clone sharing every node.
+func (t *Tree[P]) deleteFromRoot(x *txn[P], ri int, seq dist.Sequence, pred func(P) bool) bool {
+	r := t.roots[ri]
+	for ci, cl := range r.clusters {
+		key := t.cfg.Metric(seq, cl.centroid)
+		i := sort.Search(len(cl.leaf), func(i int) bool { return cl.leaf[i].key >= key-1e-9 })
+		for ; i < len(cl.leaf) && cl.leaf[i].key <= key+1e-9; i++ {
+			rec := cl.leaf[i]
+			if t.cfg.Metric(seq, rec.seq) > 1e-9 {
+				continue
 			}
+			if pred != nil && !pred(rec.payload) {
+				continue
+			}
+			root := x.root(ri)
+			cl = x.cluster(root, ci)
+			cl.leaf = append(cl.leaf[:i], cl.leaf[i+1:]...)
+			// The membership changed without growing: a future occupancy
+			// check at a previously-declined size must re-evaluate.
+			cl.splitChecked = 0
+			t.size--
+			if len(cl.leaf) == 0 {
+				root.clusters = append(root.clusters[:ci], root.clusters[ci+1:]...)
+			}
+			return true
 		}
 	}
 	return false

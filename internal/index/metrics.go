@@ -58,6 +58,37 @@ var (
 		"cascade records answered by the distance cache", nil)
 )
 
+// Shard-maintenance instrumentation: copy-on-write snapshot publication
+// and Section 5.3 split activity, inline (on the ingest path) and
+// asynchronous (deferred to background evaluation).
+//
+//	strg_index_shard_version_swaps_total  shard snapshot publications
+//	                                      (one per committed write)
+//	strg_index_split_evals_total          BIC split evaluations run
+//	strg_index_splits_total{mode}         splits adopted, by where the
+//	                                      evaluation ran
+//	strg_index_stale_reads_total          searches that finished at least
+//	                                      one shard version behind the
+//	                                      latest published snapshot
+//	strg_index_stale_version_lag          versions published during the
+//	                                      most recent search (its
+//	                                      snapshot's staleness at
+//	                                      completion; 0 = fully fresh)
+var (
+	shardVersionSwaps = obs.Default.Counter("strg_index_shard_version_swaps_total",
+		"copy-on-write shard snapshot publications", nil)
+	splitEvals = obs.Default.Counter("strg_index_split_evals_total",
+		"BIC-gated cluster split evaluations", nil)
+	splitsInline = obs.Default.Counter("strg_index_splits_total",
+		"cluster splits adopted, by evaluation mode", obs.Labels{"mode": "inline"})
+	splitsAsync = obs.Default.Counter("strg_index_splits_total",
+		"cluster splits adopted, by evaluation mode", obs.Labels{"mode": "async"})
+	staleReads = obs.Default.Counter("strg_index_stale_reads_total",
+		"searches completed at least one shard version behind the latest snapshot", nil)
+	staleVersionLag = obs.Default.Gauge("strg_index_stale_version_lag",
+		"shard versions published during the most recent search", nil)
+)
+
 // observeCascade records one search's cascade accounting.
 func observeCascade(st SearchStats) {
 	if st.LBQuickPruned > 0 {

@@ -59,6 +59,9 @@ type queryState struct {
 	qh    uint64
 	casc  dist.Cascade
 	cache DistCache
+	// scache is cache's shard-aware extension, resolved once per query;
+	// nil when the cache does not implement it.
+	scache ShardAwareDistCache
 }
 
 func (t *Tree[P]) newQueryState(query dist.Sequence) *queryState {
@@ -66,6 +69,7 @@ func (t *Tree[P]) newQueryState(query dist.Sequence) *queryState {
 	q.qs = q.casc.Summarize(query)
 	if q.cache != nil {
 		q.qh = dist.HashSequence(query)
+		q.scache, _ = q.cache.(ShardAwareDistCache)
 	}
 	return q
 }
@@ -80,10 +84,14 @@ func (q *queryState) cachedDist(hash uint64) (float64, bool) {
 	return q.cache.Get(q.qh, hash)
 }
 
-// putDist records a fully evaluated distance. Abandoned evaluations are
+// putDist records a fully evaluated distance, tagged with the record's
+// shard when the cache understands shards. Abandoned evaluations are
 // never cached — they are threshold-relative, not values of the metric.
-func (q *queryState) putDist(hash uint64, d float64) {
-	if q.cache != nil {
+func (q *queryState) putDist(hash uint64, shard uint32, d float64) {
+	switch {
+	case q.scache != nil:
+		q.scache.PutShard(q.qh, hash, d, shard)
+	case q.cache != nil:
 		q.cache.Put(q.qh, hash, d)
 	}
 }
@@ -329,7 +337,7 @@ func (t *Tree[P]) RangeStatsCtx(ctx context.Context, bg *graph.Graph, query dist
 				continue
 			}
 			cs.st.DPEvaluated++
-			q.putDist(rec.hash, d)
+			q.putDist(rec.hash, rec.shard, d)
 			if d <= radius {
 				cs.hits = append(cs.hits, Result[P]{Payload: rec.payload, Distance: d})
 			}
@@ -467,7 +475,7 @@ func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], q *queryState
 			continue
 		}
 		st.DPEvaluated++
-		q.putDist(rec.hash, d)
+		q.putDist(rec.hash, rec.shard, d)
 		h.offer(Result[P]{Payload: rec.payload, Distance: d}, uint64(leafRank)<<32|uint64(step))
 	}
 }

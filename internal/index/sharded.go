@@ -1,0 +1,524 @@
+package index
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"strgindex/internal/cluster"
+	"strgindex/internal/dist"
+	"strgindex/internal/graph"
+)
+
+// Sharded is an STRG-Index partitioned into independently versioned
+// copy-on-write shards, safe for any number of concurrent readers
+// alongside one writer at a time (writers are serialized internally).
+//
+// # Partitioning
+//
+// Shards partition root records (backgrounds), not raw segments: a root is
+// assigned to shard hash(globalRootID) mod Shards when it is created, and
+// every segment routed to that root — the deterministic SimGraph
+// resolution of Algorithm 3 — lands on its shard forever. Because a root's
+// internal structure (cluster bootstrap, centroid routing, BIC splits)
+// depends only on the sequence of segments addressed to it, and that
+// sequence is independent of how roots are distributed, the per-root
+// structure is identical at every shard count. A global root directory
+// preserves creation order, so merged views enumerate roots exactly as a
+// single tree would — which makes query results byte-identical to the
+// single-shard (and plain Tree) build at every shard/worker setting.
+//
+// # Concurrency protocol (RCU)
+//
+// Each shard holds an atomic pointer to an immutable (tree, version)
+// snapshot. Readers load the directory, then each shard pointer, assemble
+// a merged read-only view and search it without taking any lock. A writer
+// clones the target shard's tree (sharing all nodes), privatizes only the
+// nodes it touches, then publishes: shard pointer first, directory second.
+// Directory entries therefore always resolve — an entry is visible only
+// after the snapshot holding its root is — and each query sees one
+// consistent prefix of commit history (commits are fully ordered by the
+// writer lock).
+type Sharded[P any] struct {
+	cfg     Config
+	matcher *graph.Matcher
+	n       int
+	async   bool
+
+	// mu serializes writers (ingest, delete, adopted async splits). Never
+	// held by readers.
+	mu     sync.Mutex
+	shards []shardSlot[P]
+	dir    atomic.Pointer[[]rootEntry]
+	// wg tracks in-flight asynchronous split evaluations (Quiesce waits).
+	wg sync.WaitGroup
+}
+
+type shardSlot[P any] struct {
+	cur atomic.Pointer[shardVersion[P]]
+}
+
+// shardVersion is one published immutable snapshot of a shard.
+type shardVersion[P any] struct {
+	tree    *Tree[P]
+	version uint64
+}
+
+// rootEntry maps one global root (directory position = global root ID,
+// creation order) to its home shard and the root's index inside that
+// shard's tree.
+type rootEntry struct {
+	bg    *graph.Graph
+	shard int
+	local int
+}
+
+// MaxShards bounds Config.Shards; the shard index must fit the distance
+// cache's fixed generation table.
+const MaxShards = 256
+
+// NewSharded creates an empty sharded STRG-Index with cfg.Shards shards
+// (clamped to [1, MaxShards]) and cfg.AsyncSplit deciding whether BIC
+// splits run inline on the write path or on background goroutines.
+func NewSharded[P any](cfg Config) *Sharded[P] {
+	cfg = cfg.withDefaults()
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	s := &Sharded[P]{cfg: cfg, matcher: graph.NewMatcher(cfg.Tol), n: n, async: cfg.AsyncSplit}
+	s.shards = make([]shardSlot[P], n)
+	for i := range s.shards {
+		t := New[P](cfg)
+		t.shardTag = uint32(i)
+		s.shards[i].cur.Store(&shardVersion[P]{tree: t})
+	}
+	dir := []rootEntry{}
+	s.dir.Store(&dir)
+	return s
+}
+
+// shardOf assigns a global root ID to a shard: FNV-1a over the ID's
+// little-endian bytes, mod the shard count. Deterministic for a fixed
+// count; changing the count between restarts simply re-homes roots
+// (results are shard-placement independent).
+func (s *Sharded[P]) shardOf(globalID int) int {
+	if s.n == 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	v := uint64(globalID)
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= 1099511628211
+	}
+	return int(h % uint64(s.n))
+}
+
+// resolveRoot mirrors Tree.findOrCreateRoot's matching over the directory
+// (creation order): the index of the best SimGraph match at or above the
+// threshold, the first nil-background entry for a nil bg, or -1.
+func (s *Sharded[P]) resolveRoot(dir []rootEntry, bg *graph.Graph) int {
+	if bg == nil {
+		for i := range dir {
+			if dir[i].bg == nil {
+				return i
+			}
+		}
+		return -1
+	}
+	best := -1
+	bestSim := 0.0
+	for i := range dir {
+		if dir[i].bg == nil {
+			continue
+		}
+		if sim := s.matcher.SimGraph(bg, dir[i].bg); sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	if best >= 0 && bestSim >= s.cfg.BGSimThreshold {
+		return best
+	}
+	return -1
+}
+
+// RouteShard returns the shard a segment with background bg commits to:
+// its matched root's home shard, or — for a background that will create a
+// new root — the shard the next global root ID hashes to. Pure (no state
+// changes), so the durability layer can log the route before the commit
+// mutates anything. Callers must not interleave other writes between
+// RouteShard and the AddSegment it describes.
+func (s *Sharded[P]) RouteShard(bg *graph.Graph) int {
+	dir := *s.dir.Load()
+	if gi := s.resolveRoot(dir, bg); gi >= 0 {
+		return dir[gi].shard
+	}
+	return s.shardOf(len(dir))
+}
+
+// publish installs tree as shard si's next snapshot. Caller holds s.mu.
+func (s *Sharded[P]) publish(si int, tree *Tree[P]) {
+	cur := s.shards[si].cur.Load()
+	s.shards[si].cur.Store(&shardVersion[P]{tree: tree, version: cur.version + 1})
+	shardVersionSwaps.Inc()
+}
+
+// AddSegment routes the segment to its root's shard and commits it on a
+// copy-on-write clone of that shard's tree: queries keep reading the
+// previous snapshot, lock-free, until the new version is published.
+// Unlike the plain Tree, a failed commit leaves the shard completely
+// unchanged (the clone is discarded).
+func (s *Sharded[P]) AddSegment(bg *graph.Graph, items []Item[P]) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := *s.dir.Load()
+	gi := s.resolveRoot(dir, bg)
+	if gi >= 0 {
+		if len(items) == 0 {
+			return nil
+		}
+		e := dir[gi]
+		nt := s.shards[e.shard].cur.Load().tree.clone()
+		x := &txn[P]{t: nt, cow: true, rootIdx: e.local, deferSplit: s.async}
+		if err := nt.addItemsAt(x, e.local, items); err != nil {
+			return err
+		}
+		s.publish(e.shard, nt)
+		s.spawnSplits(e.shard, x.splitCands)
+		return nil
+	}
+	// New root: home it on the shard its global ID hashes to. Matching the
+	// plain tree, the root is created even when the segment carries no
+	// items (its background still routes future segments).
+	si := s.shardOf(len(dir))
+	nt := s.shards[si].cur.Load().tree.clone()
+	local := len(nt.roots)
+	root := &rootRecord[P]{id: local, bg: bg}
+	nt.roots = append(nt.roots, root)
+	x := &txn[P]{t: nt, cow: true, rootIdx: local, deferSplit: s.async}
+	x.own(root)
+	if len(items) > 0 {
+		if err := nt.addItemsAt(x, local, items); err != nil {
+			return err
+		}
+	}
+	s.publish(si, nt)
+	nd := make([]rootEntry, len(dir), len(dir)+1)
+	copy(nd, dir)
+	nd = append(nd, rootEntry{bg: bg, shard: si, local: local})
+	s.dir.Store(&nd)
+	s.spawnSplits(si, x.splitCands)
+	return nil
+}
+
+// Insert adds a single OG, routing by background like AddSegment.
+func (s *Sharded[P]) Insert(bg *graph.Graph, seq dist.Sequence, payload P) error {
+	return s.AddSegment(bg, []Item[P]{{Seq: seq, Payload: payload}})
+}
+
+// spawnSplits hands deferred split candidates to background evaluation.
+// Caller holds s.mu (candidates reference the just-published snapshot).
+func (s *Sharded[P]) spawnSplits(si int, cands []splitCand) {
+	for _, c := range cands {
+		s.wg.Add(1)
+		go s.asyncSplit(si, c)
+	}
+}
+
+// asyncSplit runs one deferred Section 5.3 evaluation: fit the one- and
+// two-component models against the cluster's published membership with no
+// lock held, then revalidate under the writer lock — the cluster record
+// pointer must be unchanged, i.e. no commit touched the leaf since the
+// candidate snapshot — and publish the split on a fresh clone. A changed
+// cluster retries against the new membership a bounded number of times.
+func (s *Sharded[P]) asyncSplit(si int, c splitCand) {
+	defer s.wg.Done()
+	for attempt := 0; attempt < 4; attempt++ {
+		sv := s.shards[si].cur.Load()
+		if c.rootIdx >= len(sv.tree.roots) {
+			return
+		}
+		root := sv.tree.roots[c.rootIdx]
+		ci := findClusterByID(root, c.clusterID)
+		if ci < 0 {
+			return
+		}
+		cl := root.clusters[ci]
+		if len(cl.leaf) <= s.cfg.MaxLeafEntries {
+			return
+		}
+		s.mu.Lock()
+		skip := cl.splitChecked == len(cl.leaf)
+		s.mu.Unlock()
+		if skip {
+			return
+		}
+		seqs := make([]dist.Sequence, len(cl.leaf))
+		for i, rec := range cl.leaf {
+			seqs[i] = rec.seq
+		}
+		dec, err := cluster.SplitEval(seqs, sv.tree.clusterCfg())
+		splitEvals.Inc()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		cur := s.shards[si].cur.Load()
+		if c.rootIdx >= len(cur.tree.roots) {
+			s.mu.Unlock()
+			return
+		}
+		curRoot := cur.tree.roots[c.rootIdx]
+		ci = findClusterByID(curRoot, c.clusterID)
+		if ci < 0 || curRoot.clusters[ci] != cl {
+			// The cluster changed under us; the fit no longer describes its
+			// membership. Retry against the new snapshot.
+			s.mu.Unlock()
+			continue
+		}
+		if !dec.Adopt {
+			// Remember the declined size on the shared record — advisory
+			// state readers never touch, written only under s.mu.
+			cl.splitChecked = len(cl.leaf)
+			s.mu.Unlock()
+			return
+		}
+		nt := cur.tree.clone()
+		x := &txn[P]{t: nt, cow: true}
+		r := x.root(c.rootIdx)
+		target := x.cluster(r, ci)
+		if nt.applySplit(r, target, dec.Two) {
+			s.publish(si, nt)
+			splitsAsync.Inc()
+		} else {
+			cl.splitChecked = len(cl.leaf)
+		}
+		s.mu.Unlock()
+		return
+	}
+}
+
+// findClusterByID locates a cluster record by ID within a root (IDs are
+// unique per shard tree and stable across copy-on-write).
+func findClusterByID[P any](root *rootRecord[P], id int) int {
+	for i, cl := range root.clusters {
+		if cl.id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Quiesce waits until no asynchronous split evaluation is in flight.
+// Deterministic tests and shutdown paths call it before inspecting or
+// serializing state.
+func (s *Sharded[P]) Quiesce() { s.wg.Wait() }
+
+// Delete removes the first indexed record (in global root order, matching
+// Tree.Delete) whose sequence equals seq and whose payload satisfies pred,
+// publishing a new snapshot of the affected shard. It reports whether a
+// record was removed.
+func (s *Sharded[P]) Delete(seq dist.Sequence, pred func(P) bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := *s.dir.Load()
+	for _, e := range dir {
+		nt := s.shards[e.shard].cur.Load().tree.clone()
+		x := &txn[P]{t: nt, cow: true}
+		if nt.deleteFromRoot(x, e.local, seq, pred) {
+			s.publish(e.shard, nt)
+			return true
+		}
+	}
+	return false
+}
+
+// shardedView is one query's consistent read snapshot: a merged read-only
+// tree plus the shard versions it was assembled from.
+type shardedView[P any] struct {
+	t        *Tree[P]
+	versions []uint64
+}
+
+// view assembles the merged read-only tree: directory first, then each
+// shard snapshot. The writer publishes in the opposite order (snapshot
+// before directory), so every directory entry resolves in the snapshots
+// loaded here; at most the view also carries roots newer than the
+// directory, which it ignores by construction (it enumerates dir entries).
+func (s *Sharded[P]) view() shardedView[P] {
+	dir := *s.dir.Load()
+	versions := make([]uint64, s.n)
+	trees := make([]*Tree[P], s.n)
+	size := 0
+	for i := range s.shards {
+		sv := s.shards[i].cur.Load()
+		trees[i], versions[i] = sv.tree, sv.version
+		size += sv.tree.size
+	}
+	roots := make([]*rootRecord[P], len(dir))
+	for j, e := range dir {
+		roots[j] = trees[e.shard].roots[e.local]
+	}
+	vt := &Tree[P]{cfg: s.cfg, matcher: s.matcher, roots: roots, size: size}
+	return shardedView[P]{t: vt, versions: versions}
+}
+
+// observeStaleness records how many versions were published while the
+// query ran: its snapshot's staleness at completion. Freshly acquired
+// snapshots are never stale (readers always load the latest pointer), so
+// a nonzero lag only means writes landed mid-query — the RCU trade.
+func (s *Sharded[P]) observeStaleness(v shardedView[P]) {
+	var lag uint64
+	for i := range s.shards {
+		if d := s.shards[i].cur.Load().version - v.versions[i]; d > lag {
+			lag = d
+		}
+	}
+	staleVersionLag.Set(int64(lag))
+	if lag > 0 {
+		staleReads.Inc()
+	}
+}
+
+// View returns a read-only merged Tree over the current snapshots —
+// byte-identical in structure and iteration order to the plain
+// single-tree build of the same ingest sequence. The caller must not
+// mutate it; queries on it are lock-free and safe alongside writers.
+func (s *Sharded[P]) View() *Tree[P] { return s.view().t }
+
+// KNN is Tree.KNN over a lock-free merged view.
+func (s *Sharded[P]) KNN(bg *graph.Graph, query dist.Sequence, k int) []Result[P] {
+	res, err := s.KNNCtx(context.Background(), bg, query, k)
+	must(err)
+	return res
+}
+
+// KNNCtx is Tree.KNNCtx over a lock-free merged view.
+func (s *Sharded[P]) KNNCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, k int) ([]Result[P], error) {
+	res, _, err := s.KNNStatsCtx(ctx, bg, query, k)
+	return res, err
+}
+
+// KNNStatsCtx is Tree.KNNStatsCtx over a lock-free merged view.
+func (s *Sharded[P]) KNNStatsCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, k int) ([]Result[P], SearchStats, error) {
+	v := s.view()
+	res, st, err := v.t.KNNStatsCtx(ctx, bg, query, k)
+	s.observeStaleness(v)
+	return res, st, err
+}
+
+// KNNExact is Tree.KNNExact over a lock-free merged view.
+func (s *Sharded[P]) KNNExact(bg *graph.Graph, query dist.Sequence, k int) []Result[P] {
+	res, _, err := s.KNNExactStatsCtx(context.Background(), bg, query, k)
+	must(err)
+	return res
+}
+
+// KNNExactStatsCtx is Tree.KNNExactStatsCtx over a lock-free merged view.
+func (s *Sharded[P]) KNNExactStatsCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, k int) ([]Result[P], SearchStats, error) {
+	v := s.view()
+	res, st, err := v.t.KNNExactStatsCtx(ctx, bg, query, k)
+	s.observeStaleness(v)
+	return res, st, err
+}
+
+// Range is Tree.Range over a lock-free merged view.
+func (s *Sharded[P]) Range(bg *graph.Graph, query dist.Sequence, radius float64) []Result[P] {
+	res, _, err := s.RangeStatsCtx(context.Background(), bg, query, radius)
+	must(err)
+	return res
+}
+
+// RangeStatsCtx is Tree.RangeStatsCtx over a lock-free merged view.
+func (s *Sharded[P]) RangeStatsCtx(ctx context.Context, bg *graph.Graph, query dist.Sequence, radius float64) ([]Result[P], SearchStats, error) {
+	v := s.view()
+	res, st, err := v.t.RangeStatsCtx(ctx, bg, query, radius)
+	s.observeStaleness(v)
+	return res, st, err
+}
+
+// NumShards returns the shard count.
+func (s *Sharded[P]) NumShards() int { return s.n }
+
+// Versions returns each shard's published snapshot version. Versions are
+// monotonic; the sum advances by one per committed write (or adopted
+// async split).
+func (s *Sharded[P]) Versions() []uint64 {
+	out := make([]uint64, s.n)
+	for i := range s.shards {
+		out[i] = s.shards[i].cur.Load().version
+	}
+	return out
+}
+
+// Len returns the number of indexed OGs (lock-free; exact between
+// commits).
+func (s *Sharded[P]) Len() int { return s.view().t.Len() }
+
+// NumRoots returns the number of root records across all shards.
+func (s *Sharded[P]) NumRoots() int { return len(*s.dir.Load()) }
+
+// NumClusters returns the total number of cluster records.
+func (s *Sharded[P]) NumClusters() int { return s.View().NumClusters() }
+
+// MemoryBytes evaluates Equation 10 over the merged view.
+func (s *Sharded[P]) MemoryBytes() int { return s.View().MemoryBytes() }
+
+// Items returns every indexed item in global (root, cluster, key) order —
+// the plain tree's order.
+func (s *Sharded[P]) Items() []Item[P] { return s.View().Items() }
+
+// CheckInvariants verifies the merged view (leaf order and key
+// correctness across every shard).
+func (s *Sharded[P]) CheckInvariants() error { return s.View().CheckInvariants() }
+
+// Snapshot serializes the merged view in global root order, renumbering
+// roots by directory position and clusters sequentially so the image is
+// self-consistent regardless of shard count. NewShardedFromSnapshot (any
+// shard count) and FromSnapshot both restore it.
+func (s *Sharded[P]) Snapshot() Snapshot[P] {
+	snap := s.View().Snapshot()
+	next := 0
+	for j := range snap.Roots {
+		snap.Roots[j].ID = j
+		for k := range snap.Roots[j].Clusters {
+			snap.Roots[j].Clusters[k].ID = next
+			next++
+		}
+	}
+	return snap
+}
+
+// NewShardedFromSnapshot reconstructs a sharded index from a snapshot
+// (produced by Sharded.Snapshot or Tree.Snapshot), re-homing each root by
+// the hash of its position — the creation-order global ID — so any shard
+// count restores the same logical database.
+func NewShardedFromSnapshot[P any](snap Snapshot[P], cfg Config) (*Sharded[P], error) {
+	s := NewSharded[P](cfg)
+	trees := make([]*Tree[P], s.n)
+	for i := range trees {
+		trees[i] = s.shards[i].cur.Load().tree
+	}
+	dir := make([]rootEntry, 0, len(snap.Roots))
+	for j, rs := range snap.Roots {
+		si := s.shardOf(j)
+		t := trees[si]
+		local := len(t.roots)
+		if err := t.restoreRoot(rs); err != nil {
+			return nil, err
+		}
+		dir = append(dir, rootEntry{bg: t.roots[local].bg, shard: si, local: local})
+	}
+	for i, t := range trees {
+		if err := t.CheckInvariants(); err != nil {
+			return nil, err
+		}
+		s.shards[i].cur.Store(&shardVersion[P]{tree: t, version: 1})
+	}
+	s.dir.Store(&dir)
+	return s, nil
+}

@@ -60,40 +60,52 @@ func (t *Tree[P]) Snapshot() Snapshot[P] {
 func FromSnapshot[P any](s Snapshot[P], cfg Config) (*Tree[P], error) {
 	t := New[P](cfg)
 	for _, rs := range s.Roots {
-		root := &rootRecord[P]{id: rs.ID}
-		if rs.HasBG {
-			bg, err := graph.FromSnapshot(rs.BG)
-			if err != nil {
-				return nil, fmt.Errorf("index: restoring root %d: %w", rs.ID, err)
-			}
-			root.bg = bg
+		if err := t.restoreRoot(rs); err != nil {
+			return nil, err
 		}
-		for _, cs := range rs.Clusters {
-			if len(cs.Keys) != len(cs.Seqs) || len(cs.Keys) != len(cs.Payloads) {
-				return nil, fmt.Errorf("index: cluster %d snapshot length mismatch", cs.ID)
-			}
-			cl := &clusterRecord[P]{id: cs.ID, centroid: cs.Centroid}
-			for i := range cs.Keys {
-				// The cascade summary and cache hash are derived state;
-				// recompute them rather than trusting the snapshot.
-				cl.leaf = append(cl.leaf, leafRecord[P]{
-					key:     cs.Keys[i],
-					seq:     cs.Seqs[i],
-					payload: cs.Payloads[i],
-					sum:     t.cfg.Cascade.Summarize(cs.Seqs[i]),
-					hash:    dist.HashSequence(cs.Seqs[i]),
-				})
-				t.size++
-			}
-			if cs.ID >= t.nextCl {
-				t.nextCl = cs.ID + 1
-			}
-			root.clusters = append(root.clusters, cl)
-		}
-		t.roots = append(t.roots, root)
 	}
 	if err := t.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("index: snapshot inconsistent with configuration: %w", err)
 	}
 	return t, nil
+}
+
+// restoreRoot appends one serialized root to the tree, recomputing the
+// derived per-record state (cascade summary, content hash, shard tag).
+// Shared by FromSnapshot and the sharded restore, which re-partitions the
+// same root sequence across shard trees.
+func (t *Tree[P]) restoreRoot(rs RootSnapshot[P]) error {
+	root := &rootRecord[P]{id: rs.ID}
+	if rs.HasBG {
+		bg, err := graph.FromSnapshot(rs.BG)
+		if err != nil {
+			return fmt.Errorf("index: restoring root %d: %w", rs.ID, err)
+		}
+		root.bg = bg
+	}
+	for _, cs := range rs.Clusters {
+		if len(cs.Keys) != len(cs.Seqs) || len(cs.Keys) != len(cs.Payloads) {
+			return fmt.Errorf("index: cluster %d snapshot length mismatch", cs.ID)
+		}
+		cl := &clusterRecord[P]{id: cs.ID, centroid: cs.Centroid}
+		for i := range cs.Keys {
+			// The cascade summary and cache hash are derived state;
+			// recompute them rather than trusting the snapshot.
+			cl.leaf = append(cl.leaf, leafRecord[P]{
+				key:     cs.Keys[i],
+				seq:     cs.Seqs[i],
+				payload: cs.Payloads[i],
+				sum:     t.cfg.Cascade.Summarize(cs.Seqs[i]),
+				hash:    dist.HashSequence(cs.Seqs[i]),
+				shard:   t.shardTag,
+			})
+			t.size++
+		}
+		if cs.ID >= t.nextCl {
+			t.nextCl = cs.ID + 1
+		}
+		root.clusters = append(root.clusters, cl)
+	}
+	t.roots = append(t.roots, root)
+	return nil
 }
