@@ -422,6 +422,88 @@ func BenchmarkCascadeKNNExact(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedLeafDP isolates the columnar tentpole's kernel gain:
+// the same query × candidate-set DP workload through the per-pair
+// sequence kernel (a sync.Pool round-trip and three Norm calls per cell)
+// and through the batched columnar kernel (one arena, hoisted gap costs,
+// one Norm per cell). The results are bit-identical by construction; only
+// the time may differ. benchjson enforces batched >= 1.5x per-pair from
+// these two entries — a per-core property, so it holds on any box.
+func BenchmarkBatchedLeafDP(b *testing.B) {
+	ds := benchSequences(b, 8, 12)
+	query := ds.Items[0]
+	cands := ds.Items[1:]
+	blocks := dist.FromSequences(cands)
+	qb := dist.FromSequence(query)
+	// A finite shared threshold so both kernels exercise the abandon path
+	// the way a leaf scan does.
+	ub := dist.EGEDM(query, cands[len(cands)/2], nil)
+
+	b.Run("kernel=perpair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, c := range cands {
+				dist.EGEDMUB(query, c, nil, ub)
+			}
+		}
+	})
+	b.Run("kernel=batched", func(b *testing.B) {
+		arena := dist.NewBatchQuery(qb, nil).NewBatch()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, c := range blocks {
+				arena.DistanceUB(c, ub)
+			}
+		}
+	})
+}
+
+// BenchmarkColumnarKNNExact measures the layout end to end on the exact
+// k-NN workload: the pointer-chasing row layout against the columnar
+// layout with its batched kernel and quantized 8-bit tier. Reports the
+// quantized tier's hit rate (records killed by the 2-byte code before any
+// column data was touched) as quant_pruned/op.
+func BenchmarkColumnarKNNExact(b *testing.B) {
+	ds := benchSequences(b, 20, 12)
+	items := make([]index.Item[int], len(ds.Items))
+	for i, seq := range ds.Items {
+		items[i] = index.Item[int]{Seq: seq, Payload: i}
+	}
+	queries := benchSequences(b, 1, 12).Items
+	for _, tc := range []struct {
+		name string
+		mut  func(*index.Config)
+	}{
+		{"layout=row", func(c *index.Config) { c.DisableColumnar = true }},
+		{"layout=columnar", nil},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			// Few clusters leave each leaf holding several patterns, so the
+			// record-level tiers (not leaf skipping) do the pruning — the
+			// regime the quantized tier exists for.
+			cfg := index.Config{NumClusters: 2, EMMaxIter: 12, Seed: 1}
+			if tc.mut != nil {
+				tc.mut(&cfg)
+			}
+			tr := index.New[int](cfg)
+			if err := tr.AddSegment(nil, items); err != nil {
+				b.Fatal(err)
+			}
+			quant := index.QuantPruned()
+			cells := dist.DPCells()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.KNNExactCtx(context.Background(), nil, queries[i%len(queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			n := float64(b.N)
+			b.ReportMetric(float64(dist.DPCells()-cells)/n, "dp_cells/op")
+			b.ReportMetric(float64(index.QuantPruned()-quant)/n, "quant_pruned/op")
+		})
+	}
+}
+
 // BenchmarkCascadeRange is the range-query counterpart: the fixed radius
 // is a hard threshold for every cascade stage, so pruning is strongest
 // here.

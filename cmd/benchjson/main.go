@@ -9,13 +9,21 @@
 // dp_cells/op from the distance-cascade benchmarks) land in an "extra"
 // map keyed by unit. Non-benchmark lines pass through to stderr so
 // failures stay visible.
+//
+// With -check, the command instead reads previously written JSON files
+// and enforces the perf acceptance floors (see checkFiles), exiting
+// non-zero on a regression:
+//
+//	benchjson -check BENCH_parallel.json BENCH_columnar.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -33,6 +41,16 @@ type Point struct {
 }
 
 func main() {
+	check := flag.Bool("check", false,
+		"read JSON files (args) and enforce the perf floors instead of converting stdin")
+	flag.Parse()
+	if *check {
+		if err := checkFiles(flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson -check: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var points []Point
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -54,6 +72,87 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// checkFiles loads every benchmark point from the given JSON files and
+// enforces the perf acceptance floors:
+//
+//   - BenchmarkPairwiseMatrix: workers=4 must run >= 2x faster than
+//     workers=1. Scaling floors are only meaningful with cores to scale
+//     onto, so on hosts with fewer than 4 CPUs the floor relaxes to a
+//     no-regression bound (workers=4 no more than 25% slower than
+//     workers=1 — oversubscription must stay near-free) and a note says
+//     so.
+//   - BenchmarkBatchedLeafDP: the batched columnar kernel must be >= 1.5x
+//     faster than the per-pair kernel. This is a per-core property of the
+//     kernels, so it is enforced everywhere.
+//
+// When the input files carry repeated measurements of the same benchmark
+// (go test -count=N), the fastest run wins.
+func checkFiles(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("no JSON files given")
+	}
+	byName := make(map[string]Point)
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var pts []Point
+		if err := json.Unmarshal(raw, &pts); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, p := range pts {
+			// Benchmarks may be run with -count>1; keep the fastest run per
+			// name — the minimum is the least-noisy estimator of the true
+			// cost on a busy host.
+			if prev, ok := byName[p.Name]; !ok || p.NsPerOp < prev.NsPerOp {
+				byName[p.Name] = p
+			}
+		}
+	}
+	ratio := func(slow, fast string) (float64, error) {
+		s, okS := byName[slow]
+		f, okF := byName[fast]
+		if !okS || !okF {
+			return 0, fmt.Errorf("missing benchmark entries %q and/or %q", slow, fast)
+		}
+		if f.NsPerOp <= 0 {
+			return 0, fmt.Errorf("%q has non-positive ns/op", fast)
+		}
+		return s.NsPerOp / f.NsPerOp, nil
+	}
+
+	r, err := ratio("BenchmarkPairwiseMatrix/workers=1", "BenchmarkPairwiseMatrix/workers=4")
+	if err != nil {
+		return err
+	}
+	if runtime.NumCPU() >= 4 {
+		if r < 2.0 {
+			return fmt.Errorf("PairwiseMatrix workers=4 is only %.2fx workers=1 (floor 2.0x on a %d-CPU host)",
+				r, runtime.NumCPU())
+		}
+		fmt.Printf("ok   PairwiseMatrix workers=4 speedup %.2fx (floor 2.0x)\n", r)
+	} else {
+		// 1/r is the slowdown of workers=4 relative to workers=1.
+		if r < 1/1.25 {
+			return fmt.Errorf("PairwiseMatrix workers=4 is %.2fx slower than workers=1 on a %d-CPU host (no-regression bound 1.25x)",
+				1/r, runtime.NumCPU())
+		}
+		fmt.Printf("note PairwiseMatrix scaling floor skipped: host has %d CPU(s); no-regression bound held (%.2fx)\n",
+			runtime.NumCPU(), r)
+	}
+
+	r, err = ratio("BenchmarkBatchedLeafDP/kernel=perpair", "BenchmarkBatchedLeafDP/kernel=batched")
+	if err != nil {
+		return err
+	}
+	if r < 1.5 {
+		return fmt.Errorf("batched leaf DP is only %.2fx the per-pair kernel (floor 1.5x)", r)
+	}
+	fmt.Printf("ok   batched leaf DP speedup %.2fx (floor 1.5x)\n", r)
+	return nil
 }
 
 // parseLine handles the standard benchmark format:

@@ -62,6 +62,8 @@ func run() int {
 	workers := flag.Int("workers", 0, "worker budget for ingest and search (0 = one per CPU, 1 = sequential); responses are identical at every setting")
 	shards := flag.Int("shards", 4, "copy-on-write index shard count (1-256); queries never block on ingest, and responses are identical at every setting")
 	asyncSplit := flag.Bool("async-split", true, "evaluate BIC cluster splits on background goroutines instead of the ingest path")
+	columnar := flag.Bool("columnar", true, "store leaf sequences in contiguous column blocks with batched DP and the quantized prune tier; results are bit-identical either way (ablation knob)")
+	searchBatch := flag.Int("search-batch", 0, "leaves per exact-kNN scheduling round (0 = one per worker); results are identical at every setting")
 	distCache := flag.Int("dist-cache", -1, "distance cache capacity in entries (0 disables, negative = built-in default); results are identical either way")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
@@ -80,6 +82,8 @@ func run() int {
 	cfg.DistCacheSize = *distCache
 	cfg.Index.Shards = *shards
 	cfg.Index.AsyncSplit = *asyncSplit
+	cfg.Index.DisableColumnar = !*columnar
+	cfg.Index.SearchBatch = *searchBatch
 	opts := server.Options{
 		Logger:         logger,
 		EnablePprof:    *pprof,

@@ -83,6 +83,12 @@ func toSeq(q [][2]float64) dist.Sequence {
 // count. Everything is pinned: stream seeds, ingest order, cluster seed
 // (via DefaultConfig), worker count.
 func goldenBuild(t *testing.T, shards int) *VideoDB {
+	return goldenBuildCfg(t, shards, nil)
+}
+
+// goldenBuildCfg is goldenBuild with a config hook, for variants (such as
+// the columnar-off ablation) that must reproduce the same corpus.
+func goldenBuildCfg(t *testing.T, shards int, mut func(*Config)) *VideoDB {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Concurrency = 2
@@ -92,6 +98,9 @@ func goldenBuild(t *testing.T, shards int) *VideoDB {
 	// scan of one cluster.
 	cfg.Index.MaxLeafEntries = 8
 	cfg.Index.NumClusters = 2
+	if mut != nil {
+		mut(&cfg)
+	}
 	db := Open(cfg)
 	for i, seed := range []int64{101, 102, 103} {
 		stream := miniStream(t, 8, seed)

@@ -25,7 +25,13 @@ import (
 var snapshotMagic = [8]byte{'S', 'T', 'R', 'G', 'S', 'N', 'P', 1}
 
 const (
-	snapshotVersion     = 1
+	// snapshotVersion is the version stamped into new snapshots. Version
+	// 2 added the packed columnar encoding of leaf sequences
+	// (index.ClusterSnapshot.ColData/ColLens/ColDim); version 1 files —
+	// per-record nested Seqs — still load, since gob tolerates the absent
+	// fields and the index restore accepts either encoding.
+	snapshotVersion     = 2
+	snapshotMinVersion  = 1
 	snapshotHeaderSize  = 12 // magic + version
 	snapshotTrailerSize = 12 // payload length + CRC32C
 )
@@ -142,7 +148,7 @@ func readSnapshot(r io.Reader) (dbImage, error) {
 	if [8]byte(data[:8]) != snapshotMagic {
 		return img, &CorruptError{Offset: 0, Reason: "bad magic (not a strgindex snapshot)"}
 	}
-	if v := binary.LittleEndian.Uint32(data[8:]); v != snapshotVersion {
+	if v := binary.LittleEndian.Uint32(data[8:]); v < snapshotMinVersion || v > snapshotVersion {
 		return img, &CorruptError{Offset: 8, Reason: fmt.Sprintf("unsupported snapshot version %d", v)}
 	}
 	payload := data[snapshotHeaderSize : len(data)-snapshotTrailerSize]

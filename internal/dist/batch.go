@@ -1,0 +1,160 @@
+package dist
+
+import "math"
+
+// This file implements the batched EGED_M kernel for columnar leaf scans:
+// one query is prepared once (BatchQuery), then streamed against many
+// candidate Blocks through a reused arena (Batch) with per-candidate
+// thresholds. Relative to calling EGEDWithUB per pair, the batch form
+//
+//   - hoists the query-side gap costs: under GapConstant, every row i of
+//     every candidate's DP pays gapCost(a_i, g) twice (cur[0] and the gapA
+//     arm); the batch computes Norm(a_i, g) once per query instead of once
+//     per cell — the identical float64, just not recomputed;
+//   - hoists the candidate-side gap costs the same way (once per candidate
+//     row instead of once per DP row);
+//   - keeps all scratch (two rolling rows + the gap-cost rows) in one
+//     arena owned by the caller, eliminating the per-pair sync.Pool
+//     round-trip.
+//
+// Per DP cell the inner loop drops from three Norm calls (three sqrts) to
+// one. Because a hoisted value is the result of the same Norm call the
+// per-pair kernel would make — merely cached — every cell value, every
+// row minimum, the abandon decision, and the returned distance are
+// bit-for-bit identical to EGEDWithUB(a, b, GapConstant, g, ub). The
+// totalEvals / dpCells accounting is replicated exactly as well, so
+// SearchStats and the benchmark counters cannot tell the kernels apart.
+
+// BatchQuery is the immutable, shareable half of a batched computation:
+// the query block, the resolved constant gap, and the hoisted per-row gap
+// costs ga[i] = |a_i − g|. One BatchQuery may feed any number of Batch
+// arenas concurrently.
+type BatchQuery struct {
+	q  Block
+	g  Vec // resolved; nil only when the query is empty and no g was given
+	ga []float64
+}
+
+// NewBatchQuery prepares a query block for batched evaluation under the
+// constant-gap (EGED_M) model. A nil g means the zero vector, resolved
+// against the query's dimension exactly as EGEDWithUB resolves it (when
+// the query is empty the resolution is deferred to each candidate, again
+// matching the per-pair kernel's dim fallback).
+func NewBatchQuery(q Block, g Vec) *BatchQuery {
+	bq := &BatchQuery{q: q, g: g}
+	if bq.g == nil && q.Len() > 0 {
+		bq.g = zeroVec(q.Dim())
+	}
+	if q.Len() > 0 {
+		bq.ga = make([]float64, q.Len())
+		for i := range bq.ga {
+			bq.ga[i] = Norm(q.Row(i), bq.g)
+		}
+	}
+	return bq
+}
+
+// Batch is the per-goroutine scratch arena of a batched computation: the
+// two rolling DP rows plus the candidate gap-cost row, grown once and
+// reused across every candidate streamed through it. A Batch must not be
+// shared between goroutines; create one per leaf scan via NewBatch.
+type Batch struct {
+	bq        *BatchQuery
+	prev, cur []float64
+	gb        []float64
+}
+
+// NewBatch returns a fresh scratch arena bound to the query.
+func (bq *BatchQuery) NewBatch() *Batch { return &Batch{bq: bq} }
+
+// rows sizes the arena for a candidate of length n.
+func (b *Batch) rows(n int) {
+	if cap(b.prev) < n+1 {
+		b.prev = make([]float64, n+1)
+		b.cur = make([]float64, n+1)
+	}
+	b.prev, b.cur = b.prev[:n+1], b.cur[:n+1]
+	if cap(b.gb) < n {
+		b.gb = make([]float64, n)
+	}
+	b.gb = b.gb[:n]
+}
+
+// DistanceUB evaluates EGED_M(query, c) with early row abandoning at ub —
+// bit-for-bit identical, in result, abandon decision, and eval/cell
+// accounting, to EGEDWithUB(query, c, GapConstant, g, ub).
+func (b *Batch) DistanceUB(c Block, ub float64) (d float64, abandoned bool) {
+	totalEvals.Add(1)
+	bq := b.bq
+	m, n := bq.q.Len(), c.Len()
+	if m == 0 && n == 0 {
+		return 0, false
+	}
+	g := bq.g
+	if g == nil {
+		// Empty query with no explicit gap: EGEDWithUB falls back to the
+		// candidate's dimension for the zero reference.
+		g = zeroVec(c.Dim())
+	}
+	b.rows(n)
+	prev, cur, gb := b.prev, b.cur, b.gb
+	prev[0] = 0
+	for j := 1; j <= n; j++ {
+		gb[j-1] = Norm(c.Row(j-1), g)
+		prev[j] = prev[j-1] + gb[j-1]
+	}
+	ga := bq.ga
+	for i := 1; i <= m; i++ {
+		gai := ga[i-1]
+		ai := bq.q.Row(i - 1)
+		cur[0] = prev[0] + gai
+		rowMin := cur[0]
+		for j := 1; j <= n; j++ {
+			match := prev[j-1] + Norm(ai, c.Row(j-1))
+			gapA := prev[j] + gai
+			gapB := cur[j-1] + gb[j-1]
+			cur[j] = math.Min(match, math.Min(gapA, gapB))
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		prev, cur = cur, prev
+		if rowMin > ub {
+			b.prev, b.cur = prev, cur
+			dpCells.Add(int64(n) + int64(i)*int64(n+1))
+			return rowMin, true
+		}
+	}
+	b.prev, b.cur = prev, cur
+	dpCells.Add(int64(n) + int64(m)*int64(n+1))
+	return prev[n], false
+}
+
+// BatchCascade is an optional Cascade extension for metrics with a
+// batched columnar kernel. BatchQuery prepares a query for streaming
+// against candidate Blocks; the resulting Batch.DistanceUB must be
+// bit-identical to the cascade's DistanceUB on the corresponding
+// sequences. Search code type-asserts to it; cascades without it run the
+// per-pair kernel.
+type BatchCascade interface {
+	Cascade
+	BatchQuery(a Sequence) *BatchQuery
+}
+
+func (c egedmCascade) BatchQuery(a Sequence) *BatchQuery {
+	return NewBatchQuery(FromSequence(a), c.g)
+}
+
+// BatchEGEDUB streams every candidate through one arena with a shared
+// threshold — the convenience form for benchmarks and bulk rerank. It
+// returns the per-candidate distances and abandon flags; entry i is
+// exactly EGEDWithUB(q.Sequence(), cands[i].Sequence(), GapConstant, g, ub).
+func BatchEGEDUB(q Block, g Vec, cands []Block, ub float64) (ds []float64, abandoned []bool) {
+	ds = make([]float64, len(cands))
+	abandoned = make([]bool, len(cands))
+	b := NewBatchQuery(q, g).NewBatch()
+	for i, c := range cands {
+		ds[i], abandoned[i] = b.DistanceUB(c, ub)
+	}
+	return ds, abandoned
+}

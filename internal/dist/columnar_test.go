@@ -1,0 +1,302 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// colSequences builds deterministic random 2-D sequences, including some
+// empty ones, for layout and kernel cross-checks.
+func colSequences(rng *rand.Rand, n int) []Sequence {
+	seqs := make([]Sequence, n)
+	for i := range seqs {
+		l := rng.Intn(12)
+		if l == 0 {
+			continue
+		}
+		s := make(Sequence, l)
+		for j := range s {
+			s[j] = Vec{rng.NormFloat64() * 40, rng.NormFloat64() * 40}
+		}
+		seqs[i] = s
+	}
+	return seqs
+}
+
+func sameBits(a, b Sequence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for k := range a[i] {
+			if math.Float64bits(a[i][k]) != math.Float64bits(b[i][k]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestColumnarRoundTrip is the layout property test: FromSequences →
+// ToSequences preserves every float64 bit and the empty/non-empty
+// structure, and the single-sequence forms agree with the bulk forms.
+func TestColumnarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 50; trial++ {
+		seqs := colSequences(rng, rng.Intn(9))
+		blocks := FromSequences(seqs)
+		if len(blocks) != len(seqs) {
+			t.Fatalf("FromSequences returned %d blocks for %d sequences", len(blocks), len(seqs))
+		}
+		back := ToSequences(blocks)
+		for i := range seqs {
+			if !sameBits(seqs[i], back[i]) {
+				t.Fatalf("trial %d seq %d: round trip changed bits: %v -> %v", trial, i, seqs[i], back[i])
+			}
+			if len(seqs[i]) == 0 && back[i] != nil {
+				t.Fatalf("trial %d seq %d: empty sequence came back non-nil", trial, i)
+			}
+			single := FromSequence(seqs[i])
+			if single.Len() != blocks[i].Len() || single.Dim() != blocks[i].Dim() {
+				t.Fatalf("trial %d seq %d: FromSequence shape (%d,%d) != FromSequences (%d,%d)",
+					trial, i, single.Len(), single.Dim(), blocks[i].Len(), blocks[i].Dim())
+			}
+			if !sameBits(single.Sequence(), back[i]) {
+				t.Fatalf("trial %d seq %d: FromSequence view differs from bulk view", trial, i)
+			}
+		}
+	}
+}
+
+// TestColumnarViewsShareBuffer: Block.Sequence returns views into the
+// block's buffer (the one-copy-two-paths invariant), not fresh copies.
+func TestColumnarViewsShareBuffer(t *testing.T) {
+	b := FromSequence(Sequence{{1, 2}, {3, 4}, {5, 6}})
+	view := b.Sequence()
+	b.Data()[2] = 99 // second row, first coordinate
+	if view[1][0] != 99 {
+		t.Fatalf("view did not observe buffer write: %v", view)
+	}
+	row := b.Row(1)
+	if &row[0] != &view[1][0] {
+		t.Fatal("Row and Sequence views do not alias the same memory")
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	if _, err := BlockOf(make([]float64, 5), 2, 2); err == nil {
+		t.Fatal("BlockOf accepted 5 floats as a 2x2 block")
+	}
+	if _, err := BlockOf(nil, -1, 2); err == nil {
+		t.Fatal("BlockOf accepted negative n")
+	}
+	b, err := BlockOf([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameBits(b.Sequence(), Sequence{{1, 2}, {3, 4}, {5, 6}}) {
+		t.Fatalf("BlockOf decoded wrong rows: %v", b.Sequence())
+	}
+	empty, err := BlockOf(nil, 0, 0)
+	if err != nil || empty.Len() != 0 || empty.Sequence() != nil {
+		t.Fatalf("BlockOf empty = (%v, %v)", empty, err)
+	}
+}
+
+func TestFromSequencePanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSequence accepted a ragged sequence")
+		}
+	}()
+	FromSequence(Sequence{{1, 2}, {3}})
+}
+
+// TestBatchKernelBitIdentity is the batched kernel's core contract: for
+// random pairs and a range of thresholds, Batch.DistanceUB returns the
+// same bits, the same abandon decision, and the same eval/cell accounting
+// deltas as EGEDWithUB on the corresponding sequences.
+func TestBatchKernelBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	var gaps = []Vec{nil, {3, -7}}
+	for trial := 0; trial < 40; trial++ {
+		seqs := colSequences(rng, 7)
+		q := seqs[0]
+		g := gaps[trial%len(gaps)]
+		bq := NewBatchQuery(FromSequence(q), g)
+		arena := bq.NewBatch()
+		for ci, cand := range seqs[1:] {
+			exact := EGEDM(q, cand, g)
+			for _, ub := range []float64{math.Inf(1), exact, exact * 0.75, exact * 0.25, 0} {
+				e0, c0 := TotalEvals(), DPCells()
+				wantD, wantAb := EGEDWithUB(q, cand, GapConstant, g, ub)
+				e1, c1 := TotalEvals(), DPCells()
+				gotD, gotAb := arena.DistanceUB(FromSequence(cand), ub)
+				e2, c2 := TotalEvals(), DPCells()
+				if gotAb != wantAb || math.Float64bits(gotD) != math.Float64bits(wantD) {
+					t.Fatalf("trial %d cand %d ub=%v: batch=(%v,%v) per-pair=(%v,%v)",
+						trial, ci, ub, gotD, gotAb, wantD, wantAb)
+				}
+				if e2-e1 != e1-e0 || c2-c1 != c1-c0 {
+					t.Fatalf("trial %d cand %d ub=%v: accounting differs: batch evals=%d cells=%d, per-pair evals=%d cells=%d",
+						trial, ci, ub, e2-e1, c2-c1, e1-e0, c1-c0)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchEGEDUB checks the bulk convenience form against the per-pair
+// kernel on one shared threshold.
+func TestBatchEGEDUB(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	seqs := colSequences(rng, 10)
+	q := seqs[0]
+	cands := seqs[1:]
+	blocks := FromSequences(cands)
+	ds, ab := BatchEGEDUB(FromSequence(q), nil, blocks, 120)
+	for i, cand := range cands {
+		wantD, wantAb := EGEDWithUB(q, cand, GapConstant, nil, 120)
+		if ab[i] != wantAb || math.Float64bits(ds[i]) != math.Float64bits(wantD) {
+			t.Fatalf("cand %d: batch=(%v,%v) want (%v,%v)", i, ds[i], ab[i], wantD, wantAb)
+		}
+	}
+}
+
+// TestBatchCascadeMatchesDistanceUB: the cascade's batch entry point must
+// agree with its per-pair DistanceUB (the property search relies on).
+func TestBatchCascadeMatchesDistanceUB(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	seqs := colSequences(rng, 8)
+	casc := EGEDMCascade(Vec{1, 1})
+	bc, ok := casc.(BatchCascade)
+	if !ok {
+		t.Fatal("EGEDMCascade does not implement BatchCascade")
+	}
+	q := seqs[0]
+	arena := bc.BatchQuery(q).NewBatch()
+	for i, cand := range seqs[1:] {
+		for _, ub := range []float64{math.Inf(1), 50} {
+			wantD, wantAb := casc.DistanceUB(q, cand, ub)
+			gotD, gotAb := arena.DistanceUB(FromSequence(cand), ub)
+			if gotAb != wantAb || math.Float64bits(gotD) != math.Float64bits(wantD) {
+				t.Fatalf("cand %d ub=%v: batch=(%v,%v) cascade=(%v,%v)", i, ub, gotD, gotAb, wantD, wantAb)
+			}
+		}
+	}
+}
+
+// TestQuantEncodeBrackets: a Valid code's dequantized interval always
+// contains the record's true axis extent — the admissibility precondition,
+// including under adversarial grid/box misalignment.
+func TestQuantEncodeBrackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	for trial := 0; trial < 200; trial++ {
+		boxes := make([]Box, 1+rng.Intn(8))
+		for i := range boxes {
+			a, b := rng.NormFloat64()*100, rng.NormFloat64()*100
+			boxes[i] = Box{Min: Vec{math.Min(a, b), -1}, Max: Vec{math.Max(a, b), 1}}
+		}
+		g := BuildQuantGrid(boxes)
+		if !g.Ok {
+			t.Fatalf("trial %d: no grid from %d non-empty boxes", trial, len(boxes))
+		}
+		for i, b := range boxes {
+			c := g.Encode(b)
+			if !c.Valid {
+				t.Fatalf("trial %d box %d: in-range box failed to encode", trial, i)
+			}
+			if !(g.Dequant(c.Lo) <= b.Min[g.Axis]) || !(g.Dequant(c.Hi) >= b.Max[g.Axis]) {
+				t.Fatalf("trial %d box %d: code [%v,%v] does not bracket extent [%v,%v]",
+					trial, i, g.Dequant(c.Lo), g.Dequant(c.Hi), b.Min[g.Axis], b.Max[g.Axis])
+			}
+		}
+		// A box outside the grid must come back invalid, not wrong.
+		far := Box{Min: Vec{g.Lo - 1e6, 0}, Max: Vec{g.Lo - 1e5, 0}}
+		if c := g.Encode(far); c.Valid && g.Dequant(c.Lo) > far.Min[0] {
+			t.Fatalf("trial %d: out-of-range box encoded non-bracketing code", trial)
+		}
+	}
+}
+
+// TestQuantLBAdmissible is the quant tier's load-bearing inequality:
+// LBQuant <= LBEnvelope bit-for-bit for every Valid code, so every record
+// the quant tier prunes the envelope tier would also have pruned (which is
+// why search may count quant prunes as envelope prunes without changing
+// SearchStats).
+func TestQuantLBAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	for _, g := range []Vec{nil, {2, -3}} {
+		casc := EGEDMCascade(g)
+		qc, ok := casc.(QuantCascade)
+		if !ok {
+			t.Fatal("EGEDMCascade does not implement QuantCascade")
+		}
+		for trial := 0; trial < 60; trial++ {
+			seqs := colSequences(rng, 10)
+			var boxes []Box
+			var sums []Summary
+			for _, s := range seqs[1:] {
+				sum := casc.Summarize(s)
+				sums = append(sums, sum)
+				boxes = append(boxes, sum.Box)
+			}
+			grid := BuildQuantGrid(boxes)
+			q := seqs[0]
+			gaps := qc.QueryGaps(q)
+			for i, s := range seqs[1:] {
+				code := grid.Encode(sums[i].Box)
+				if !grid.Ok || !code.Valid {
+					continue
+				}
+				lbq := qc.LBQuant(q, gaps, grid, code)
+				lbe := casc.LBEnvelope(q, sums[i])
+				if lbq > lbe {
+					t.Fatalf("g=%v trial %d cand %d: LBQuant %v > LBEnvelope %v", g, trial, i, lbq, lbe)
+				}
+				if exact := casc.Metric(q, s); lbq > exact+1e-9*math.Max(1, exact) {
+					t.Fatalf("g=%v trial %d cand %d: LBQuant %v exceeds exact %v", g, trial, i, lbq, exact)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildQuantGridEdgeCases: degenerate inputs must disable the tier
+// (Ok=false) rather than produce a bogus grid.
+func TestBuildQuantGridEdgeCases(t *testing.T) {
+	if g := BuildQuantGrid(nil); g.Ok {
+		t.Fatal("grid from no boxes is Ok")
+	}
+	if g := BuildQuantGrid([]Box{{}, {}}); g.Ok {
+		t.Fatal("grid from empty boxes is Ok")
+	}
+	nan := math.NaN()
+	if g := BuildQuantGrid([]Box{{Min: Vec{nan}, Max: Vec{nan}}}); g.Ok {
+		t.Fatal("grid from NaN box is Ok")
+	}
+	// A single degenerate (zero-spread) box still yields a usable grid.
+	g := BuildQuantGrid([]Box{{Min: Vec{5, 0}, Max: Vec{5, 0}}})
+	if !g.Ok || g.Step != 0 {
+		t.Fatalf("degenerate grid = %+v", g)
+	}
+	c := g.Encode(Box{Min: Vec{5, 0}, Max: Vec{5, 0}})
+	if !c.Valid {
+		t.Fatal("degenerate box failed to encode on its own grid")
+	}
+	if bad := g.Encode(Box{Min: Vec{6, 0}, Max: Vec{7, 0}}); bad.Valid {
+		t.Fatal("box outside a zero-step grid encoded Valid")
+	}
+	// Mismatched-dimension box: Encode must refuse, not index out of range.
+	wide := BuildQuantGrid([]Box{{Min: Vec{0, 0, 0}, Max: Vec{1, 2, 9}}})
+	if wide.Axis != 2 {
+		t.Fatalf("widest-spread axis = %d, want 2", wide.Axis)
+	}
+	if c := wide.Encode(Box{Min: Vec{0}, Max: Vec{1}}); c.Valid {
+		t.Fatal("short box encoded Valid on a 3-D grid")
+	}
+}

@@ -118,3 +118,70 @@ func FuzzEGEDKernels(f *testing.F) {
 		}
 	})
 }
+
+// FuzzColumnarKernels cross-checks the columnar layer against the
+// sequence kernels on arbitrary inputs: the layout round trip must be
+// bit-exact, the batched DP must match EGEDWithUB bit-for-bit (result,
+// abandon decision, and accounting) at several thresholds, and a valid
+// quantized bound must never exceed the envelope bound it short-circuits.
+func FuzzColumnarKernels(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x32, 10, 0, 20, 0, 30, 0, 40, 0, 50, 0})
+	f.Add([]byte{0x11, 0xff, 0x7f, 0x00, 0x80}) // extreme coordinates
+	f.Add([]byte{0x05})                         // one empty side
+	f.Add([]byte{0xcc, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeFuzzSequences(data)
+
+		// Layout round trip preserves every bit and the empty structure.
+		blocks := FromSequences([]Sequence{a, b})
+		back := ToSequences(blocks)
+		for i, orig := range []Sequence{a, b} {
+			if len(orig) != len(back[i]) {
+				t.Fatalf("seq %d: round trip changed length %d -> %d", i, len(orig), len(back[i]))
+			}
+			for j := range orig {
+				for k := range orig[j] {
+					if math.Float64bits(orig[j][k]) != math.Float64bits(back[i][j][k]) {
+						t.Fatalf("seq %d sample %d: round trip changed bits", i, j)
+					}
+				}
+			}
+		}
+
+		// Batched kernel: bit-identical to the per-pair kernel, including
+		// the eval/cell accounting, at +Inf, the exact value, and a cutoff
+		// that forces abandonment.
+		exact := EGEDMZero(a, b)
+		arena := NewBatchQuery(blocks[0], nil).NewBatch()
+		for _, ub := range []float64{math.Inf(1), exact, exact / 2} {
+			e0, c0 := TotalEvals(), DPCells()
+			wantD, wantAb := EGEDWithUB(a, b, GapConstant, nil, ub)
+			e1, c1 := TotalEvals(), DPCells()
+			gotD, gotAb := arena.DistanceUB(blocks[1], ub)
+			e2, c2 := TotalEvals(), DPCells()
+			if gotAb != wantAb || math.Float64bits(gotD) != math.Float64bits(wantD) {
+				t.Fatalf("ub=%v: batch=(%v,%v), per-pair=(%v,%v)", ub, gotD, gotAb, wantD, wantAb)
+			}
+			if e2-e1 != e1-e0 || c2-c1 != c1-c0 {
+				t.Fatalf("ub=%v: accounting differs (batch %d evals/%d cells, per-pair %d/%d)",
+					ub, e2-e1, c2-c1, e1-e0, c1-c0)
+			}
+		}
+
+		// Quantized tier: for whatever grid the candidate's own envelope
+		// fits, LBQuant must stay at or below LBEnvelope bit-for-bit.
+		casc := EGEDMCascade(nil)
+		qc := casc.(QuantCascade)
+		sb := casc.Summarize(b)
+		grid := BuildQuantGrid([]Box{sb.Box})
+		code := grid.Encode(sb.Box)
+		if grid.Ok && code.Valid {
+			lbq := qc.LBQuant(a, qc.QueryGaps(a), grid, code)
+			if lbe := casc.LBEnvelope(a, sb); lbq > lbe {
+				t.Fatalf("LBQuant %v > LBEnvelope %v", lbq, lbe)
+			}
+		}
+	})
+}

@@ -44,16 +44,19 @@ func PairwiseMatrixCtx(ctx context.Context, seqs []Sequence, m Metric, workers i
 	for i := range d {
 		d[i] = cells[i*n : (i+1)*n]
 	}
-	// fillRows evaluates the upper-triangle cells of rows [lo, hi) and
-	// mirrors them; every cell is written by exactly one task, so results
-	// are identical to a sequential evaluation.
+	// fillRows evaluates the upper-triangle cells of rows [lo, hi); every
+	// cell is written by exactly one task, so results are identical to a
+	// sequential evaluation. Workers touch only their own rows of the
+	// shared backing array — the mirror cells d[j][i] land scattered
+	// across other workers' cache lines and are filled in one sequential
+	// pass afterwards instead, so the parallel section never ping-pongs
+	// lines between cores (the false sharing that kept this benchmark
+	// flat across worker counts).
 	fillRows := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := d[i]
 			for j := i + 1; j < n; j++ {
-				v := m(seqs[i], seqs[j])
-				row[j] = v
-				d[j][i] = v
+				row[j] = m(seqs[i], seqs[j])
 			}
 		}
 	}
@@ -81,6 +84,13 @@ func PairwiseMatrixCtx(ctx context.Context, seqs []Sequence, m Metric, workers i
 	if err != nil {
 		return nil, matrixErr(err)
 	}
+	// Mirror pass: O(n²) float copies next to O(n² · mn) DP work above.
+	for i := 0; i < n; i++ {
+		row := d[i]
+		for j := i + 1; j < n; j++ {
+			d[j][i] = row[j]
+		}
+	}
 	return d, nil
 }
 
@@ -97,7 +107,9 @@ func rowChunks(n, maxChunks int) [][2]int {
 	if per < 1 {
 		per = 1
 	}
-	var chunks [][2]int
+	// One exact allocation: the mass loop emits at most ⌈total/per⌉ + 1
+	// blocks, so growing by append would only re-copy the backing array.
+	chunks := make([][2]int, 0, total/per+2)
 	lo, mass := 0, 0
 	for i := 0; i < n; i++ {
 		mass += n - 1 - i

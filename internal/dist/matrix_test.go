@@ -116,6 +116,32 @@ func TestPairwiseMatrixCancellation(t *testing.T) {
 	}
 }
 
+// TestPairwiseMatrixAllocsFlat pins the satellite fix for allocation
+// growth with worker count: the parallel path pays a constant setup cost
+// (chunk list + pool machinery) that must NOT scale with workers — the
+// old per-row closure allocations made allocs/op climb 4 → 17 → 20 across
+// workers 1/2/4.
+func TestPairwiseMatrixAllocsFlat(t *testing.T) {
+	seqs := randSequences(40, 3, 6, 55)
+	cheap := func(a, b Sequence) float64 { return float64(len(a) + len(b)) }
+	measure := func(w int) float64 {
+		return testing.AllocsPerRun(50, func() {
+			if _, err := PairwiseMatrix(seqs, cheap, w); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := measure(2)
+	for _, w := range []int{4, 8} {
+		if got := measure(w); got > base {
+			t.Errorf("allocs/op grew with workers: %v at workers=2, %v at workers=%d", base, got, w)
+		}
+	}
+	if seq := measure(1); base > seq+10 {
+		t.Errorf("parallel setup costs %v allocs over sequential %v — constant overhead regressed", base, seq)
+	}
+}
+
 func TestCountedIsExactUnderParallelism(t *testing.T) {
 	seqs := randSequences(20, 3, 6, 21)
 	var c Counter

@@ -1,0 +1,189 @@
+package dist
+
+import "math"
+
+// This file implements the quantized 8-bit summary tier that sits ahead
+// of the envelope bound in the filter cascade. Each leaf carries one
+// QuantGrid — a 256-step 1-D grid along the leaf's widest-spread axis —
+// and each record a 2-byte QuantCode: its bounding-box extent on that
+// axis, quantized *outward*. Scanning codes touches 2 bytes per record
+// instead of the record's float columns, so most candidates die before
+// any cache line of sequence data is loaded.
+//
+// Admissibility, and why the tier is invisible in SearchStats: LBQuant is
+// the envelope bound with the box replaced by its 1-D outward-quantized
+// shadow, so term by term
+//
+//	axisProj(a_i, dq(code)) <= axisProj(a_i, box) <= boxDist(a_i, box)
+//
+// (the dequantized interval contains the true extent; one squared axis
+// offset never exceeds the full sum under the monotone float operations),
+// and the min against the same gap cost and the monotone float addition
+// preserve <= through the sum. Hence LBQuant <= LBEnvelope bit-for-bit:
+// every record the quant tier prunes, the envelope tier would have pruned
+// too. Search counts quant prunes as envelope prunes, so SearchStats are
+// identical with the tier on or off — it only changes how cheaply the
+// same records die. (A separate process-wide counter, see QuantPruned in
+// internal/index, observes the tier's hit rate.)
+
+// QuantGrid is a leaf's shared quantization grid: 256 edge values
+// dq(c) = Lo + c·Step along one axis. The zero value (Ok=false) disables
+// the tier for the leaf.
+type QuantGrid struct {
+	Axis int
+	Lo   float64
+	Step float64
+	Ok   bool
+}
+
+// Dequant returns edge value c of the grid.
+func (g QuantGrid) Dequant(c uint8) float64 { return g.Lo + float64(c)*g.Step }
+
+// QuantCode is one record's quantized extent on the grid's axis. Valid
+// codes satisfy Dequant(Lo) <= box.Min[axis] and Dequant(Hi) >=
+// box.Max[axis]; Valid=false (empty record, record outside the grid, or
+// no grid) makes the tier a no-op for that record.
+type QuantCode struct {
+	Lo, Hi uint8
+	Valid  bool
+}
+
+// BuildQuantGrid fits a grid to a set of record envelopes, choosing the
+// axis with the widest total spread. Empty boxes are skipped; if no box
+// has extent the grid is not Ok.
+func BuildQuantGrid(boxes []Box) QuantGrid {
+	dim := 0
+	for _, b := range boxes {
+		if len(b.Min) > 0 {
+			dim = len(b.Min)
+			break
+		}
+	}
+	if dim == 0 {
+		return QuantGrid{}
+	}
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	first := true
+	for _, b := range boxes {
+		if len(b.Min) != dim {
+			continue
+		}
+		for k := 0; k < dim; k++ {
+			if first || b.Min[k] < lo[k] {
+				lo[k] = b.Min[k]
+			}
+			if first || b.Max[k] > hi[k] {
+				hi[k] = b.Max[k]
+			}
+		}
+		first = false
+	}
+	if first {
+		return QuantGrid{}
+	}
+	axis, spread := 0, hi[0]-lo[0]
+	for k := 1; k < dim; k++ {
+		if s := hi[k] - lo[k]; s > spread {
+			axis, spread = k, s
+		}
+	}
+	if !(spread >= 0) { // NaN or negative spread: no usable grid
+		return QuantGrid{}
+	}
+	// spread/255 can round down, leaving Dequant(255) just below the fitted
+	// maximum — which would make the widest record in every leaf fail to
+	// encode. Nudge the step up until the top edge covers the range.
+	step := spread / 255
+	for lo[axis]+255*step < hi[axis] {
+		step = math.Nextafter(step, math.Inf(1))
+	}
+	return QuantGrid{Axis: axis, Lo: lo[axis], Step: step, Ok: true}
+}
+
+// Encode quantizes a record envelope outward onto the grid. Float
+// rounding in the forward scale is repaired by the fixup loops below, so
+// a Valid code always brackets the true extent — the admissibility
+// precondition. Records that do not fit the grid (inserted after the grid
+// was fitted, outside its range) come back Valid=false and simply fall
+// through to the envelope tier.
+func (g QuantGrid) Encode(b Box) QuantCode {
+	if !g.Ok || g.Axis >= len(b.Min) {
+		return QuantCode{}
+	}
+	min, max := b.Min[g.Axis], b.Max[g.Axis]
+	var lo, hi int
+	if g.Step > 0 {
+		lo = int((min - g.Lo) / g.Step)
+		hi = int((max-g.Lo)/g.Step) + 1
+	}
+	lo = clampCode(lo)
+	hi = clampCode(hi)
+	for lo > 0 && g.Dequant(uint8(lo)) > min {
+		lo--
+	}
+	for hi < 255 && g.Dequant(uint8(hi)) < max {
+		hi++
+	}
+	if !(g.Dequant(uint8(lo)) <= min) || !(g.Dequant(uint8(hi)) >= max) {
+		return QuantCode{}
+	}
+	return QuantCode{Lo: uint8(lo), Hi: uint8(hi), Valid: true}
+}
+
+func clampCode(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c > 255 {
+		return 255
+	}
+	return c
+}
+
+// QuantCascade is an optional Cascade extension for metrics with a
+// quantized tier. Search code type-asserts to it; cascades without it
+// (DTW, ExactOnly) simply skip the tier.
+type QuantCascade interface {
+	Cascade
+	// QueryGaps precomputes the per-sample gap costs |a_i − g| of a query
+	// — the values LBQuant mins against, hoisted once per query.
+	QueryGaps(a Sequence) []float64
+	// LBQuant is the quantized envelope bound; it must be <= LBEnvelope
+	// of the same (query, record) pair bit-for-bit whenever code.Valid.
+	LBQuant(a Sequence, gaps []float64, grid QuantGrid, code QuantCode) float64
+}
+
+func (c egedmCascade) QueryGaps(a Sequence) []float64 {
+	if len(a) == 0 {
+		return nil
+	}
+	gaps := make([]float64, len(a))
+	for i, v := range a {
+		gaps[i] = gapNorm(v, c.g)
+	}
+	return gaps
+}
+
+func (c egedmCascade) LBQuant(a Sequence, gaps []float64, grid QuantGrid, code QuantCode) float64 {
+	lo, hi := grid.Dequant(code.Lo), grid.Dequant(code.Hi)
+	axis := grid.Axis
+	var lb float64
+	for i, v := range a {
+		d := 0.0
+		if x := v[axis]; x < lo {
+			d = lo - x
+		} else if x > hi {
+			d = x - hi
+		}
+		// sqrt(d·d) rather than d: boxDist accumulates squared offsets
+		// before its sqrt, and only the squared form chains <= through
+		// the float operations without corner cases.
+		t := math.Sqrt(d * d)
+		if gaps[i] < t {
+			t = gaps[i]
+		}
+		lb += t
+	}
+	return lb
+}

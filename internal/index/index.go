@@ -107,6 +107,21 @@ type Config struct {
 	// still publish through the writer lock; only the EM fits move off the
 	// commit path, so ingest latency stops paying for them.
 	AsyncSplit bool
+	// DisableColumnar turns off the columnar execution layer: leaf records
+	// then keep only their []Vec sequences (no flattened float64 block, no
+	// quantized summary codes) and searches run the per-pair DP kernel
+	// instead of the batched columnar one. The columnar kernels are
+	// bit-identical to the pointer-chasing ones and the quantized tier
+	// only pre-fires prunes the envelope bound would make anyway, so
+	// results AND SearchStats are byte-identical with the layer on or off
+	// — this is an ablation/benchmark knob, not a semantic one.
+	DisableColumnar bool
+	// SearchBatch is the number of leaves KNNExact scans per round before
+	// merging worker-local heaps and refreshing the shared pruning
+	// threshold. 0 means one leaf per worker (the default round size).
+	// Larger batches synchronize less but prune against a staler
+	// threshold; results are identical at every setting.
+	SearchBatch int
 	// Concurrency bounds the worker pool used throughout the index: the
 	// pairwise matrices of EM clustering during construction and splits,
 	// the centroid descent of insertion and search, and the per-leaf scans
@@ -183,6 +198,15 @@ type leafRecord[P any] struct {
 	payload P
 	sum     dist.Summary
 	hash    uint64
+	// col is the columnar form of seq — the same float64s flattened into
+	// one contiguous block for the batched DP kernel. When the columnar
+	// layer is on, seq's vectors are views into col's buffer, so the data
+	// exists exactly once; when DisableColumnar is set col stays zero.
+	col dist.Block
+	// qc is the record's quantized-summary code on its cluster's grid
+	// (Valid=false when the record predates the grid, falls outside it,
+	// or the columnar layer is off).
+	qc dist.QuantCode
 	// shard tags the record with its tree's shard index (0 for a plain
 	// tree) so shard-aware distance caches can scope invalidation.
 	shard uint32
@@ -190,14 +214,23 @@ type leafRecord[P any] struct {
 
 // newLeafRecord builds a leaf record for seq under centroid: the key is
 // the metric distance to the centroid, the summary and hash are the
-// cascade/cache precomputations.
+// cascade/cache precomputations. With the columnar layer on, the sequence
+// is flattened once here and re-exposed as views into the block, so both
+// access paths share one copy of the floats (and identical bits — every
+// derived value is computed from the same data either way).
 func (t *Tree[P]) newLeafRecord(centroid, seq dist.Sequence, payload P) leafRecord[P] {
+	var col dist.Block
+	if !t.cfg.DisableColumnar {
+		col = dist.FromSequence(seq)
+		seq = col.Sequence()
+	}
 	return leafRecord[P]{
 		key:     t.cfg.Metric(seq, centroid),
 		seq:     seq,
 		payload: payload,
 		sum:     t.cfg.Cascade.Summarize(seq),
 		hash:    dist.HashSequence(seq),
+		col:     col,
 		shard:   t.shardTag,
 	}
 }
@@ -208,6 +241,12 @@ type clusterRecord[P any] struct {
 	id       int
 	centroid dist.Sequence
 	leaf     []leafRecord[P]
+	// qgrid is the leaf's shared 8-bit quantization grid (quant.go),
+	// fitted whenever the membership is rebuilt wholesale (bootstrap,
+	// split, restore) and left fixed across incremental inserts — a
+	// record that does not fit the fixed grid simply carries an invalid
+	// code and skips the tier. Zero (not Ok) when columnar is off.
+	qgrid dist.QuantGrid
 	// splitChecked is the leaf size at which the last BIC evaluation
 	// declined to split, 0 if never evaluated (or since invalidated by a
 	// delete or an adopted split). Cluster quality cannot have degraded
@@ -452,6 +491,7 @@ func (t *Tree[P]) buildClusters(x *txn[P], root *rootRecord[P], items []Item[P])
 		for _, j := range members {
 			cl.insertSorted(t.newLeafRecord(cl.centroid, items[j].Seq, items[j].Payload))
 		}
+		t.refitQuant(cl)
 		root.clusters = append(root.clusters, cl)
 		t.size += len(members)
 	}
@@ -464,6 +504,24 @@ func (t *Tree[P]) buildClusters(x *txn[P], root *rootRecord[P], items []Item[P])
 	return nil
 }
 
+// refitQuant fits cl's quantization grid to its current membership and
+// re-encodes every record's code. Called wherever the membership is
+// rebuilt wholesale (bootstrap, adopted split, snapshot restore); cl must
+// be owned by the transaction. A no-op when the columnar layer is off.
+func (t *Tree[P]) refitQuant(cl *clusterRecord[P]) {
+	if t.cfg.DisableColumnar {
+		return
+	}
+	boxes := make([]dist.Box, len(cl.leaf))
+	for i := range cl.leaf {
+		boxes[i] = cl.leaf[i].sum.Box
+	}
+	cl.qgrid = dist.BuildQuantGrid(boxes)
+	for i := range cl.leaf {
+		cl.leaf[i].qc = cl.qgrid.Encode(cl.leaf[i].sum.Box)
+	}
+}
+
 // insertIntoRoot routes one item to the most similar centroid (non-metric
 // EGED, Algorithm 3's descent) and inserts it into that leaf by key. root
 // must be owned by the transaction.
@@ -473,7 +531,12 @@ func (t *Tree[P]) insertIntoRoot(x *txn[P], root *rootRecord[P], it Item[P]) err
 		return fmt.Errorf("index: root %d has no clusters", root.id)
 	}
 	cl := x.cluster(root, ci)
-	cl.insertSorted(t.newLeafRecord(cl.centroid, it.Seq, it.Payload))
+	rec := t.newLeafRecord(cl.centroid, it.Seq, it.Payload)
+	// Encode against the leaf's existing grid: the grid stays fixed across
+	// incremental inserts, and a record outside its range just carries an
+	// invalid code (falling through to the envelope bound).
+	rec.qc = cl.qgrid.Encode(rec.sum.Box)
+	cl.insertSorted(rec)
 	t.size++
 	t.maybeSplit(x, root, cl)
 	return nil
@@ -586,6 +649,9 @@ func (t *Tree[P]) applySplit(root *rootRecord[P], cl *clusterRecord[P], two *clu
 		rec.key = t.cfg.Metric(rec.seq, newCl.centroid)
 		newCl.insertSorted(rec)
 	}
+	// Both memberships changed wholesale; give each leaf a fresh grid.
+	t.refitQuant(cl)
+	t.refitQuant(newCl)
 	root.clusters = append(root.clusters, newCl)
 	return true
 }
@@ -678,8 +744,10 @@ func (t *Tree[P]) Items() []Item[P] {
 	return out
 }
 
-// CheckInvariants verifies leaf key order and key correctness. Intended
-// for tests.
+// CheckInvariants verifies leaf key order, key correctness and — with the
+// columnar layer on — that every record's column block mirrors its
+// sequence bit-for-bit and every valid quant code brackets the record's
+// envelope (the admissibility precondition). Intended for tests.
 func (t *Tree[P]) CheckInvariants() error {
 	for _, r := range t.roots {
 		for _, cl := range r.clusters {
@@ -689,6 +757,32 @@ func (t *Tree[P]) CheckInvariants() error {
 				}
 				if want := t.cfg.Metric(rec.seq, cl.centroid); math.Abs(want-rec.key) > 1e-9 {
 					return fmt.Errorf("index: cluster %d record %d key %v != distance %v", cl.id, i, rec.key, want)
+				}
+				if t.cfg.DisableColumnar {
+					continue
+				}
+				if rec.col.Len() != len(rec.seq) {
+					return fmt.Errorf("index: cluster %d record %d column block has %d rows, sequence %d", cl.id, i, rec.col.Len(), len(rec.seq))
+				}
+				for si, v := range rec.seq {
+					row := rec.col.Row(si)
+					for k := range v {
+						if math.Float64bits(v[k]) != math.Float64bits(row[k]) {
+							return fmt.Errorf("index: cluster %d record %d sample %d diverges from its column block", cl.id, i, si)
+						}
+					}
+				}
+				if rec.qc.Valid {
+					if !cl.qgrid.Ok {
+						return fmt.Errorf("index: cluster %d record %d has a quant code but the leaf has no grid", cl.id, i)
+					}
+					b := rec.sum.Box
+					if lo := cl.qgrid.Dequant(rec.qc.Lo); !(lo <= b.Min[cl.qgrid.Axis]) {
+						return fmt.Errorf("index: cluster %d record %d quant low edge %v above box min %v", cl.id, i, lo, b.Min[cl.qgrid.Axis])
+					}
+					if hi := cl.qgrid.Dequant(rec.qc.Hi); !(hi >= b.Max[cl.qgrid.Axis]) {
+						return fmt.Errorf("index: cluster %d record %d quant high edge %v below box max %v", cl.id, i, hi, b.Max[cl.qgrid.Axis])
+					}
 				}
 			}
 		}

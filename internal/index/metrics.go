@@ -50,6 +50,14 @@ var (
 	lbPrunedEnvelope = obs.Default.Counter("strg_dist_lb_pruned_total",
 		"cascade records rejected by a lower bound, by stage",
 		obs.Labels{"stage": "envelope"})
+	// lbPrunedQuant observes the quantized 8-bit tier's hit rate. Quant
+	// prunes are a strict subset of envelope prunes (the bound is weaker
+	// by construction) and are counted as LBEnvelopePruned in SearchStats
+	// so stats stay identical with the tier on or off; this counter is the
+	// only place the tier is separately visible.
+	lbPrunedQuant = obs.Default.Counter("strg_dist_lb_pruned_total",
+		"cascade records rejected by a lower bound, by stage",
+		obs.Labels{"stage": "quant"})
 	lbPassed = obs.Default.Counter("strg_dist_lb_passed_total",
 		"cascade records that passed all lower bounds into the DP kernel", nil)
 	dpAbandoned = obs.Default.Counter("strg_dist_dp_abandoned_total",
@@ -88,6 +96,11 @@ var (
 	staleVersionLag = obs.Default.Gauge("strg_index_stale_version_lag",
 		"shard versions published during the most recent search", nil)
 )
+
+// QuantPruned returns the process-wide number of leaf records pruned by
+// the quantized summary tier — the tier's hit rate, observable even
+// though SearchStats folds these prunes into LBEnvelopePruned.
+func QuantPruned() int64 { return lbPrunedQuant.Value() }
 
 // observeCascade records one search's cascade accounting.
 func observeCascade(st SearchStats) {

@@ -62,6 +62,13 @@ type queryState struct {
 	// scache is cache's shard-aware extension, resolved once per query;
 	// nil when the cache does not implement it.
 	scache ShardAwareDistCache
+	// Columnar-layer state, resolved once per query and nil/zero when the
+	// layer is off or the cascade lacks the extensions: bq is the prepared
+	// batched query (immutable, shared by all leaf scans — each scan
+	// derives its own mutable arena), qcasc/qgaps feed the quantized tier.
+	bq    *dist.BatchQuery
+	qcasc dist.QuantCascade
+	qgaps []float64
 }
 
 func (t *Tree[P]) newQueryState(query dist.Sequence) *queryState {
@@ -70,6 +77,15 @@ func (t *Tree[P]) newQueryState(query dist.Sequence) *queryState {
 	if q.cache != nil {
 		q.qh = dist.HashSequence(query)
 		q.scache, _ = q.cache.(ShardAwareDistCache)
+	}
+	if !t.cfg.DisableColumnar {
+		if bc, ok := q.casc.(dist.BatchCascade); ok {
+			q.bq = bc.BatchQuery(query)
+		}
+		if qc, ok := q.casc.(dist.QuantCascade); ok {
+			q.qcasc = qc
+			q.qgaps = qc.QueryGaps(query)
+		}
 	}
 	return q
 }
@@ -221,7 +237,10 @@ func (t *Tree[P]) KNNExactStatsCtx(ctx context.Context, bg *graph.Graph, query d
 
 	q := t.newQueryState(query)
 	h := newResultHeap[P](k)
-	batch := parallel.Workers(t.cfg.Concurrency)
+	batch := t.cfg.SearchBatch
+	if batch <= 0 {
+		batch = parallel.Workers(t.cfg.Concurrency)
+	}
 	var scanned atomic.Int64
 	type leafScan struct {
 		h  *resultHeap[P]
@@ -311,6 +330,11 @@ func (t *Tree[P]) RangeStatsCtx(ctx context.Context, bg *graph.Graph, query dist
 		}
 		scanned.Add(1)
 		cs := &clusterScan{}
+		// One batched-DP arena per cluster scan (scans run concurrently).
+		var arena *dist.Batch
+		if q.bq != nil {
+			arena = q.bq.NewBatch()
+		}
 		// Key window: |key - dc| <= radius is necessary for a hit.
 		lo := sort.Search(len(cl.leaf), func(i int) bool { return cl.leaf[i].key >= dc-radius })
 		for i := lo; i < len(cl.leaf) && cl.leaf[i].key <= dc+radius; i++ {
@@ -327,11 +351,16 @@ func (t *Tree[P]) RangeStatsCtx(ctx context.Context, bg *graph.Graph, query dist
 				cs.st.LBQuickPruned++
 				continue
 			}
+			if quantPrune(q, cl, rec, radius) {
+				cs.st.LBEnvelopePruned++
+				lbPrunedQuant.Inc()
+				continue
+			}
 			if lb := q.casc.LBEnvelope(query, rec.sum); lb > radius {
 				cs.st.LBEnvelopePruned++
 				continue
 			}
-			d, abandoned := q.casc.DistanceUB(query, rec.seq, radius)
+			d, abandoned := refineRecord(q, arena, rec, radius)
 			if abandoned {
 				cs.st.DPAbandoned++
 				continue
@@ -416,6 +445,12 @@ func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], q *queryState
 	if n == 0 {
 		return
 	}
+	// One batched-DP arena per leaf scan: scans may run concurrently on
+	// the worker pool, so the mutable scratch cannot live in queryState.
+	var arena *dist.Batch
+	if q.bq != nil {
+		arena = q.bq.NewBatch()
+	}
 	start := sort.Search(n, func(i int) bool { return cl.leaf[i].key >= keyQ })
 	lo, hi := start-1, start
 	// The expansion order depends only on the stored keys and Key_q —
@@ -465,11 +500,19 @@ func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], q *queryState
 			st.LBQuickPruned++
 			continue
 		}
+		if quantPrune(q, cl, rec, thresh) {
+			// Counted as an envelope prune: the quant bound is <= the
+			// envelope bound, so the envelope stage would have made the
+			// same decision — just after touching the float columns.
+			st.LBEnvelopePruned++
+			lbPrunedQuant.Inc()
+			continue
+		}
 		if lb := q.casc.LBEnvelope(q.query, rec.sum); lb > thresh {
 			st.LBEnvelopePruned++
 			continue
 		}
-		d, abandoned := q.casc.DistanceUB(q.query, rec.seq, thresh)
+		d, abandoned := refineRecord(q, arena, rec, thresh)
 		if abandoned {
 			st.DPAbandoned++
 			continue
@@ -478,6 +521,30 @@ func (t *Tree[P]) searchLeafWithCentroidDist(cl *clusterRecord[P], q *queryState
 		q.putDist(rec.hash, rec.shard, d)
 		h.offer(Result[P]{Payload: rec.payload, Distance: d}, uint64(leafRank)<<32|uint64(step))
 	}
+}
+
+// quantPrune reports whether the quantized 8-bit tier disposes of rec at
+// thresh — a 2-byte-per-record check that runs before the envelope bound
+// ever touches the record's float columns. The bound is admissible and
+// weaker-or-equal to LBEnvelope bit-for-bit, so any record it prunes the
+// envelope stage would have pruned too: callers count a quant prune as an
+// envelope prune and SearchStats cannot tell the tier is on.
+func quantPrune[P any](q *queryState, cl *clusterRecord[P], rec *leafRecord[P], thresh float64) bool {
+	if q.qcasc == nil || !rec.qc.Valid || !cl.qgrid.Ok {
+		return false
+	}
+	return q.qcasc.LBQuant(q.query, q.qgaps, cl.qgrid, rec.qc) > thresh
+}
+
+// refineRecord runs the cascade's final DP stage: the batched columnar
+// kernel when the scan has an arena and the record carries its column
+// block, the per-pair kernel otherwise. The two are bit-identical in
+// value, abandon decision and eval/cell accounting.
+func refineRecord[P any](q *queryState, b *dist.Batch, rec *leafRecord[P], thresh float64) (float64, bool) {
+	if b != nil && rec.col.Len() == len(rec.seq) {
+		return b.DistanceUB(rec.col, thresh)
+	}
+	return q.casc.DistanceUB(q.query, rec.seq, thresh)
 }
 
 // heapItem pairs a result with its canonical scan ordinal. Ordering is

@@ -24,12 +24,26 @@ type RootSnapshot[P any] struct {
 	Clusters []ClusterSnapshot[P]
 }
 
-// ClusterSnapshot serializes one cluster record with its leaf.
+// ClusterSnapshot serializes one cluster record with its leaf. Two
+// equivalent encodings of the member sequences exist:
+//
+//   - Seqs: one dist.Sequence per record (the v1 container form);
+//   - ColData/ColLens/ColDim: every record's samples packed into one
+//     flat row-major float64 column block (record i owns ColLens[i]
+//     rows), the form a columnar tree writes — one contiguous gob slice
+//     instead of len(leaf) nested slice-of-slices.
+//
+// A snapshot populates exactly one of the two; restore accepts either
+// regardless of the restoring tree's columnar setting, so v1 snapshots
+// load into columnar trees and vice versa.
 type ClusterSnapshot[P any] struct {
 	ID       int
 	Centroid dist.Sequence
 	Keys     []float64
 	Seqs     []dist.Sequence
+	ColData  []float64
+	ColLens  []int
+	ColDim   int
 	Payloads []P
 }
 
@@ -46,8 +60,16 @@ func (t *Tree[P]) Snapshot() Snapshot[P] {
 			cs := ClusterSnapshot[P]{ID: cl.id, Centroid: cl.centroid}
 			for _, rec := range cl.leaf {
 				cs.Keys = append(cs.Keys, rec.key)
-				cs.Seqs = append(cs.Seqs, rec.seq)
 				cs.Payloads = append(cs.Payloads, rec.payload)
+				if t.cfg.DisableColumnar {
+					cs.Seqs = append(cs.Seqs, rec.seq)
+					continue
+				}
+				cs.ColLens = append(cs.ColLens, rec.col.Len())
+				cs.ColData = append(cs.ColData, rec.col.Data()...)
+				if rec.col.Dim() > 0 {
+					cs.ColDim = rec.col.Dim()
+				}
 			}
 			rs.Clusters = append(rs.Clusters, cs)
 		}
@@ -84,23 +106,66 @@ func (t *Tree[P]) restoreRoot(rs RootSnapshot[P]) error {
 		root.bg = bg
 	}
 	for _, cs := range rs.Clusters {
-		if len(cs.Keys) != len(cs.Seqs) || len(cs.Keys) != len(cs.Payloads) {
+		columnar := cs.ColLens != nil
+		if columnar {
+			if len(cs.Keys) != len(cs.ColLens) || len(cs.Keys) != len(cs.Payloads) {
+				return fmt.Errorf("index: cluster %d snapshot length mismatch", cs.ID)
+			}
+		} else if len(cs.Keys) != len(cs.Seqs) || len(cs.Keys) != len(cs.Payloads) {
 			return fmt.Errorf("index: cluster %d snapshot length mismatch", cs.ID)
 		}
 		cl := &clusterRecord[P]{id: cs.ID, centroid: cs.Centroid}
+		off := 0
 		for i := range cs.Keys {
+			// Materialize the record's sequence from whichever encoding
+			// the snapshot carries (see ClusterSnapshot), rebuilding the
+			// column block under the restoring tree's own columnar
+			// setting — the block and the view sequence share one buffer.
+			var col dist.Block
+			var seq dist.Sequence
+			if columnar {
+				n := cs.ColLens[i]
+				dim := cs.ColDim
+				if n == 0 {
+					dim = 0
+				}
+				end := off + n*dim
+				if end > len(cs.ColData) {
+					return fmt.Errorf("index: cluster %d column block truncated at record %d", cs.ID, i)
+				}
+				b, err := dist.BlockOf(cs.ColData[off:end:end], n, dim)
+				if err != nil {
+					return fmt.Errorf("index: cluster %d record %d: %w", cs.ID, i, err)
+				}
+				off = end
+				col, seq = b, b.Sequence()
+			} else {
+				seq = cs.Seqs[i]
+				if !t.cfg.DisableColumnar {
+					col = dist.FromSequence(seq)
+					seq = col.Sequence()
+				}
+			}
+			if t.cfg.DisableColumnar {
+				col = dist.Block{}
+			}
 			// The cascade summary and cache hash are derived state;
 			// recompute them rather than trusting the snapshot.
 			cl.leaf = append(cl.leaf, leafRecord[P]{
 				key:     cs.Keys[i],
-				seq:     cs.Seqs[i],
+				seq:     seq,
 				payload: cs.Payloads[i],
-				sum:     t.cfg.Cascade.Summarize(cs.Seqs[i]),
-				hash:    dist.HashSequence(cs.Seqs[i]),
+				sum:     t.cfg.Cascade.Summarize(seq),
+				hash:    dist.HashSequence(seq),
+				col:     col,
 				shard:   t.shardTag,
 			})
 			t.size++
 		}
+		if columnar && off != len(cs.ColData) {
+			return fmt.Errorf("index: cluster %d column block has %d trailing floats", cs.ID, len(cs.ColData)-off)
+		}
+		t.refitQuant(cl)
 		if cs.ID >= t.nextCl {
 			t.nextCl = cs.ID + 1
 		}

@@ -109,30 +109,34 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 		mu.Unlock()
 		stop.Store(true)
 	}
+	// One closure shared by all workers (instead of one allocation per
+	// goroutine): the loop body only reads the captured coordination
+	// state, so every worker can run the same function value.
+	worker := func() {
+		defer wg.Done()
+		for {
+			if stop.Load() {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				stop.Store(true)
+				return
+			default:
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := runTask(fn, i); err != nil {
+				fail(i, err)
+				return
+			}
+		}
+	}
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				if stop.Load() {
-					return
-				}
-				select {
-				case <-ctx.Done():
-					stop.Store(true)
-					return
-				default:
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := runTask(fn, i); err != nil {
-					fail(i, err)
-					return
-				}
-			}
-		}()
+		go worker()
 	}
 	wg.Wait()
 	if firstErr != nil {

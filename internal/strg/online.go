@@ -21,8 +21,11 @@ type OnlineBuilder struct {
 	cfg     Config
 	matcher *graph.Matcher
 
-	frame  int          // next frame index to consume
-	prev   *graph.Graph // previous frame's RAG
+	frame int // next frame index to consume
+	// prev carries the previous frame's RAG with its neighborhood cache:
+	// the frame was tracking's nxt last round and becomes cur this round,
+	// so its lazily-built stars are reused instead of rebuilt.
+	prev   *frameNbrs
 	baseID graph.NodeID // next node ID block
 	velIn  map[graph.NodeID]geom.Vector
 
@@ -76,10 +79,11 @@ func NewOnlineBuilder(cfg Config) *OnlineBuilder {
 func (b *OnlineBuilder) AddFrame(f video.Frame) []*OG {
 	g := rag.Build(f, b.cfg.RAG, b.baseID)
 	b.baseID += graph.NodeID(len(f.Regions))
+	gN := newFrameNbrs(g)
 
 	extended := make(map[graph.NodeID]bool) // new-frame nodes that continue a chain
 	if b.prev != nil {
-		links := matchFrames(b.matcher, b.cfg, b.prev, g, b.velIn)
+		links := matchFrames(b.matcher, b.cfg, b.prev, gN, b.velIn)
 		newVel := make(map[graph.NodeID]geom.Vector, len(links))
 		newOpen := make(map[graph.NodeID]*sampleChain, len(links))
 		for _, l := range links {
@@ -102,14 +106,14 @@ func (b *OnlineBuilder) AddFrame(f video.Frame) []*OG {
 		b.velIn = newVel
 	}
 	// Unmatched new-frame nodes start chains.
-	for _, id := range sortedIDs(g) {
+	for _, id := range gN.ids {
 		if !extended[id] {
 			chain := &sampleChain{labels: make(map[string]int)}
 			appendSample(chain, g, id, b.frame)
 			b.open[id] = chain
 		}
 	}
-	b.prev = g
+	b.prev = gN
 	b.frame++
 	return b.emitReady(false)
 }

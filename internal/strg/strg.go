@@ -190,8 +190,36 @@ func Build(seg *video.Segment, cfg Config) (*STRG, error) {
 	}
 	trackStart := time.Now()
 	matcher := graph.NewMatcher(cfg.Tol)
+	// Per-frame neighborhood caches persist across the whole pair loop:
+	// every interior frame participates in two consecutive pairs (as nxt,
+	// then as cur), and rebuilding its stars for each role used to double
+	// the construction's NeighborhoodGraph work. In parallel mode all
+	// frames' stars are precomputed in one segment-wide pass — one pool
+	// fan-out over every (frame, node) instead of a barrier per pair,
+	// which is both less claim traffic and far better load balancing when
+	// frame sizes are skewed.
+	nbrs := make([]*frameNbrs, len(s.Frames))
+	for i, g := range s.Frames {
+		nbrs[i] = newFrameNbrs(g)
+	}
+	if parallel.Workers(cfg.Concurrency) > 1 && len(s.Frames) > 1 {
+		offsets := make([]int, len(nbrs)+1)
+		for i, fn := range nbrs {
+			offsets[i+1] = offsets[i] + len(fn.ids)
+		}
+		mustRun(parallel.ForEach(cfg.Concurrency, offsets[len(nbrs)], func(k int) error {
+			fi := sort.Search(len(offsets), func(i int) bool { return offsets[i] > k }) - 1
+			fn := nbrs[fi]
+			j := k - offsets[fi]
+			fn.gn[j] = fn.g.NeighborhoodGraph(fn.ids[j])
+			return nil
+		}))
+		for _, fn := range nbrs {
+			fn.full = true
+		}
+	}
 	for m := 0; m+1 < len(s.Frames); m++ {
-		s.trackPair(matcher, cfg, s.Frames[m], s.Frames[m+1])
+		s.trackPair(matcher, cfg, nbrs[m], nbrs[m+1])
 	}
 	if cfg.BridgeFrames > 0 {
 		s.bridgeGaps(cfg)
@@ -279,6 +307,49 @@ func (s *STRG) bridgeGaps(cfg Config) {
 	}
 }
 
+// frameNbrs caches one frame's tracking inputs: its node IDs in sorted
+// order and each node's neighborhood graph, built at most once per node
+// for the frame's lifetime (a frame is scored against both of its
+// adjacent frames, and its stars are identical in both roles —
+// NeighborhoodGraph is deterministic, so caching cannot change a score).
+type frameNbrs struct {
+	g   *graph.Graph
+	ids []graph.NodeID
+	gn  []*graph.Graph
+	// full marks every slot as built, letting ensureAll skip its pool
+	// fan-out after a segment-wide precompute.
+	full bool
+}
+
+func newFrameNbrs(g *graph.Graph) *frameNbrs {
+	ids := sortedIDs(g)
+	return &frameNbrs{g: g, ids: ids, gn: make([]*graph.Graph, len(ids))}
+}
+
+// nbr returns node i's neighborhood graph, building it on first use. Lazy
+// fill is single-writer only; concurrent scorers must ensureAll first.
+func (f *frameNbrs) nbr(i int) *graph.Graph {
+	if f.gn[i] == nil {
+		f.gn[i] = f.g.NeighborhoodGraph(f.ids[i])
+	}
+	return f.gn[i]
+}
+
+// ensureAll fills every slot across the worker pool (each slot has
+// exactly one writer), after which reads are race-free.
+func (f *frameNbrs) ensureAll(workers int) {
+	if f.full {
+		return
+	}
+	mustRun(parallel.ForEach(workers, len(f.ids), func(i int) error {
+		if f.gn[i] == nil {
+			f.gn[i] = f.g.NeighborhoodGraph(f.ids[i])
+		}
+		return nil
+	}))
+	f.full = true
+}
+
 // link is one temporal correspondence produced by frame-pair matching.
 type link struct {
 	from, to graph.NodeID
@@ -301,9 +372,10 @@ type link struct {
 // the chains of identical-looking objects when they cross — and its
 // first-isomorphic-match break would be nondeterministic over Go's
 // randomized map iteration anyway.
-func matchFrames(matcher *graph.Matcher, cfg Config, cur, nxt *graph.Graph, velIn map[graph.NodeID]geom.Vector) []link {
-	curIDs := sortedIDs(cur)
-	nxtIDs := sortedIDs(nxt)
+func matchFrames(matcher *graph.Matcher, cfg Config, curN, nxtN *frameNbrs, velIn map[graph.NodeID]geom.Vector) []link {
+	cur, nxt := curN.g, nxtN.g
+	curIDs := curN.ids
+	nxtIDs := nxtN.ids
 
 	type cand struct {
 		v, v2 graph.NodeID
@@ -354,36 +426,24 @@ func matchFrames(matcher *graph.Matcher, cfg Config, cur, nxt *graph.Graph, velI
 
 	var cands []cand
 	if parallel.Workers(cfg.Concurrency) <= 1 || len(curIDs) < 2 {
-		// Sequential path: neighborhood graphs built lazily, exactly the
-		// work profile the paper's Algorithm 1 implies.
-		gnNxt := make([]*graph.Graph, len(nxtIDs))
-		lazyNxt := func(j int) *graph.Graph {
-			if gnNxt[j] == nil {
-				gnNxt[j] = nxt.NeighborhoodGraph(nxtIDs[j])
-			}
-			return gnNxt[j]
-		}
-		for _, v := range curIDs {
-			cands = append(cands, scoreNode(v, cur.NeighborhoodGraph(v), lazyNxt)...)
+		// Sequential path: neighborhood graphs built lazily into the
+		// persistent per-frame cache — the work profile the paper's
+		// Algorithm 1 implies, minus rebuilding stars the previous pair
+		// (or, online, the previous frame) already built.
+		for i, v := range curIDs {
+			cands = append(cands, scoreNode(v, curN.nbr(i), nxtN.nbr)...)
 		}
 	} else {
-		// Parallel path: precompute every neighborhood graph of both
-		// frames (each node independent), then score current-frame nodes
-		// concurrently. Candidate values and order match the sequential
-		// path bit for bit; only the schedule differs.
-		gnCur := make([]*graph.Graph, len(curIDs))
-		gnNxt := make([]*graph.Graph, len(nxtIDs))
-		mustRun(parallel.ForEach(cfg.Concurrency, len(curIDs)+len(nxtIDs), func(i int) error {
-			if i < len(curIDs) {
-				gnCur[i] = cur.NeighborhoodGraph(curIDs[i])
-			} else {
-				gnNxt[i-len(curIDs)] = nxt.NeighborhoodGraph(nxtIDs[i-len(curIDs)])
-			}
-			return nil
-		}))
-		byIdx := func(j int) *graph.Graph { return gnNxt[j] }
+		// Parallel path: make sure both frames' caches are complete (a
+		// no-op after Build's segment-wide precompute), then score
+		// current-frame nodes concurrently. Candidate values and order
+		// match the sequential path bit for bit; only the schedule
+		// differs.
+		curN.ensureAll(cfg.Concurrency)
+		nxtN.ensureAll(cfg.Concurrency)
+		byIdx := func(j int) *graph.Graph { return nxtN.gn[j] }
 		perNode, err := parallel.Map(cfg.Concurrency, len(curIDs), func(i int) ([]cand, error) {
-			return scoreNode(curIDs[i], gnCur[i], byIdx), nil
+			return scoreNode(curIDs[i], curN.gn[i], byIdx), nil
 		})
 		mustRun(err)
 		for _, cs := range perNode {
@@ -424,7 +484,7 @@ func matchFrames(matcher *graph.Matcher, cfg Config, cur, nxt *graph.Graph, velI
 }
 
 // trackPair applies matchFrames' links to the STRG's temporal-edge maps.
-func (s *STRG) trackPair(matcher *graph.Matcher, cfg Config, cur, nxt *graph.Graph) {
+func (s *STRG) trackPair(matcher *graph.Matcher, cfg Config, cur, nxt *frameNbrs) {
 	for _, l := range matchFrames(matcher, cfg, cur, nxt, s.velIn) {
 		s.next[l.from] = l.to
 		s.inDeg[l.to]++
