@@ -38,11 +38,13 @@ cover:
 # Coverage ratchet for the packages where a silent regression is most
 # dangerous (the index owns query correctness under concurrent ingest, the
 # WAL owns durability, dist owns the bit-identity contracts of the
-# columnar/batched/quantized kernels). Floors sit ~3 points under current
-# coverage (index 94.2%, wal 80.4%, dist 97.8% when set); raise them as
-# coverage rises — never lower them to make a build pass.
+# columnar/batched/quantized kernels, query owns the DSL/planner contract
+# behind /v1/query, rtree owns the pruning superset guarantee). Floors sit
+# ~3 points under current coverage (index 94.2%, wal 80.4%, dist 97.8%,
+# query 89.5%, rtree 96.0% when set); raise them as coverage rises — never
+# lower them to make a build pass.
 cover-check:
-	@status=0; for spec in internal/index:91.0 internal/wal:77.0 internal/dist:94.0; do \
+	@status=0; for spec in internal/index:91.0 internal/wal:77.0 internal/dist:94.0 internal/query:86.0 internal/rtree:93.0; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$(go test -cover ./$$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "FAIL: no coverage output for $$pkg"; status=1; continue; fi; \
@@ -62,6 +64,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzSnapshotLoad$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 16x ./internal/core
 	go test -run '^$$' -fuzz '^FuzzEGEDKernels$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 16x ./internal/dist
 	go test -run '^$$' -fuzz '^FuzzColumnarKernels$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 16x ./internal/dist
+	go test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 16x ./internal/query
 
 # Golden end-to-end corpus: deterministic synthetic video in, bit-exact
 # query answers out, at shard counts 1, 2 and 4.
@@ -85,15 +88,19 @@ bench:
 	go test -bench=. -benchmem .
 
 # Worker-sweep benchmarks of the parallel distance engine plus the
-# columnar kernel benchmarks, as JSON, then the perf-floor check: batched
-# leaf DP >= 1.5x per-pair everywhere, and PairwiseMatrix workers=4 >= 2x
-# workers=1 on hosts with >= 4 CPUs (a no-regression bound elsewhere).
+# columnar kernel benchmarks and the planner micro-benchmark, as JSON,
+# then the perf-floor check: batched leaf DP >= 1.5x per-pair everywhere,
+# the planner's rtree-assisted select >= 2x the full scan on the ring
+# workload, and PairwiseMatrix workers=4 >= 2x workers=1 on hosts with
+# >= 4 CPUs (a no-regression bound elsewhere).
 bench-json:
 	go test -run='^$$' -bench='PairwiseMatrix|STRGBuildParallel|Figure6ClusterBuildParallel|Figure7KNNParallel' -benchmem . \
 		| go run ./cmd/benchjson > BENCH_parallel.json
 	go test -run='^$$' -bench='BatchedLeafDP|ColumnarKNNExact' -benchmem -count=3 . \
 		| go run ./cmd/benchjson > BENCH_columnar.json
-	go run ./cmd/benchjson -check BENCH_parallel.json BENCH_columnar.json
+	go test -run='^$$' -bench='PlannerSelect' -benchmem -count=2 . \
+		| go run ./cmd/benchjson > BENCH_planner.json
+	go run ./cmd/benchjson -check BENCH_parallel.json BENCH_columnar.json BENCH_planner.json
 
 # Filter-and-refine cascade benchmarks (DP cells and per-stage pruning as
 # custom /op metrics), as JSON.

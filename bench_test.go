@@ -8,6 +8,7 @@ package strgindex
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"strgindex/internal/graph"
 	"strgindex/internal/index"
 	"strgindex/internal/mtree"
+	"strgindex/internal/query"
 	"strgindex/internal/rtree"
 	"strgindex/internal/shot"
 	"strgindex/internal/strg"
@@ -772,3 +774,90 @@ func BenchmarkAblationBridging(b *testing.B) {
 }
 
 func graphColor(r, g, bl float64) graph.Color { return graph.Color{R: r, G: g, B: bl} }
+
+// ringDB ingests a ring workload: walkers on short arcs spread around a
+// circle, so a small query rect touches only the handful of trajectories
+// near one ring position. This is the shape where the trajectory R-tree's
+// pruning shows — and the one the planner perf floor is enforced on.
+func ringDB(b testing.TB, disableTraj bool) *core.VideoDB {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Concurrency = 2
+	cfg.DisableTrajIndex = disableTraj
+	db := core.Open(cfg)
+	const segments, perSeg = 192, 4
+	for s := 0; s < segments; s++ {
+		objs := make([]video.ObjectSpec, perSeg)
+		for o := range objs {
+			// Stride so one segment's objects sit on opposite sides of the
+			// ring — adjacent ring positions are a few pixels apart and
+			// would merge into one region.
+			i := o*segments + s
+			ang := 2 * math.Pi * float64(i) / float64(segments*perSeg)
+			// Three concentric rings, so a rect near the outer ring's edge
+			// leaves the inner rings' trajectories entirely outside the
+			// probe. Radial gaps stay > 25px so same-segment walkers on
+			// different rings never merge into one region.
+			scale := []float64{1, 0.62, 0.3}[i%3]
+			cx, cy := 160+100*scale*math.Cos(ang), 120+75*scale*math.Sin(ang)
+			// A short chord along the ring's tangent: fast enough that the
+			// tracker keeps the walker (too-slow objects collapse into the
+			// background) but with a small spatial footprint, so a probe
+			// only surfaces trajectories near one ring position.
+			tx, ty := -12*math.Sin(ang), 12*math.Cos(ang)
+			objs[o] = video.ObjectSpec{
+				Label: fmt.Sprintf("ring-%d", i),
+				Parts: []video.PartSpec{{Size: 300, Color: graphColor(0.8, 0.3, 0.3)}},
+				Path:  []geom.Point{geom.Pt(cx-tx, cy-ty), geom.Pt(cx+tx, cy+ty)},
+				Start: 0, End: 6,
+			}
+		}
+		seg, err := video.Generate(video.SceneConfig{
+			Name: fmt.Sprintf("ring-%d", s), Width: 320, Height: 240, FPS: 12, Frames: 6,
+			BackgroundRows: 3, BackgroundCols: 4, Jitter: 0.5, Seed: int64(1000 + s),
+			Objects: objs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.IngestSegment("ring", seg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkPlannerSelect pits the planner's rtree-assisted spatial select
+// against the forced full scan (DisableTrajIndex) on the ring workload.
+// `make bench-json` feeds both into cmd/benchjson -check, which enforces
+// the floor: the rtree plan must run >= 2x faster than the scan. Both
+// databases hold the identical corpus, so the answers are identical —
+// only the work differs.
+func BenchmarkPlannerSelect(b *testing.B) {
+	rect := geom.Rect{Min: geom.Pt(254, 110), Max: geom.Pt(266, 128)}
+	newQuery := func() *query.Query {
+		return &query.Query{Where: query.SpatialNode{Kind: query.SpatialPasses, Rect: rect}}
+	}
+	run := func(b *testing.B, db *core.VideoDB, want query.Strategy) {
+		res, err := db.QueryComposed(newQuery())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Plan.Strategy != want {
+			b.Fatalf("plan strategy = %s, want %s", res.Plan.Strategy, want)
+		}
+		if len(res.Matches) == 0 {
+			b.Fatal("query matched nothing: the rect missed the ring")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.QueryComposed(newQuery()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	withIndex := ringDB(b, false)
+	fullScan := ringDB(b, true)
+	b.Run("access=rtree", func(b *testing.B) { run(b, withIndex, query.StrategyRTree) })
+	b.Run("access=scan", func(b *testing.B) { run(b, fullScan, query.StrategyScan) })
+}

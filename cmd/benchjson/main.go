@@ -86,6 +86,10 @@ func main() {
 //   - BenchmarkBatchedLeafDP: the batched columnar kernel must be >= 1.5x
 //     faster than the per-pair kernel. This is a per-core property of the
 //     kernels, so it is enforced everywhere.
+//   - BenchmarkPlannerSelect: the planner's rtree-assisted spatial select
+//     must run >= 2x faster than the forced full scan on the ring
+//     workload — the query engine's pruning promise, single-threaded, so
+//     it too is enforced everywhere.
 //
 // When the input files carry repeated measurements of the same benchmark
 // (go test -count=N), the fastest run wins.
@@ -152,6 +156,15 @@ func checkFiles(paths []string) error {
 		return fmt.Errorf("batched leaf DP is only %.2fx the per-pair kernel (floor 1.5x)", r)
 	}
 	fmt.Printf("ok   batched leaf DP speedup %.2fx (floor 1.5x)\n", r)
+
+	r, err = ratio("BenchmarkPlannerSelect/access=scan", "BenchmarkPlannerSelect/access=rtree")
+	if err != nil {
+		return err
+	}
+	if r < 2.0 {
+		return fmt.Errorf("planner rtree-assisted select is only %.2fx the full scan (floor 2.0x)", r)
+	}
+	fmt.Printf("ok   planner rtree-assisted select speedup %.2fx (floor 2.0x)\n", r)
 	return nil
 }
 

@@ -1,41 +1,47 @@
-// Command strg-query runs k-NN and range queries against a database
-// persisted by strg-ingest.
+// Command strg-query runs k-NN, range and declarative queries against a
+// database persisted by strg-ingest.
 //
 // The query trajectory is given as semicolon-separated x,y samples:
 //
 //	strg-query -db db.gob -traj "20,120; 160,120; 300,120" -k 5
 //	strg-query -db db.gob -traj "160,10; 160,230" -range 400
 //	strg-query -db db.gob -traj "..." -k 5 -exact
+//
+// A declarative query is one JSON DSL document (the same language the
+// server's POST /v1/query accepts), inline or from a file ("-" = stdin):
+//
+//	strg-query -db db.gob -query '{"where":{"passes_through":{"x0":100,"y0":0,"x1":200,"y1":240}}}'
+//	strg-query -db db.gob -query-file q.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"strgindex/internal/core"
 	"strgindex/internal/dist"
+	"strgindex/internal/query"
 )
 
 func main() {
 	dbPath := flag.String("db", "", "database file written by strg-ingest (required)")
-	traj := flag.String("traj", "", "query trajectory: \"x,y; x,y; ...\" (required)")
+	traj := flag.String("traj", "", "query trajectory: \"x,y; x,y; ...\"")
 	k := flag.Int("k", 5, "number of nearest neighbors")
 	radius := flag.Float64("range", 0, "if positive, run a range query with this radius instead of k-NN")
 	exact := flag.Bool("exact", false, "use the exact all-cluster search instead of Algorithm 3")
 	samples := flag.Int("samples", 16, "resample the query trajectory to this many samples (0 = use waypoints as-is); EGED_M penalizes length differences, so queries should be about as long as indexed OGs")
+	dslInline := flag.String("query", "", "declarative query as an inline JSON DSL document")
+	dslFile := flag.String("query-file", "", "declarative query from a JSON file (\"-\" = stdin)")
 	flag.Parse()
 
-	if *dbPath == "" || *traj == "" {
+	if *dbPath == "" || (*traj == "" && *dslInline == "" && *dslFile == "") {
 		flag.Usage()
 		os.Exit(2)
-	}
-	seq, err := parseTrajectory(*traj)
-	fail(err)
-	if *samples > 0 && len(seq) > 1 {
-		seq = dist.Resample(seq, *samples)
 	}
 
 	f, err := os.Open(*dbPath)
@@ -46,6 +52,17 @@ func main() {
 
 	s := db.Stats()
 	fmt.Printf("loaded database: %d OGs in %d clusters under %d backgrounds\n\n", s.OGs, s.Clusters, s.Roots)
+
+	if *dslInline != "" || *dslFile != "" {
+		runDSL(db, *dslInline, *dslFile)
+		return
+	}
+
+	seq, err := parseTrajectory(*traj)
+	fail(err)
+	if *samples > 0 && len(seq) > 1 {
+		seq = dist.Resample(seq, *samples)
+	}
 
 	var matches []core.Match
 	switch {
@@ -59,6 +76,50 @@ func main() {
 		matches = db.QueryTrajectory(seq, *k)
 		fmt.Printf("%d-NN (Algorithm 3):\n", *k)
 	}
+	printMatches(matches)
+}
+
+// runDSL parses, plans and executes one declarative query, then reports
+// the plan and its per-stage accounting alongside the matches.
+func runDSL(db *core.VideoDB, inline, file string) {
+	doc := []byte(inline)
+	if file != "" {
+		if inline != "" {
+			fail(fmt.Errorf("-query and -query-file are mutually exclusive"))
+		}
+		var err error
+		if file == "-" {
+			doc, err = io.ReadAll(os.Stdin)
+		} else {
+			doc, err = os.ReadFile(file)
+		}
+		fail(err)
+	}
+	q, err := query.Parse(doc)
+	fail(err)
+	res, err := db.QueryComposed(q)
+	fail(err)
+
+	fmt.Printf("plan: %s", res.Plan.Strategy)
+	if res.Plan.ProbeSource != "" {
+		fmt.Printf(" (probe %s, est. %d candidates)", res.Plan.ProbeSource, res.Plan.EstCandidates)
+	}
+	if len(res.Plan.Order) > 0 {
+		fmt.Printf("  order: %s", strings.Join(res.Plan.Order, " > "))
+	}
+	fmt.Println()
+	for _, st := range res.Stages {
+		fmt.Printf("  stage %-16s in %6d  out %6d  (%s)\n", st.Name, st.In, st.Out, st.Duration.Round(10*time.Microsecond))
+	}
+	if res.Truncated {
+		fmt.Printf("%d matches (of %d; truncated at limit %d):\n", len(res.Matches), res.Total, res.Limit)
+	} else {
+		fmt.Printf("%d matches:\n", len(res.Matches))
+	}
+	printMatches(res.Matches)
+}
+
+func printMatches(matches []core.Match) {
 	for i, m := range matches {
 		fmt.Printf("%3d. dist %8.2f  og %-4d %-28s label=%s\n",
 			i+1, m.Distance, m.Record.OGID, m.Record.Clip, m.Record.Label)

@@ -59,6 +59,10 @@ type Config struct {
 	// DefaultDistCacheSize. Cached values are bit-identical to
 	// re-evaluation, so results are unchanged at every setting.
 	DistCacheSize int
+	// DisableTrajIndex turns off the trajectory R-tree maintained at
+	// ingest. The declarative planner then always scans; answers are
+	// unchanged (the R-tree only prunes candidates, never filters them).
+	DisableTrajIndex bool
 }
 
 // DefaultDistCacheSize is the cache bound selected by a negative
@@ -112,6 +116,9 @@ type VideoDB struct {
 	// ClipRecords) for predicate queries.
 	ogs     []*strg.OG
 	records []ClipRecord
+	// traj is the trajectory R-tree over the retained OGs (nil when
+	// Config.DisableTrajIndex is set); see spatial.go.
+	traj *trajIndex
 	// onCommit, when set, runs at the top of every segment commit, before
 	// any database state mutates — the write-ahead hook of the durability
 	// layer (see durable.go). shard is the index shard the segment will
@@ -142,6 +149,9 @@ func Open(cfg Config) *VideoDB {
 		db.cfg.Index.Cache = db.cache
 	}
 	db.tree = index.NewSharded[ClipRecord](db.cfg.Index)
+	if !cfg.DisableTrajIndex {
+		db.traj = newTrajIndex()
+	}
 	return db
 }
 
@@ -216,6 +226,9 @@ func (db *VideoDB) commitSegment(stream string, b *builtSegment) (*IngestStats, 
 		db.cache.BumpShard(uint32(shard))
 	}
 	for i, og := range d.OGs {
+		if db.traj != nil {
+			db.traj.insert(len(db.ogs), og)
+		}
 		db.ogs = append(db.ogs, og)
 		db.records = append(db.records, items[i].Payload)
 	}

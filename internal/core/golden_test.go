@@ -109,6 +109,12 @@ func goldenBuildCfg(t *testing.T, shards int, mut func(*Config)) *VideoDB {
 				t.Fatalf("ingest stream %d segment %d: %v", i, j, err)
 			}
 		}
+		// The trajectory R-tree must track the retained OGs exactly after
+		// every ingest batch — the planner's probes are only sound if it
+		// does.
+		if err := db.CheckSpatialIndex(); err != nil {
+			t.Fatalf("after stream %d: %v", i, err)
+		}
 	}
 	return db
 }

@@ -41,6 +41,8 @@ var (
 		"database query duration in seconds, by kind", obs.Labels{"kind": "range"}, nil)
 	querySelectSeconds = obs.Default.Histogram("strg_query_seconds",
 		"database query duration in seconds, by kind", obs.Labels{"kind": "select"}, nil)
+	queryComposedSeconds = obs.Default.Histogram("strg_query_seconds",
+		"database query duration in seconds, by kind", obs.Labels{"kind": "composed"}, nil)
 )
 
 // Distance-cache instrumentation (see distcache.go for the protocol).

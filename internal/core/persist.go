@@ -12,6 +12,7 @@ import (
 
 	"strgindex/internal/faultfs"
 	"strgindex/internal/index"
+	"strgindex/internal/strg"
 )
 
 // Snapshot container format. A saved database is
@@ -69,6 +70,15 @@ type dbImage struct {
 	STRGBytes int
 	RawBytes  int
 	Index     index.Snapshot[ClipRecord]
+	// OGs and Records are the retained Object Graphs and their clip
+	// records in ingest order — the corpus predicate queries (the where
+	// tree) filter and the source the trajectory R-tree is rebuilt from
+	// at load. Files written before these fields existed decode with both
+	// nil: similarity queries still work off the index, predicate queries
+	// see an empty corpus (the old behavior). Still container version 2 —
+	// gob tolerates the added fields in both directions.
+	OGs     []*strg.OG
+	Records []ClipRecord
 	// WALSeq is the sequence number of the first write-ahead log NOT
 	// covered by this snapshot; recovery replays logs from WALSeq on.
 	// Zero for databases saved outside a durable directory.
@@ -86,6 +96,8 @@ func (db *VideoDB) image() dbImage {
 		STRGBytes: db.strgBytes,
 		RawBytes:  db.rawBytes,
 		Index:     db.tree.Snapshot(),
+		OGs:       db.ogs,
+		Records:   db.records,
 	}
 }
 
@@ -102,6 +114,17 @@ func (db *VideoDB) restore(img dbImage) error {
 	db.ogCount = img.OGCount
 	db.strgBytes = img.STRGBytes
 	db.rawBytes = img.RawBytes
+	if len(img.OGs) != len(img.Records) {
+		return &CorruptError{Offset: snapshotHeaderSize,
+			Reason: fmt.Sprintf("payload holds %d OGs but %d records", len(img.OGs), len(img.Records))}
+	}
+	db.ogs = img.OGs
+	db.records = img.Records
+	if db.traj != nil {
+		for i, og := range db.ogs {
+			db.traj.insert(i, og)
+		}
+	}
 	return nil
 }
 

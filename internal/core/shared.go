@@ -122,6 +122,31 @@ func (s *SharedDB) QueryRangeStatsCtx(ctx context.Context, seq dist.Sequence, ra
 	return s.db.QueryRangeStatsCtx(ctx, seq, radius)
 }
 
+// QueryComposedCtx plans and executes one declarative query. A pure
+// similarity query (no where tree) stays lock-free — its plan routes to
+// the sharded index's copy-on-write snapshots exactly like the dedicated
+// QueryTrajectory*/QueryRange surfaces. Anything with a where tree scans
+// retained OGs (directly or through the trajectory R-tree) and takes the
+// read lock.
+func (s *SharedDB) QueryComposedCtx(ctx context.Context, q *query.Query) (*QueryResult, error) {
+	if err := query.Validate(q); err != nil {
+		return nil, err
+	}
+	if q.Where == nil {
+		return s.db.QueryComposedCtx(ctx, q)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.QueryComposedCtx(ctx, q)
+}
+
+// CheckSpatialIndex is VideoDB.CheckSpatialIndex under a read lock.
+func (s *SharedDB) CheckSpatialIndex() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.CheckSpatialIndex()
+}
+
 // Select is VideoDB.Select under a read lock.
 func (s *SharedDB) Select(p query.Predicate) []Match {
 	s.mu.RLock()

@@ -240,6 +240,26 @@ func TestSharedDBSoak(t *testing.T) {
 		}
 	}()
 
+	// Spatial-index auditor: the trajectory R-tree must stay structurally
+	// sound and exactly cover the retained OGs while ingest keeps
+	// mutating it (runs under the read lock, interleaved with writes).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.CheckSpatialIndex(); err != nil {
+				t.Errorf("spatial index: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
 	// Checkpointer: periodically folds the WAL into a snapshot while
 	// everything above keeps running.
 	wg.Add(1)
@@ -271,6 +291,9 @@ func TestSharedDBSoak(t *testing.T) {
 
 	// Settle and take final answers.
 	db.QuiesceIndex()
+	if err := db.CheckSpatialIndex(); err != nil {
+		t.Fatalf("spatial index after soak: %v", err)
+	}
 	want := make([][]Match, len(queries))
 	for i, q := range queries {
 		want[i] = db.QueryTrajectoryExact(q, 20)
@@ -295,6 +318,9 @@ func TestSharedDBSoak(t *testing.T) {
 	}
 	defer re.Close()
 	re.QuiesceIndex()
+	if err := re.CheckSpatialIndex(); err != nil {
+		t.Fatalf("spatial index after recovery: %v", err)
+	}
 	if got := re.Stats(); got != st {
 		t.Fatalf("recovered Stats = %+v, want %+v", got, st)
 	}

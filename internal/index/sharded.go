@@ -444,6 +444,11 @@ func (s *Sharded[P]) RangeStatsCtx(ctx context.Context, bg *graph.Graph, query d
 // NumShards returns the shard count.
 func (s *Sharded[P]) NumShards() int { return s.n }
 
+// Cascade exposes the key metric's lower-bound cascade (never nil after
+// construction: withDefaults fills it). External rankers use it so their
+// distances are bit-identical to the index's own.
+func (s *Sharded[P]) Cascade() dist.Cascade { return s.cfg.Cascade }
+
 // Versions returns each shard's published snapshot version. Versions are
 // monotonic; the sum advances by one per committed write (or adopted
 // async split).

@@ -1,0 +1,316 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"strgindex/internal/dist"
+	"strgindex/internal/geom"
+	"strgindex/internal/strg"
+)
+
+// This file is the typed AST of the declarative query DSL: a `where` tree
+// of spatial / temporal / attribute predicate nodes plus an optional
+// `similar` clause with k-NN or range semantics. The AST is what the
+// parser produces, the validator checks, the planner introspects (to pick
+// an index-assisted strategy and order conjuncts by selectivity) and the
+// compiler lowers onto the closure predicates of query.go.
+
+// Node is one node of a where tree. The set of implementations is closed:
+// the planner type-switches over it.
+type Node interface {
+	// name is the node's stable DSL keyword (used in plan descriptions).
+	name() string
+}
+
+// AndNode is satisfied when every child is (vacuously true when empty).
+type AndNode struct{ Children []Node }
+
+// OrNode is satisfied when any child is (vacuously false when empty).
+type OrNode struct{ Children []Node }
+
+// NotNode negates its child.
+type NotNode struct{ Child Node }
+
+// SpatialKind selects which trajectory samples a SpatialNode constrains.
+type SpatialKind int
+
+const (
+	// SpatialPasses: any centroid sample lies inside the rectangle.
+	SpatialPasses SpatialKind = iota
+	// SpatialStarts: the first sample lies inside the rectangle.
+	SpatialStarts
+	// SpatialEnds: the last sample lies inside the rectangle.
+	SpatialEnds
+)
+
+// SpatialNode is a rectangle predicate over the centroid trajectory.
+type SpatialNode struct {
+	Kind SpatialKind
+	Rect geom.Rect
+}
+
+// WithinNode is the paper-motivated window predicate: some centroid
+// sample lies inside Rect during frames [From, To] — the query shape the
+// 3DR-tree answers natively.
+type WithinNode struct {
+	Rect     geom.Rect
+	From, To int
+}
+
+// DuringNode is satisfied when the OG's frame span overlaps [From, To].
+type DuringNode struct{ From, To int }
+
+// SpeedNode is satisfied when the mean per-frame speed lies in [Lo, Hi].
+type SpeedNode struct{ Lo, Hi float64 }
+
+// HeadingNode is satisfied when the OG moves coherently within Tol
+// radians of Angle.
+type HeadingNode struct {
+	// Dir is the DSL direction keyword the angle was derived from
+	// ("east", "west", "north", "south"); informational.
+	Dir        string
+	Angle, Tol float64
+}
+
+// UTurnNode is satisfied when the direction change between the OG's first
+// and last thirds is at least MinTurn radians.
+type UTurnNode struct{ MinTurn float64 }
+
+// LengthNode is satisfied when the OG spans more than Min samples.
+type LengthNode struct{ Min int }
+
+// AreaNode is satisfied when the OG's mean region area lies in [Lo, Hi].
+type AreaNode struct{ Lo, Hi float64 }
+
+func (AndNode) name() string     { return "and" }
+func (OrNode) name() string      { return "or" }
+func (NotNode) name() string     { return "not" }
+func (DuringNode) name() string  { return "during" }
+func (SpeedNode) name() string   { return "speed" }
+func (HeadingNode) name() string { return "heading" }
+func (UTurnNode) name() string   { return "u_turn" }
+func (LengthNode) name() string  { return "longer_than" }
+func (AreaNode) name() string    { return "area" }
+func (WithinNode) name() string  { return "within" }
+
+func (n SpatialNode) name() string {
+	switch n.Kind {
+	case SpatialStarts:
+		return "starts_in"
+	case SpatialEnds:
+		return "ends_in"
+	default:
+		return "passes_through"
+	}
+}
+
+// SimilarClause ranks the where-tree's matches by metric distance to a
+// query trajectory: k-NN semantics when K > 0, range semantics when
+// Radius > 0 (exactly one must be set).
+type SimilarClause struct {
+	Trajectory dist.Sequence
+	// K selects k-NN semantics; with a where tree the result is the K
+	// nearest among the OGs satisfying it (filter-then-rank).
+	K int
+	// Exact selects the exact all-cluster search for a pure-similarity
+	// k-NN (no where tree); composed ranking is always exact.
+	Exact bool
+	// Radius selects range semantics: every match within Radius.
+	Radius float64
+}
+
+// Query is one parsed declarative query.
+type Query struct {
+	// Where is the predicate tree; nil means every OG qualifies.
+	Where Node
+	// Similar, when set, ranks the qualifying OGs by similarity.
+	Similar *SimilarClause
+	// Limit caps the number of returned matches; 0 means no cap (the
+	// server applies its own default for predicate-only queries).
+	Limit int
+}
+
+// Compile lowers a where tree onto the closure predicates. A nil node
+// compiles to the vacuous truth.
+func Compile(n Node) Predicate {
+	if n == nil {
+		return And()
+	}
+	switch v := n.(type) {
+	case AndNode:
+		return And(compileAll(v.Children)...)
+	case OrNode:
+		return Or(compileAll(v.Children)...)
+	case NotNode:
+		return Not(Compile(v.Child))
+	case SpatialNode:
+		switch v.Kind {
+		case SpatialStarts:
+			return StartsIn(v.Rect)
+		case SpatialEnds:
+			return EndsIn(v.Rect)
+		default:
+			return PassesThrough(v.Rect)
+		}
+	case WithinNode:
+		return WithinDuring(v.Rect, v.From, v.To)
+	case DuringNode:
+		return During(v.From, v.To)
+	case SpeedNode:
+		return SpeedBetween(v.Lo, v.Hi)
+	case HeadingNode:
+		return Heading(v.Angle, v.Tol)
+	case UTurnNode:
+		return TurnsBy(v.MinTurn)
+	case LengthNode:
+		return LongerThan(v.Min)
+	case AreaNode:
+		return AreaBetween(v.Lo, v.Hi)
+	default:
+		// Unreachable for parser-produced trees; fail closed.
+		return func(*strg.OG) bool { return false }
+	}
+}
+
+func compileAll(ns []Node) []Predicate {
+	ps := make([]Predicate, len(ns))
+	for i, n := range ns {
+		ps[i] = Compile(n)
+	}
+	return ps
+}
+
+// maxWhereDepth bounds where-tree nesting: deeper trees are rejected by
+// the validator (and the parser), keeping recursive evaluation safe from
+// adversarial inputs.
+const maxWhereDepth = 32
+
+// Validate checks a programmatically built query the same way the parser
+// checks a parsed one. It is idempotent and does not mutate q.
+func Validate(q *Query) error {
+	if q == nil {
+		return fmt.Errorf("query: nil query")
+	}
+	if q.Where == nil && q.Similar == nil {
+		return fmt.Errorf("query: empty query (need where and/or similar)")
+	}
+	if q.Limit < 0 {
+		return fmt.Errorf("query: limit must be non-negative")
+	}
+	if q.Where != nil {
+		if err := validateNode(q.Where, 1); err != nil {
+			return err
+		}
+	}
+	if q.Similar != nil {
+		if err := validateSimilar(q.Similar); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateSimilar(c *SimilarClause) error {
+	if len(c.Trajectory) == 0 {
+		return fmt.Errorf("query: similar: empty trajectory")
+	}
+	for i, p := range c.Trajectory {
+		if !finite(p[0]) || !finite(p[1]) {
+			return fmt.Errorf("query: similar: trajectory sample %d is not finite", i)
+		}
+	}
+	switch {
+	case c.K > 0 && c.Radius > 0:
+		return fmt.Errorf("query: similar: k and radius are mutually exclusive")
+	case c.K <= 0 && c.Radius <= 0:
+		return fmt.Errorf("query: similar: one of k or radius is required")
+	case c.Radius > 0 && (math.IsNaN(c.Radius) || math.IsInf(c.Radius, 0)):
+		return fmt.Errorf("query: similar: radius must be finite")
+	case c.Radius > 0 && c.Exact:
+		return fmt.Errorf("query: similar: exact applies to k-NN only")
+	}
+	return nil
+}
+
+func validateNode(n Node, depth int) error {
+	if depth > maxWhereDepth {
+		return fmt.Errorf("query: where tree deeper than %d", maxWhereDepth)
+	}
+	switch v := n.(type) {
+	case AndNode:
+		return validateAll(v.Children, depth+1)
+	case OrNode:
+		return validateAll(v.Children, depth+1)
+	case NotNode:
+		if v.Child == nil {
+			return fmt.Errorf("query: not: missing operand")
+		}
+		return validateNode(v.Child, depth+1)
+	case SpatialNode:
+		return validateRect(v.name(), v.Rect)
+	case WithinNode:
+		return validateRect(v.name(), v.Rect)
+	case DuringNode:
+		return nil // an inverted window is legal and matches nothing
+	case SpeedNode:
+		if math.IsNaN(v.Lo) || math.IsNaN(v.Hi) || math.IsInf(v.Lo, 0) {
+			return fmt.Errorf("query: speed: bounds must be finite (max may be +Inf)")
+		}
+		if v.Lo > v.Hi {
+			return fmt.Errorf("query: speed: min %g > max %g", v.Lo, v.Hi)
+		}
+		return nil
+	case HeadingNode:
+		if !finite(v.Angle) || !finite(v.Tol) || v.Tol <= 0 || v.Tol > math.Pi {
+			return fmt.Errorf("query: heading: tolerance must be in (0, pi]")
+		}
+		return nil
+	case UTurnNode:
+		if !finite(v.MinTurn) || v.MinTurn <= 0 {
+			return fmt.Errorf("query: u_turn: min_turn must be positive")
+		}
+		return nil
+	case LengthNode:
+		if v.Min < 0 {
+			return fmt.Errorf("query: longer_than: must be non-negative")
+		}
+		return nil
+	case AreaNode:
+		if math.IsNaN(v.Lo) || math.IsNaN(v.Hi) || math.IsInf(v.Lo, 0) {
+			return fmt.Errorf("query: area: bounds must be finite (max may be +Inf)")
+		}
+		if v.Lo > v.Hi {
+			return fmt.Errorf("query: area: min %g > max %g", v.Lo, v.Hi)
+		}
+		return nil
+	case nil:
+		return fmt.Errorf("query: nil node in where tree")
+	default:
+		return fmt.Errorf("query: unknown node type %T", n)
+	}
+}
+
+func validateAll(ns []Node, depth int) error {
+	for _, n := range ns {
+		if n == nil {
+			return fmt.Errorf("query: nil node in where tree")
+		}
+		if err := validateNode(n, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateRect(kind string, r geom.Rect) error {
+	if !finite(r.Min.X) || !finite(r.Min.Y) || !finite(r.Max.X) || !finite(r.Max.Y) {
+		return fmt.Errorf("query: %s: rectangle must be finite", kind)
+	}
+	if r.Min.X > r.Max.X || r.Min.Y > r.Max.Y {
+		return fmt.Errorf("query: %s: rectangle corners are not normalized", kind)
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

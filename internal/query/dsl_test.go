@@ -1,0 +1,145 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, doc string) *Query {
+	t.Helper()
+	q, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", doc, err)
+	}
+	return q
+}
+
+func TestParseComposedDocument(t *testing.T) {
+	q := mustParse(t, `{
+		"where": {"and": [
+			{"passes_through": {"x0": 200, "y0": 240, "x1": 100, "y1": 0}},
+			{"during": {"from": 10, "to": 120}},
+			{"speed": {"min": 2.5}},
+			{"or": [{"heading": {"dir": "east"}}, {"heading": {"dir": "west", "tol": 0.2}}]}
+		]},
+		"similar": {"trajectory": [[20, 120], [160, 120]], "k": 5},
+		"limit": 100
+	}`)
+	and, ok := q.Where.(AndNode)
+	if !ok || len(and.Children) != 4 {
+		t.Fatalf("where = %#v, want 4-way and", q.Where)
+	}
+	sp, ok := and.Children[0].(SpatialNode)
+	if !ok || sp.Kind != SpatialPasses {
+		t.Fatalf("child 0 = %#v", and.Children[0])
+	}
+	// Corners normalize regardless of input order.
+	if sp.Rect.Min.X != 100 || sp.Rect.Min.Y != 0 || sp.Rect.Max.X != 200 || sp.Rect.Max.Y != 240 {
+		t.Errorf("rect = %+v, want normalized [100,0]-[200,240]", sp.Rect)
+	}
+	if d := and.Children[1].(DuringNode); d.From != 10 || d.To != 120 {
+		t.Errorf("during = %+v", d)
+	}
+	if s := and.Children[2].(SpeedNode); s.Lo != 2.5 || !math.IsInf(s.Hi, 1) {
+		t.Errorf("speed = %+v, want [2.5, +Inf]", s)
+	}
+	or := and.Children[3].(OrNode)
+	if h := or.Children[0].(HeadingNode); h.Angle != 0 || h.Tol != 0.4 {
+		t.Errorf("east heading = %+v, want angle 0 tol 0.4", h)
+	}
+	if h := or.Children[1].(HeadingNode); h.Angle != math.Pi || h.Tol != 0.2 {
+		t.Errorf("west heading = %+v", h)
+	}
+	if q.Similar == nil || q.Similar.K != 5 || len(q.Similar.Trajectory) != 2 {
+		t.Errorf("similar = %+v", q.Similar)
+	}
+	if q.Limit != 100 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	q := mustParse(t, `{"where": {"during": {"from": 5}}}`)
+	if d := q.Where.(DuringNode); d.From != 5 || d.To != math.MaxInt32 {
+		t.Errorf("during = %+v, want open upper bound", d)
+	}
+	q = mustParse(t, `{"where": {"u_turn": true}}`)
+	if u := q.Where.(UTurnNode); u.MinTurn != DefaultUTurn {
+		t.Errorf("u_turn = %+v, want default %g", u, DefaultUTurn)
+	}
+	q = mustParse(t, `{"where": {"u_turn": {"min_turn": 2.0}}}`)
+	if u := q.Where.(UTurnNode); u.MinTurn != 2.0 {
+		t.Errorf("u_turn = %+v", u)
+	}
+	q = mustParse(t, `{"where": {"within": {"x0": 0, "y0": 0, "x1": 10, "y1": 10, "to": 99}}}`)
+	if w := q.Where.(WithinNode); w.From != 0 || w.To != 99 {
+		t.Errorf("within = %+v", w)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		doc     string
+		wantSub string
+	}{
+		{`{}`, "empty query"},
+		{`not json`, "invalid character"},
+		{`{"where": {"passes_through": {"x0": 0}}} trailing`, "trailing data"},
+		{`{"bogus_top": 1}`, "unknown field"},
+		{`{"where": {"frobnicate": {}}}`, `unknown predicate "frobnicate"`},
+		{`{"where": {"and": [], "or": []}}`, "exactly one key"},
+		{`{"where": {"passes_through": {"x0": 0, "zz": 1}}}`, "unknown field"},
+		{`{"where": {"heading": {"dir": "up"}}}`, `unknown heading "up"`},
+		{`{"where": {"heading": {"dir": "east", "tol": 7}}}`, "tolerance"},
+		{`{"where": {"speed": {"min": 5, "max": 1}}}`, "min 5 > max 1"},
+		{`{"where": {"u_turn": false}}`, "no meaning"},
+		{`{"where": {"longer_than": -1}}`, "non-negative"},
+		{`{"limit": -1, "where": {"u_turn": true}}`, "limit must be non-negative"},
+		{`{"similar": {"trajectory": [[0,0]], "k": 2, "radius": 5}}`, "mutually exclusive"},
+		{`{"similar": {"trajectory": [[0,0]]}}`, "one of k or radius"},
+		{`{"similar": {"trajectory": [], "k": 2}}`, "empty trajectory"},
+		{`{"similar": {"trajectory": [[0,0]], "radius": 3, "exact": true}}`, "k-NN only"},
+		{`{"where": {"not": {"not": {"not": null}}}}`, "exactly one key"},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.doc)); err == nil {
+			t.Errorf("Parse(%s) accepted, want error containing %q", c.doc, c.wantSub)
+		} else if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%s) error %q, want substring %q", c.doc, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseDepthBound(t *testing.T) {
+	deep := `{"passes_through": {"x0":0,"y0":0,"x1":1,"y1":1}}`
+	for i := 0; i < maxWhereDepth; i++ {
+		deep = `{"not": ` + deep + `}`
+	}
+	if _, err := Parse([]byte(`{"where": ` + deep + `}`)); err == nil {
+		t.Error("accepted a where tree past the depth bound")
+	} else if !strings.Contains(err.Error(), "deeper than") {
+		t.Errorf("error = %v, want depth rejection", err)
+	}
+}
+
+// TestParsedQueriesValidate: everything the parser accepts must pass the
+// validator (the fuzz target enforces the same dichotomy on arbitrary
+// bytes).
+func TestParsedQueriesValidate(t *testing.T) {
+	docs := []string{
+		`{"where": {"u_turn": true}}`,
+		`{"where": {"area": {"min": 10, "max": 500}}}`,
+		`{"where": {"within": {"x0": 0, "y0": 0, "x1": 5, "y1": 5}}}`,
+		`{"where": {"longer_than": 3}}`,
+		`{"similar": {"trajectory": [[1,2],[3,4]], "radius": 9.5}}`,
+		`{"similar": {"trajectory": [[1,2]], "k": 1, "exact": true}}`,
+		`{"where": {"during": {"from": 9, "to": 3}}}`,
+	}
+	for _, doc := range docs {
+		q := mustParse(t, doc)
+		if err := Validate(q); err != nil {
+			t.Errorf("Validate(Parse(%s)) = %v", doc, err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzParseQuery enforces the parser's contract on arbitrary bytes: it
+// never panics, and whatever it accepts passes the validator, compiles,
+// and evaluates (the accept/reject dichotomy — no half-parsed query can
+// reach the planner).
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"where": {"passes_through": {"x0": 100, "y0": 0, "x1": 200, "y1": 240}}}`,
+		`{"where": {"and": [{"during": {"from": 0, "to": 120}}, {"speed": {"min": 2.5}}]}}`,
+		`{"where": {"or": [{"heading": {"dir": "east"}}, {"not": {"u_turn": true}}]}}`,
+		`{"where": {"within": {"x0": 0, "y0": 0, "x1": 50, "y1": 50, "from": 1, "to": 9}}}`,
+		`{"similar": {"trajectory": [[20, 120], [160, 120]], "k": 5}, "limit": 10}`,
+		`{"similar": {"trajectory": [[0, 0]], "radius": 100.5}}`,
+		`{"where": {"area": {"min": 1}}, "similar": {"trajectory": [[1, 1]], "k": 2, "exact": true}}`,
+		`{"where": {"longer_than": 3}}`,
+		`{"where": {"u_turn": {"min_turn": 1.5}}}`,
+		`{"where": {"heading": {"dir": "north", "tol": 3.14}}}`,
+		`[1, 2, 3]`,
+		`null`,
+		`{"where": 7}`,
+		`{"where": {"speed": {"min": 1e308, "max": 2e308}}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Parse(data)
+		if err != nil {
+			if q != nil {
+				t.Fatalf("Parse returned both a query and error %v", err)
+			}
+			return
+		}
+		if err := Validate(q); err != nil {
+			t.Fatalf("parser accepted %q but validator rejects it: %v", data, err)
+		}
+		// Accepted queries must compile and evaluate without panicking.
+		pred := Compile(q.Where)
+		for _, og := range scatteredOGs(rand.New(rand.NewSource(1)), 3) {
+			pred(og)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package query
+
+import (
+	"sync"
+
+	"strgindex/internal/obs"
+)
+
+// Planner observability: which strategies the cost model picks and how
+// many candidates each stage admits. Per-query detail rides in the
+// response's stats; these aggregates make strategy drift visible on the
+// /metrics scrape.
+//
+// Registry lookups canonicalise labels (sort + format) under a mutex —
+// fine at scrape rates, not per query. Both label sets here are tiny and
+// bounded (strategies; stage name × dir), so the resolved *obs.Counter
+// handles are memoised and the hot path is one sync.Map read.
+
+var (
+	planCounters  sync.Map // Strategy -> *obs.Counter
+	stageCounters sync.Map // "stage/dir" -> *obs.Counter
+)
+
+func plansTotal(strategy Strategy) *obs.Counter {
+	if c, ok := planCounters.Load(strategy); ok {
+		return c.(*obs.Counter)
+	}
+	c := obs.Default.Counter("strg_query_plans_total",
+		"Declarative query plans built, by chosen strategy.",
+		obs.Labels{"strategy": string(strategy)})
+	planCounters.Store(strategy, c)
+	return c
+}
+
+func stageCounter(stage, dir string) *obs.Counter {
+	key := stage + "/" + dir
+	if c, ok := stageCounters.Load(key); ok {
+		return c.(*obs.Counter)
+	}
+	c := obs.Default.Counter("strg_query_stage_candidates_total",
+		"Candidates entering (dir=in) and surviving (dir=out) each plan stage.",
+		obs.Labels{"stage": stage, "dir": dir})
+	stageCounters.Store(key, c)
+	return c
+}
+
+// ObservePlan records a plan choice. BuildPlan does not call it directly
+// so that planning stays side-effect free for tests; executors (Execute,
+// and core's index-strategy path) do.
+func ObservePlan(p Plan) {
+	plansTotal(p.Strategy).Inc()
+}
+
+func observeStages(p Plan, res *Result) {
+	ObservePlan(p)
+	for _, s := range res.Stages {
+		// Stage names include the probe source ("rtree:within"); strip it
+		// to keep label cardinality bounded.
+		name := s.Name
+		for i := 0; i < len(name); i++ {
+			if name[i] == ':' {
+				name = name[:i]
+				break
+			}
+		}
+		stageCounter(name, "in").Add(int64(s.In))
+		stageCounter(name, "out").Add(int64(s.Out))
+	}
+}

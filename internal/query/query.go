@@ -70,6 +70,20 @@ func EndsIn(r geom.Rect) Predicate {
 	}
 }
 
+// WithinDuring is satisfied when some centroid sample lies inside r at a
+// frame in [f0, f1] — the spatio-temporal window predicate ("crossed this
+// region during this interval") the 3DR-tree answers natively.
+func WithinDuring(r geom.Rect, f0, f1 int) Predicate {
+	return func(og *strg.OG) bool {
+		for i, c := range og.Centroids {
+			if og.Frames[i] >= f0 && og.Frames[i] <= f1 && r.Contains(c) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
 // During is satisfied when the OG's frame span overlaps [f0, f1].
 func During(f0, f1 int) Predicate {
 	return func(og *strg.OG) bool {

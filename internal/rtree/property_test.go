@@ -1,0 +1,112 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trajBoxes decomposes a random-walk trajectory into the per-step
+// (x, y, t) segment boxes the core trajectory index inserts: each box
+// spans two consecutive samples in space and time, so their union covers
+// the walk's whole frame span.
+func trajBoxes(rng *rand.Rand) []Box {
+	n := 2 + rng.Intn(10)
+	x, y := rng.Float64()*1000, rng.Float64()*1000
+	f := float64(rng.Intn(900))
+	boxes := make([]Box, 0, n-1)
+	for i := 1; i < n; i++ {
+		nx := x + rng.Float64()*40 - 20
+		ny := y + rng.Float64()*40 - 20
+		nf := f + 1 + float64(rng.Intn(3))
+		boxes = append(boxes, NewBox([3]float64{x, y, f}, [3]float64{nx, ny, nf}))
+		x, y, f = nx, ny, nf
+	}
+	return boxes
+}
+
+// TestTrajectorySearchMatchesBruteForce is the planner's soundness
+// property stated directly against the R-tree: insert trajectories as
+// per-step segment boxes, then for every probe shape the query planner
+// emits — spatial (finite xy, infinite t), temporal (infinite xy, finite
+// t), and full spatio-temporal windows — Search must return exactly the
+// trajectories brute-force box filtering finds. Structural invariants are
+// re-checked as the tree grows, not just at the end, so a split that
+// transiently corrupts a routing box cannot hide behind later repairs.
+func TestTrajectorySearchMatchesBruteForce(t *testing.T) {
+	inf := math.Inf(1)
+	for _, fanout := range []int{4, 9, 16} {
+		rng := rand.New(rand.NewSource(int64(1000 + fanout)))
+		tr, err := New[int](fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// owner[i] is the trajectory id of inserted box i.
+		var all []Box
+		var owner []int
+		for id := 0; id < 120; id++ {
+			for _, b := range trajBoxes(rng) {
+				tr.Insert(b, id)
+				all = append(all, b)
+				owner = append(owner, id)
+			}
+			if id%17 == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("fanout %d, after trajectory %d: %v", fanout, id, err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("fanout %d, final: %v", fanout, err)
+		}
+		if tr.Len() != len(all) {
+			t.Fatalf("fanout %d: Len = %d, want %d", fanout, tr.Len(), len(all))
+		}
+
+		probes := []Box{
+			// Spatial probes: a rect crossed at any time.
+			NewBox([3]float64{100, 100, -inf}, [3]float64{300, 300, inf}),
+			NewBox([3]float64{499, 0, -inf}, [3]float64{501, 1000, inf}),
+			// Temporal probes: anywhere, inside a frame window.
+			NewBox([3]float64{-inf, -inf, 100}, [3]float64{inf, inf, 200}),
+			NewBox([3]float64{-inf, -inf, 903}, [3]float64{inf, inf, 903}),
+			// Spatio-temporal windows.
+			NewBox([3]float64{0, 0, 0}, [3]float64{500, 500, 450}),
+			NewBox([3]float64{700, 700, 400}, [3]float64{720, 720, 410}),
+			// Degenerate: a single point, and a region outside the data.
+			NewBox([3]float64{500, 500, 500}, [3]float64{500, 500, 500}),
+			NewBox([3]float64{2000, 2000, 2000}, [3]float64{3000, 3000, 3000}),
+		}
+		for pi, q := range probes {
+			got, _ := tr.Search(q)
+			// Search returns one payload per intersecting box; distinct
+			// trajectory ids are what the planner consumes, so compare sets.
+			gotSet := map[int]bool{}
+			for _, id := range got {
+				gotSet[id] = true
+			}
+			want := map[int]bool{}
+			hits := 0
+			for i, b := range all {
+				if b.Intersects(q) {
+					want[owner[i]] = true
+					hits++
+				}
+			}
+			if len(got) != hits {
+				t.Errorf("fanout %d probe %d: %d boxes returned, brute force finds %d",
+					fanout, pi, len(got), hits)
+			}
+			if len(gotSet) != len(want) {
+				t.Errorf("fanout %d probe %d: %d trajectories, want %d",
+					fanout, pi, len(gotSet), len(want))
+				continue
+			}
+			for id := range want {
+				if !gotSet[id] {
+					t.Errorf("fanout %d probe %d: trajectory %d missing", fanout, pi, id)
+				}
+			}
+		}
+	}
+}

@@ -259,6 +259,15 @@ func (t *Tree[P]) Search(q Box) ([]P, int) {
 	return out, visited
 }
 
+// Bounds returns the bounding box of every indexed box. ok is false for
+// an empty tree.
+func (t *Tree[P]) Bounds() (Box, bool) {
+	if t.size == 0 {
+		return Box{}, false
+	}
+	return t.root.boundingBox(), true
+}
+
 // Height returns the tree height (1 for a single leaf root).
 func (t *Tree[P]) Height() int {
 	h := 1

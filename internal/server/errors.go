@@ -14,8 +14,11 @@ const (
 	// CodeBadRequest covers malformed bodies, invalid parameters and
 	// segments the pipeline rejects.
 	CodeBadRequest = "bad_request"
-	// CodeNotFound covers unknown routes and unsupported methods.
+	// CodeNotFound covers unknown routes.
 	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed covers known routes hit with an unsupported
+	// method; the response carries an Allow header.
+	CodeMethodNotAllowed = "method_not_allowed"
 	// CodeTooLarge covers request bodies over the per-endpoint limit.
 	CodeTooLarge = "too_large"
 	// CodeInternal covers handler panics and pool failures.

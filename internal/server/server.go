@@ -2,18 +2,30 @@
 // the deployment surface of the system: one process ingests camera
 // segments and serves motion-similarity and predicate queries.
 //
+//	POST /v1/query             declarative query DSL (see internal/query)
 //	POST /v1/segments          {"stream": "...", "segment": {...}}  -> ingest stats
-//	POST /v1/query/knn         {"trajectory": [[x,y],...], "k": 5, "exact": false}
-//	POST /v1/query/range       {"trajectory": [[x,y],...], "radius": 200}
-//	POST /v1/query/select      {"passes_through": {...}, "heading": "east", "limit": 100, ...}
+//	POST /v1/query/knn         deprecated alias: {"trajectory": [[x,y],...], "k": 5}
+//	POST /v1/query/range       deprecated alias: {"trajectory": [[x,y],...], "radius": 200}
+//	POST /v1/query/select      deprecated alias: {"passes_through": {...}, ...}
 //	GET  /v1/stats
 //	GET  /healthz              liveness probe
 //	GET  /metrics              Prometheus text exposition
 //
-// The knn and range queries reply with the envelope
-// {"matches": [...], "stats": {...}} where stats is the search's
-// filter-and-refine accounting (candidates evaluated, records pruned by
-// each lower-bound stage, DP kernels abandoned, cache hits).
+// POST /v1/query is the query surface: one JSON document composing a
+// `where` predicate tree with an optional `similar` clause (k-NN or
+// range), planned by the cost-based planner (trajectory R-tree probe vs
+// scan vs index descent) and answered with the unified envelope
+//
+//	{"matches": [...], "total": n, "limit": n, "truncated": false,
+//	 "stats": {... filter-and-refine accounting, "stages": [...]},
+//	 "plan": {"strategy": "rtree", ...}}
+//
+// where stats carries the search's filter-and-refine accounting
+// (candidates evaluated, records pruned by each lower-bound stage, DP
+// kernels abandoned, cache hits) plus per-stage candidate counts, and
+// plan describes the chosen access path. The three legacy query
+// endpoints answer the same envelope, desugar onto the same planner, and
+// set "Deprecation: true" plus a successor Link header.
 //
 // Every error response is the JSON envelope
 // {"error": {"code", "message", "request_id"}} with a stable
@@ -162,6 +174,7 @@ func wrap(db *core.SharedDB, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{db: db, mux: http.NewServeMux(), log: opts.Logger, reg: opts.Registry, opts: opts}
 	s.mux.HandleFunc("POST /v1/segments", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/query/knn", s.handleKNN)
 	s.mux.HandleFunc("POST /v1/query/range", s.handleRange)
 	s.mux.HandleFunc("POST /v1/query/select", s.handleSelect)
@@ -169,11 +182,21 @@ func wrap(db *core.SharedDB, opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	// Method mismatches on known paths envelope as 405; everything else
-	// falls through to the catch-all 404. Both stay JSON: a /v1 client
-	// should never see a text/plain error.
-	for _, p := range []string{"/v1/segments", "/v1/query/knn", "/v1/query/range", "/v1/query/select", "/v1/stats"} {
-		s.mux.HandleFunc(p, s.handleMethodNotAllowed)
+	// Method mismatches on known paths envelope as 405 with an Allow
+	// header; everything else falls through to the catch-all 404. Both
+	// stay JSON: a /v1 client should never see a text/plain error.
+	for p, allow := range map[string]string{
+		"/v1/segments":     http.MethodPost,
+		"/v1/query":        http.MethodPost,
+		"/v1/query/knn":    http.MethodPost,
+		"/v1/query/range":  http.MethodPost,
+		"/v1/query/select": http.MethodPost,
+		"/v1/stats":        http.MethodGet,
+	} {
+		allow := allow
+		s.mux.HandleFunc(p, func(w http.ResponseWriter, r *http.Request) {
+			s.handleMethodNotAllowed(w, r, allow)
+		})
 	}
 	s.mux.HandleFunc("/", s.handleNotFound)
 	if opts.EnablePprof {
@@ -297,10 +320,111 @@ func toStatsJSON(st index.SearchStats) searchStatsJSON {
 	}
 }
 
-// queryResponse is the POST /v1/query/{knn,range} reply envelope.
+// stageJSON is one executed plan stage on the wire.
+type stageJSON struct {
+	Name   string `json:"name"`
+	In     int    `json:"in"`
+	Out    int    `json:"out"`
+	Micros int64  `json:"micros"`
+}
+
+// queryStatsJSON is the envelope's stats object: the index search's
+// filter-and-refine accounting (flat, zero for plans that never touch
+// the index) plus the planner's per-stage candidate counts.
+type queryStatsJSON struct {
+	searchStatsJSON
+	Stages []stageJSON `json:"stages,omitempty"`
+}
+
+// planJSON describes the access path the cost-based planner chose.
+type planJSON struct {
+	Strategy       string   `json:"strategy"`
+	ProbeSource    string   `json:"probe_source,omitempty"`
+	EstSelectivity float64  `json:"est_selectivity,omitempty"`
+	EstCandidates  int      `json:"est_candidates,omitempty"`
+	CostScan       float64  `json:"cost_scan,omitempty"`
+	CostRTree      float64  `json:"cost_rtree,omitempty"`
+	Order          []string `json:"order,omitempty"`
+}
+
+// queryResponse is the unified reply envelope of every /v1/query*
+// endpoint: matches capped at limit, the untruncated total, the search
+// and per-stage accounting, and the plan that produced it.
 type queryResponse struct {
-	Matches []matchJSON     `json:"matches"`
-	Stats   searchStatsJSON `json:"stats"`
+	Matches   []matchJSON    `json:"matches"`
+	Total     int            `json:"total"`
+	Limit     int            `json:"limit"`
+	Truncated bool           `json:"truncated"`
+	Stats     queryStatsJSON `json:"stats"`
+	Plan      planJSON       `json:"plan"`
+}
+
+func (s *Server) toQueryResponse(res *core.QueryResult) queryResponse {
+	stages := make([]stageJSON, len(res.Stages))
+	for i, st := range res.Stages {
+		stages[i] = stageJSON{Name: st.Name, In: st.In, Out: st.Out, Micros: st.Duration.Microseconds()}
+	}
+	return queryResponse{
+		Matches:   toMatchJSON(res.Matches),
+		Total:     res.Total,
+		Limit:     res.Limit,
+		Truncated: res.Truncated,
+		Stats:     queryStatsJSON{searchStatsJSON: toStatsJSON(res.Search), Stages: stages},
+		Plan: planJSON{
+			Strategy:       string(res.Plan.Strategy),
+			ProbeSource:    res.Plan.ProbeSource,
+			EstSelectivity: res.Plan.EstSelectivity,
+			EstCandidates:  res.Plan.EstCandidates,
+			CostScan:       res.Plan.CostScan,
+			CostRTree:      res.Plan.CostRTree,
+			Order:          res.Plan.Order,
+		},
+	}
+}
+
+// deprecated marks a legacy endpoint's response: the endpoint keeps
+// working (and answers the unified envelope), but /v1/query is its
+// successor.
+func deprecated(w http.ResponseWriter) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/query>; rel="successor-version"`)
+}
+
+// runComposed plans, executes and answers one declarative query. A
+// predicate-only query with no explicit limit gets the server's select
+// cap, so an unbounded scan cannot return an arbitrarily large payload.
+func (s *Server) runComposed(w http.ResponseWriter, r *http.Request, q *query.Query) {
+	if q.Limit == 0 && q.Similar == nil {
+		q.Limit = s.opts.SelectLimit
+	}
+	res, err := s.db.QueryComposedCtx(r.Context(), q)
+	if err != nil {
+		s.queryError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.toQueryResponse(res))
+}
+
+// handleQuery is POST /v1/query: the declarative DSL endpoint.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, queryBodyLimit)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, r, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+		} else {
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		}
+		return
+	}
+	q, err := query.Parse(body)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	s.runComposed(w, r, q)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -356,18 +480,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 5
 	}
-	var matches []core.Match
-	var st index.SearchStats
-	if req.Exact {
-		matches, st, err = s.db.QueryTrajectoryExactStatsCtx(r.Context(), seq, req.K)
-	} else {
-		matches, st, err = s.db.QueryTrajectoryStatsCtx(r.Context(), seq, req.K)
-	}
-	if err != nil {
-		s.queryError(w, r, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, queryResponse{Matches: toMatchJSON(matches), Stats: toStatsJSON(st)})
+	deprecated(w)
+	s.runComposed(w, r, &query.Query{
+		Similar: &query.SimilarClause{Trajectory: seq, K: req.K, Exact: req.Exact},
+	})
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -384,12 +500,10 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "radius must be positive")
 		return
 	}
-	matches, st, err := s.db.QueryRangeStatsCtx(r.Context(), seq, req.Radius)
-	if err != nil {
-		s.queryError(w, r, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, queryResponse{Matches: toMatchJSON(matches), Stats: toStatsJSON(st)})
+	deprecated(w)
+	s.runComposed(w, r, &query.Query{
+		Similar: &query.SimilarClause{Trajectory: seq, Radius: req.Radius},
+	})
 }
 
 // selectRequest is a declarative predicate description.
@@ -411,16 +525,6 @@ type selectRequest struct {
 	Limit int `json:"limit,omitempty"`
 }
 
-// selectResponse is the POST /v1/query/select reply: matches are capped
-// at Limit so an unbounded predicate scan cannot return an arbitrarily
-// large payload; Total is the untruncated hit count.
-type selectResponse struct {
-	Matches   []matchJSON `json:"matches"`
-	Total     int         `json:"total"`
-	Limit     int         `json:"limit"`
-	Truncated bool        `json:"truncated"`
-}
-
 type rectJSON struct {
 	X0 float64 `json:"x0"`
 	Y0 float64 `json:"y0"`
@@ -435,35 +539,39 @@ func (r *rectJSON) rect() geom.Rect {
 	}
 }
 
-// predicate compiles the request into a query predicate.
-func (req *selectRequest) predicate() (query.Predicate, error) {
-	var ps []query.Predicate
+// whereNode desugars the request onto the declarative AST, conjuncts in
+// the legacy field order (the planner may reorder them; predicates are
+// pure, so answers are unchanged).
+func (req *selectRequest) whereNode() (query.Node, error) {
+	var ns []query.Node
 	if req.PassesThrough != nil {
-		ps = append(ps, query.PassesThrough(req.PassesThrough.rect()))
+		ns = append(ns, query.SpatialNode{Kind: query.SpatialPasses, Rect: req.PassesThrough.rect()})
 	}
 	if req.StartsIn != nil {
-		ps = append(ps, query.StartsIn(req.StartsIn.rect()))
+		ns = append(ns, query.SpatialNode{Kind: query.SpatialStarts, Rect: req.StartsIn.rect()})
 	}
 	if req.EndsIn != nil {
-		ps = append(ps, query.EndsIn(req.EndsIn.rect()))
+		ns = append(ns, query.SpatialNode{Kind: query.SpatialEnds, Rect: req.EndsIn.rect()})
 	}
 	if req.Heading != "" {
 		tol := req.HeadingTol
 		if tol <= 0 {
 			tol = 0.4
 		}
+		var angle float64
 		switch req.Heading {
 		case "east":
-			ps = append(ps, query.Eastbound(tol))
+			angle = 0
 		case "west":
-			ps = append(ps, query.Westbound(tol))
+			angle = math.Pi
 		case "north":
-			ps = append(ps, query.Northbound(tol))
+			angle = 3 * math.Pi / 2
 		case "south":
-			ps = append(ps, query.Southbound(tol))
+			angle = math.Pi / 2
 		default:
 			return nil, fmt.Errorf("unknown heading %q", req.Heading)
 		}
+		ns = append(ns, query.HeadingNode{Dir: req.Heading, Angle: angle, Tol: tol})
 	}
 	if req.MinSpeed != nil || req.MaxSpeed != nil {
 		lo, hi := 0.0, math.Inf(1)
@@ -473,10 +581,10 @@ func (req *selectRequest) predicate() (query.Predicate, error) {
 		if req.MaxSpeed != nil {
 			hi = *req.MaxSpeed
 		}
-		ps = append(ps, query.SpeedBetween(lo, hi))
+		ns = append(ns, query.SpeedNode{Lo: lo, Hi: hi})
 	}
 	if req.UTurn {
-		ps = append(ps, query.TurnsBy(math.Pi*0.8))
+		ns = append(ns, query.UTurnNode{MinTurn: query.DefaultUTurn})
 	}
 	if req.FrameFrom != nil || req.FrameTo != nil {
 		from, to := 0, 1<<31-1
@@ -486,12 +594,12 @@ func (req *selectRequest) predicate() (query.Predicate, error) {
 		if req.FrameTo != nil {
 			to = *req.FrameTo
 		}
-		ps = append(ps, query.During(from, to))
+		ns = append(ns, query.DuringNode{From: from, To: to})
 	}
-	if len(ps) == 0 {
+	if len(ns) == 0 {
 		return nil, fmt.Errorf("no predicate fields set")
 	}
-	return query.And(ps...), nil
+	return query.AndNode{Children: ns}, nil
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
@@ -503,27 +611,13 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "limit must be non-negative")
 		return
 	}
-	pred, err := req.predicate()
+	where, err := req.whereNode()
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	matches, err := s.db.SelectCtx(r.Context(), pred)
-	if err != nil {
-		s.queryError(w, r, err)
-		return
-	}
-	limit := req.Limit
-	if limit == 0 {
-		limit = s.opts.SelectLimit
-	}
-	resp := selectResponse{Total: len(matches), Limit: limit}
-	if len(matches) > limit {
-		matches = matches[:limit]
-		resp.Truncated = true
-	}
-	resp.Matches = toMatchJSON(matches)
-	writeJSON(w, http.StatusOK, resp)
+	deprecated(w)
+	s.runComposed(w, r, &query.Query{Where: where, Limit: req.Limit})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -550,8 +644,9 @@ func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	writeError(w, r, http.StatusNotFound, CodeNotFound, "no such endpoint: %s", r.URL.Path)
 }
 
-func (s *Server) handleMethodNotAllowed(w http.ResponseWriter, r *http.Request) {
-	writeError(w, r, http.StatusMethodNotAllowed, CodeNotFound,
+func (s *Server) handleMethodNotAllowed(w http.ResponseWriter, r *http.Request, allow string) {
+	w.Header().Set("Allow", allow)
+	writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 		"method %s not allowed on %s", r.Method, r.URL.Path)
 }
 

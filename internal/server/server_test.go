@@ -52,7 +52,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-// decodeQuery parses the enveloped /v1/query/{knn,range} response.
+// decodeQuery parses the unified /v1/query* response envelope.
 func decodeQuery(t *testing.T, body []byte) queryResponse {
 	t.Helper()
 	var q queryResponse
@@ -62,14 +62,11 @@ func decodeQuery(t *testing.T, body []byte) queryResponse {
 	return q
 }
 
-// decodeSelect parses the enveloped /v1/query/select response.
-func decodeSelect(t *testing.T, body []byte) selectResponse {
+// decodeSelect parses the enveloped /v1/query/select response (the same
+// unified envelope).
+func decodeSelect(t *testing.T, body []byte) queryResponse {
 	t.Helper()
-	var resp selectResponse
-	if err := json.Unmarshal(body, &resp); err != nil {
-		t.Fatalf("select response %s: %v", body, err)
-	}
-	return resp
+	return decodeQuery(t, body)
 }
 
 func post(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -373,11 +370,14 @@ func TestMethodNotAllowedEnvelope(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("status %d, want 405", resp.StatusCode)
 	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow = %q, want POST", allow)
+	}
 	var e errorEnvelope
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}
-	if e.Error.Code != CodeNotFound || e.Error.RequestID == "" {
+	if e.Error.Code != CodeMethodNotAllowed || e.Error.RequestID == "" {
 		t.Errorf("envelope = %+v", e)
 	}
 }
