@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race vet chaos bench bench-json bench-cascade cover cover-check fuzz-smoke golden golden-update soak experiments experiments-full examples clean
+.PHONY: build test test-race vet chaos bench bench-json bench-cascade bench-approx bench-approx-smoke cover cover-check fuzz-smoke golden golden-update soak experiments experiments-full examples clean
 
 build:
 	go build ./...
@@ -39,12 +39,13 @@ cover:
 # dangerous (the index owns query correctness under concurrent ingest, the
 # WAL owns durability, dist owns the bit-identity contracts of the
 # columnar/batched/quantized kernels, query owns the DSL/planner contract
-# behind /v1/query, rtree owns the pruning superset guarantee). Floors sit
-# ~3 points under current coverage (index 94.2%, wal 80.4%, dist 97.8%,
-# query 89.5%, rtree 96.0% when set); raise them as coverage rises — never
-# lower them to make a build pass.
+# behind /v1/query, rtree owns the pruning superset guarantee, embed owns
+# the approximate tier's candidate generation and its recall-monotonicity
+# contract). Floors sit ~3 points under current coverage (index 94.2%,
+# wal 80.4%, dist 97.8%, query 90.4%, rtree 96.0%, embed 90.2% when set);
+# raise them as coverage rises — never lower them to make a build pass.
 cover-check:
-	@status=0; for spec in internal/index:91.0 internal/wal:77.0 internal/dist:94.0 internal/query:86.0 internal/rtree:93.0; do \
+	@status=0; for spec in internal/index:91.0 internal/wal:77.0 internal/dist:94.0 internal/query:86.0 internal/rtree:93.0 internal/embed:87.0; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$(go test -cover ./$$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "FAIL: no coverage output for $$pkg"; status=1; continue; fi; \
@@ -91,16 +92,31 @@ bench:
 # columnar kernel benchmarks and the planner micro-benchmark, as JSON,
 # then the perf-floor check: batched leaf DP >= 1.5x per-pair everywhere,
 # the planner's rtree-assisted select >= 2x the full scan on the ring
-# workload, and PairwiseMatrix workers=4 >= 2x workers=1 on hosts with
-# >= 4 CPUs (a no-regression bound elsewhere).
+# workload in <= 12 allocs/op, and PairwiseMatrix workers=4 >= 2x
+# workers=1 on hosts with >= 4 CPUs (a no-regression bound elsewhere).
+# The columnar repeat count is high because the check keeps the fastest
+# run per name — on a noisy single-core host the min needs several
+# samples to converge.
 bench-json:
 	go test -run='^$$' -bench='PairwiseMatrix|STRGBuildParallel|Figure6ClusterBuildParallel|Figure7KNNParallel' -benchmem . \
 		| go run ./cmd/benchjson > BENCH_parallel.json
-	go test -run='^$$' -bench='BatchedLeafDP|ColumnarKNNExact' -benchmem -count=3 . \
+	go test -run='^$$' -bench='BatchedLeafDP|ColumnarKNNExact' -benchmem -count=8 . \
 		| go run ./cmd/benchjson > BENCH_columnar.json
 	go test -run='^$$' -bench='PlannerSelect' -benchmem -count=2 . \
 		| go run ./cmd/benchjson > BENCH_planner.json
 	go run ./cmd/benchjson -check BENCH_parallel.json BENCH_columnar.json BENCH_planner.json
+
+# Approximate-tier experiment grid at the committed million-OG spec:
+# bulk-load 1M synthetic OGs with the IVF tier on, sweep nprobe against
+# exact ground truth, write BENCH_approx.json, then enforce the
+# acceptance gate (>= 5x exact at recall@10 >= 0.95). Takes a few
+# minutes; bench-approx-smoke replays a 2k-OG spec in seconds for CI.
+bench-approx:
+	go run ./cmd/strg-bench -grid internal/experiments/grids/approx-1m.json -grid-out BENCH_approx.json
+	go run ./cmd/benchjson -check BENCH_approx.json
+
+bench-approx-smoke:
+	go run ./cmd/strg-bench -grid internal/experiments/grids/approx-smoke.json
 
 # Filter-and-refine cascade benchmarks (DP cells and per-stage pruning as
 # custom /op metrics), as JSON.

@@ -75,7 +75,10 @@ func main() {
 }
 
 // checkFiles loads every benchmark point from the given JSON files and
-// enforces the perf acceptance floors:
+// enforces the perf acceptance floors. Each floor group applies only when
+// its benchmark family appears in the input — callers check exactly the
+// files a target regenerated — but at least one group must match, so a
+// typo'd file set fails instead of passing vacuously:
 //
 //   - BenchmarkPairwiseMatrix: workers=4 must run >= 2x faster than
 //     workers=1. Scaling floors are only meaningful with cores to scale
@@ -88,8 +91,12 @@ func main() {
 //     kernels, so it is enforced everywhere.
 //   - BenchmarkPlannerSelect: the planner's rtree-assisted spatial select
 //     must run >= 2x faster than the forced full scan on the ring
-//     workload — the query engine's pruning promise, single-threaded, so
-//     it too is enforced everywhere.
+//     workload, in at most 12 allocs/op — the query engine's pruning
+//     promise plus the alloc-shaving ratchet, single-threaded, so both
+//     are enforced everywhere.
+//   - BenchmarkApproxGrid: the fastest approx operating point whose
+//     recall@k is >= 0.95 must run >= 5x faster than the exact baseline
+//     over the same corpus — the approximate tier's acceptance gate.
 //
 // When the input files carry repeated measurements of the same benchmark
 // (go test -count=N), the fastest run wins.
@@ -116,6 +123,14 @@ func checkFiles(paths []string) error {
 			}
 		}
 	}
+	has := func(names ...string) bool {
+		for _, n := range names {
+			if _, ok := byName[n]; ok {
+				return true
+			}
+		}
+		return false
+	}
 	ratio := func(slow, fast string) (float64, error) {
 		s, okS := byName[slow]
 		f, okF := byName[fast]
@@ -127,44 +142,129 @@ func checkFiles(paths []string) error {
 		}
 		return s.NsPerOp / f.NsPerOp, nil
 	}
+	groups := 0
 
-	r, err := ratio("BenchmarkPairwiseMatrix/workers=1", "BenchmarkPairwiseMatrix/workers=4")
-	if err != nil {
-		return err
+	if has("BenchmarkPairwiseMatrix/workers=1", "BenchmarkPairwiseMatrix/workers=4") {
+		groups++
+		r, err := ratio("BenchmarkPairwiseMatrix/workers=1", "BenchmarkPairwiseMatrix/workers=4")
+		if err != nil {
+			return err
+		}
+		if runtime.NumCPU() >= 4 {
+			if r < 2.0 {
+				return fmt.Errorf("PairwiseMatrix workers=4 is only %.2fx workers=1 (floor 2.0x on a %d-CPU host)",
+					r, runtime.NumCPU())
+			}
+			fmt.Printf("ok   PairwiseMatrix workers=4 speedup %.2fx (floor 2.0x)\n", r)
+		} else {
+			// 1/r is the slowdown of workers=4 relative to workers=1.
+			if r < 1/1.25 {
+				return fmt.Errorf("PairwiseMatrix workers=4 is %.2fx slower than workers=1 on a %d-CPU host (no-regression bound 1.25x)",
+					1/r, runtime.NumCPU())
+			}
+			fmt.Printf("note PairwiseMatrix scaling floor skipped: host has %d CPU(s); no-regression bound held (%.2fx)\n",
+				runtime.NumCPU(), r)
+		}
 	}
-	if runtime.NumCPU() >= 4 {
+
+	if has("BenchmarkBatchedLeafDP/kernel=perpair", "BenchmarkBatchedLeafDP/kernel=batched") {
+		groups++
+		r, err := ratio("BenchmarkBatchedLeafDP/kernel=perpair", "BenchmarkBatchedLeafDP/kernel=batched")
+		if err != nil {
+			return err
+		}
+		if r < 1.5 {
+			return fmt.Errorf("batched leaf DP is only %.2fx the per-pair kernel (floor 1.5x)", r)
+		}
+		fmt.Printf("ok   batched leaf DP speedup %.2fx (floor 1.5x)\n", r)
+	}
+
+	if has("BenchmarkPlannerSelect/access=scan", "BenchmarkPlannerSelect/access=rtree") {
+		groups++
+		r, err := ratio("BenchmarkPlannerSelect/access=scan", "BenchmarkPlannerSelect/access=rtree")
+		if err != nil {
+			return err
+		}
 		if r < 2.0 {
-			return fmt.Errorf("PairwiseMatrix workers=4 is only %.2fx workers=1 (floor 2.0x on a %d-CPU host)",
-				r, runtime.NumCPU())
+			return fmt.Errorf("planner rtree-assisted select is only %.2fx the full scan (floor 2.0x)", r)
 		}
-		fmt.Printf("ok   PairwiseMatrix workers=4 speedup %.2fx (floor 2.0x)\n", r)
-	} else {
-		// 1/r is the slowdown of workers=4 relative to workers=1.
-		if r < 1/1.25 {
-			return fmt.Errorf("PairwiseMatrix workers=4 is %.2fx slower than workers=1 on a %d-CPU host (no-regression bound 1.25x)",
-				1/r, runtime.NumCPU())
+		rt := byName["BenchmarkPlannerSelect/access=rtree"]
+		if rt.AllocsPerOp == nil {
+			return fmt.Errorf("planner rtree point carries no allocs/op (run with -benchmem)")
 		}
-		fmt.Printf("note PairwiseMatrix scaling floor skipped: host has %d CPU(s); no-regression bound held (%.2fx)\n",
-			runtime.NumCPU(), r)
+		if *rt.AllocsPerOp > 12 {
+			return fmt.Errorf("planner rtree-assisted select allocates %d allocs/op (ceiling 12)", *rt.AllocsPerOp)
+		}
+		fmt.Printf("ok   planner rtree-assisted select speedup %.2fx (floor 2.0x), %d allocs/op (ceiling 12)\n",
+			r, *rt.AllocsPerOp)
 	}
 
-	r, err = ratio("BenchmarkBatchedLeafDP/kernel=perpair", "BenchmarkBatchedLeafDP/kernel=batched")
-	if err != nil {
-		return err
+	if has("BenchmarkApproxGrid/mode=exact") {
+		groups++
+		if err := checkApproxGrid(byName); err != nil {
+			return err
+		}
 	}
-	if r < 1.5 {
-		return fmt.Errorf("batched leaf DP is only %.2fx the per-pair kernel (floor 1.5x)", r)
-	}
-	fmt.Printf("ok   batched leaf DP speedup %.2fx (floor 1.5x)\n", r)
 
-	r, err = ratio("BenchmarkPlannerSelect/access=scan", "BenchmarkPlannerSelect/access=rtree")
-	if err != nil {
-		return err
+	if groups == 0 {
+		return fmt.Errorf("no known benchmark family found in the given files")
 	}
-	if r < 2.0 {
-		return fmt.Errorf("planner rtree-assisted select is only %.2fx the full scan (floor 2.0x)", r)
+	return nil
+}
+
+// checkApproxGrid enforces the approximate tier's acceptance gate: among
+// the swept probe widths, the fastest operating point whose recall@k is
+// >= approxRecallFloor must beat the exact baseline by >= approxSpeedupFloor.
+func checkApproxGrid(byName map[string]Point) error {
+	const (
+		approxRecallFloor  = 0.95
+		approxSpeedupFloor = 5.0
+	)
+	exact := byName["BenchmarkApproxGrid/mode=exact"]
+	if exact.NsPerOp <= 0 {
+		return fmt.Errorf("ApproxGrid exact baseline has non-positive ns/op")
 	}
-	fmt.Printf("ok   planner rtree-assisted select speedup %.2fx (floor 2.0x)\n", r)
+	recallOf := func(p Point) (float64, bool) {
+		for unit, v := range p.Extra {
+			if strings.HasPrefix(unit, "recall@") {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	var best *Point
+	var bestRecall float64
+	points := 0
+	for name, p := range byName {
+		if !strings.HasPrefix(name, "BenchmarkApproxGrid/mode=approx/") {
+			continue
+		}
+		points++
+		rec, ok := recallOf(p)
+		if !ok {
+			return fmt.Errorf("%s carries no recall@k metric", name)
+		}
+		if rec < approxRecallFloor {
+			continue
+		}
+		if best == nil || p.NsPerOp < best.NsPerOp {
+			q := p
+			best, bestRecall = &q, rec
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("ApproxGrid has an exact baseline but no approx points")
+	}
+	if best == nil {
+		return fmt.Errorf("no ApproxGrid operating point reaches recall >= %.2f", approxRecallFloor)
+	}
+	speedup := exact.NsPerOp / best.NsPerOp
+	if speedup < approxSpeedupFloor {
+		return fmt.Errorf("best ApproxGrid point at recall >= %.2f (%s, recall %.3f) is only %.2fx exact (floor %.1fx)",
+			approxRecallFloor, best.Name, bestRecall, speedup, approxSpeedupFloor)
+	}
+	fmt.Printf("ok   approx tier %s: %.2fx exact at recall %.3f (floors %.1fx, %.2f)\n",
+		best.Name, speedup, bestRecall, approxSpeedupFloor, approxRecallFloor)
 	return nil
 }
 

@@ -4,9 +4,17 @@
 // Usage:
 //
 //	strg-bench [-scale quick|full] [-only table1,fig5,fig6,fig7,fig8,table2] [-workers N]
+//	strg-bench -grid internal/experiments/grids/approx-1m.json [-grid-out BENCH_approx.json]
 //
 // The quick scale (default) runs in tens of seconds; full approaches the
 // paper's magnitudes and takes minutes.
+//
+// With -grid, the command instead runs the approximate-tier experiment
+// grid described by the JSON spec: bulk-load a synthetic corpus with the
+// IVF tier on, establish exact ground truth, sweep the spec's probe
+// widths, and print the recall/latency table. -grid-out additionally
+// writes the measurements as benchjson points (the format benchjson
+// -check enforces floors on).
 package main
 
 import (
@@ -23,7 +31,25 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	onlyFlag := flag.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,table2,ablations")
 	workers := flag.Int("workers", 0, "worker budget for the parallel distance engine (0 = one per CPU, 1 = sequential); results are identical at every setting")
+	gridFlag := flag.String("grid", "", "run the approximate-tier experiment grid from this JSON spec instead of the paper suite")
+	gridOut := flag.String("grid-out", "", "with -grid: also write the measurements as benchjson points to this file")
 	flag.Parse()
+
+	if *gridFlag != "" {
+		spec, err := experiments.LoadApproxGridSpec(*gridFlag)
+		fail(err)
+		res, err := experiments.ApproxGrid(spec, func(format string, args ...any) {
+			fmt.Printf("[grid] "+format+"\n", args...)
+		})
+		fail(err)
+		fmt.Println()
+		fmt.Println(res.Render())
+		if *gridOut != "" {
+			fail(res.WriteBenchJSON(*gridOut))
+			fmt.Printf("wrote %s\n", *gridOut)
+		}
+		return
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {

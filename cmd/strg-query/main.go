@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 
 	"strgindex/internal/core"
 	"strgindex/internal/dist"
+	"strgindex/internal/index"
 	"strgindex/internal/query"
 )
 
@@ -34,6 +36,8 @@ func main() {
 	k := flag.Int("k", 5, "number of nearest neighbors")
 	radius := flag.Float64("range", 0, "if positive, run a range query with this radius instead of k-NN")
 	exact := flag.Bool("exact", false, "use the exact all-cluster search instead of Algorithm 3")
+	approx := flag.Bool("approx", false, "answer the k-NN through the approximate tier (IVF candidates + exact rerank); builds the tier at load")
+	nprobe := flag.Int("nprobe", 0, "IVF lists to probe with -approx (0 = default)")
 	samples := flag.Int("samples", 16, "resample the query trajectory to this many samples (0 = use waypoints as-is); EGED_M penalizes length differences, so queries should be about as long as indexed OGs")
 	dslInline := flag.String("query", "", "declarative query as an inline JSON DSL document")
 	dslFile := flag.String("query-file", "", "declarative query from a JSON file (\"-\" = stdin)")
@@ -44,9 +48,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	cfg := core.DefaultConfig()
+	cfg.Approx.Enabled = *approx
 	f, err := os.Open(*dbPath)
 	fail(err)
-	db, err := core.Load(f, core.DefaultConfig())
+	db, err := core.Load(f, cfg)
 	fail(err)
 	fail(f.Close())
 
@@ -69,6 +75,13 @@ func main() {
 	case *radius > 0:
 		matches = db.QueryRange(seq, *radius)
 		fmt.Printf("range query (radius %.1f): %d hits\n", *radius, len(matches))
+	case *approx:
+		var st index.SearchStats
+		var info *core.ApproxInfo
+		matches, st, info, err = db.QueryTrajectoryApproxStatsCtx(context.Background(), seq, *k, *nprobe)
+		fail(err)
+		fmt.Printf("approximate %d-NN: probed %d/%d lists, reranked %d candidates (recall proxy %.2f, %d DP evals)\n",
+			*k, info.Probed, info.Lists, info.Candidates, info.RecallProxy, st.DPEvaluated)
 	case *exact:
 		matches = db.QueryTrajectoryExact(seq, *k)
 		fmt.Printf("exact %d-NN:\n", *k)

@@ -65,6 +65,9 @@ func run() int {
 	columnar := flag.Bool("columnar", true, "store leaf sequences in contiguous column blocks with batched DP and the quantized prune tier; results are bit-identical either way (ablation knob)")
 	searchBatch := flag.Int("search-batch", 0, "leaves per exact-kNN scheduling round (0 = one per worker); results are identical at every setting")
 	distCache := flag.Int("dist-cache", -1, "distance cache capacity in entries (0 disables, negative = built-in default); results are identical either way")
+	approx := flag.Bool("approx", false, "build the approximate similarity tier (IVF over deterministic OG embeddings); queries opt in per-request with \"mode\": \"approx\" — default paths are untouched")
+	nlists := flag.Int("nlists", 0, "IVF inverted-list count for -approx (0 = built-in default)")
+	nprobe := flag.Int("nprobe", 0, "default probe count for approximate queries that do not set one (0 = ceil(sqrt(nlists)))")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
 	maxInFlight := flag.Int("max-inflight", 256, "maximum concurrently served API requests (0 = unlimited); excess requests are shed with 429")
@@ -84,6 +87,7 @@ func run() int {
 	cfg.Index.AsyncSplit = *asyncSplit
 	cfg.Index.DisableColumnar = !*columnar
 	cfg.Index.SearchBatch = *searchBatch
+	cfg.Approx = core.ApproxConfig{Enabled: *approx, NLists: *nlists, NProbe: *nprobe}
 	opts := server.Options{
 		Logger:         logger,
 		EnablePprof:    *pprof,

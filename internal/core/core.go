@@ -63,6 +63,10 @@ type Config struct {
 	// ingest. The declarative planner then always scans; answers are
 	// unchanged (the R-tree only prunes candidates, never filters them).
 	DisableTrajIndex bool
+	// Approx enables the opt-in approximate similarity tier (see vec.go):
+	// deterministic OG embeddings in an IVF index, probed for candidates
+	// that the exact cascade reranks. Default paths are untouched.
+	Approx ApproxConfig
 }
 
 // DefaultDistCacheSize is the cache bound selected by a negative
@@ -119,6 +123,9 @@ type VideoDB struct {
 	// traj is the trajectory R-tree over the retained OGs (nil when
 	// Config.DisableTrajIndex is set); see spatial.go.
 	traj *trajIndex
+	// vec is the approximate similarity tier (nil unless
+	// Config.Approx.Enabled); see vec.go.
+	vec *vecTier
 	// onCommit, when set, runs at the top of every segment commit, before
 	// any database state mutates — the write-ahead hook of the durability
 	// layer (see durable.go). shard is the index shard the segment will
@@ -151,6 +158,9 @@ func Open(cfg Config) *VideoDB {
 	db.tree = index.NewSharded[ClipRecord](db.cfg.Index)
 	if !cfg.DisableTrajIndex {
 		db.traj = newTrajIndex()
+	}
+	if cfg.Approx.Enabled {
+		db.vec = newVecTier(cfg.Approx)
 	}
 	return db
 }
@@ -228,6 +238,9 @@ func (db *VideoDB) commitSegment(stream string, b *builtSegment) (*IngestStats, 
 	for i, og := range d.OGs {
 		if db.traj != nil {
 			db.traj.insert(len(db.ogs), og)
+		}
+		if db.vec != nil {
+			db.vec.insert(len(db.ogs), og, db.tree.Cascade())
 		}
 		db.ogs = append(db.ogs, og)
 		db.records = append(db.records, items[i].Payload)

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 
+	"strgindex/internal/embed"
 	"strgindex/internal/faultfs"
 	"strgindex/internal/index"
 	"strgindex/internal/strg"
@@ -30,8 +31,12 @@ const (
 	// 2 added the packed columnar encoding of leaf sequences
 	// (index.ClusterSnapshot.ColData/ColLens/ColDim); version 1 files —
 	// per-record nested Seqs — still load, since gob tolerates the absent
-	// fields and the index restore accepts either encoding.
-	snapshotVersion     = 2
+	// fields and the index restore accepts either encoding. Version 3
+	// added the optional approximate-tier vector index (dbImage.Vec);
+	// older files load with Vec nil and the tier — when enabled — is
+	// rebuilt from the retained OGs, bit-identically (the embedding and
+	// the one-shot IVF training are both deterministic in ingest order).
+	snapshotVersion     = 3
 	snapshotMinVersion  = 1
 	snapshotHeaderSize  = 12 // magic + version
 	snapshotTrailerSize = 12 // payload length + CRC32C
@@ -79,6 +84,13 @@ type dbImage struct {
 	// gob tolerates the added fields in both directions.
 	OGs     []*strg.OG
 	Records []ClipRecord
+	// Vec is the approximate tier's IVF index (nil when the tier was
+	// disabled in the saving process, and in pre-v3 files). Loading under
+	// a tier-enabled Config prefers it — the snapshot's own trained
+	// centroids win over the loading Config's IVF geometry — and falls
+	// back to a deterministic rebuild from OGs when absent. A tier-
+	// disabled load ignores it.
+	Vec *embed.Snapshot
 	// WALSeq is the sequence number of the first write-ahead log NOT
 	// covered by this snapshot; recovery replays logs from WALSeq on.
 	// Zero for databases saved outside a durable directory.
@@ -90,7 +102,7 @@ type dbImage struct {
 // (the snapshot itself is shard-count independent either way).
 func (db *VideoDB) image() dbImage {
 	db.tree.Quiesce()
-	return dbImage{
+	img := dbImage{
 		Segments:  db.segments,
 		OGCount:   db.ogCount,
 		STRGBytes: db.strgBytes,
@@ -99,6 +111,10 @@ func (db *VideoDB) image() dbImage {
 		OGs:       db.ogs,
 		Records:   db.records,
 	}
+	if db.vec != nil {
+		img.Vec = db.vec.ivf.Snapshot()
+	}
+	return img
 }
 
 // restore installs a decoded image into a freshly opened database. Roots
@@ -123,6 +139,35 @@ func (db *VideoDB) restore(img dbImage) error {
 	if db.traj != nil {
 		for i, og := range db.ogs {
 			db.traj.insert(i, og)
+		}
+	}
+	if db.vec != nil {
+		if img.Vec != nil {
+			ivf, err := embed.FromSnapshot(img.Vec)
+			if err != nil {
+				return &CorruptError{Offset: snapshotHeaderSize,
+					Reason: fmt.Sprintf("vector index: %v", err)}
+			}
+			if ivf.Len() != len(db.ogs) {
+				return &CorruptError{Offset: snapshotHeaderSize,
+					Reason: fmt.Sprintf("vector index holds %d vectors for %d OGs", ivf.Len(), len(db.ogs))}
+			}
+			db.vec.ivf = ivf
+			// The rerank caches are derived state, never persisted.
+			cas := db.tree.Cascade()
+			for _, og := range db.ogs {
+				seq := og.Sequence()
+				db.vec.seqs = append(db.vec.seqs, seq)
+				db.vec.sums = append(db.vec.sums, cas.Summarize(seq))
+			}
+			db.vec.rebuildMirror()
+		} else {
+			// Pre-v3 file (or one saved with the tier off): rebuild from
+			// the OG stream. Deterministic embedding + one-shot training
+			// make this bit-identical to an incrementally maintained tier.
+			for i, og := range db.ogs {
+				db.vec.insert(i, og, db.tree.Cascade())
+			}
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"strgindex/internal/dist"
@@ -61,18 +62,35 @@ func (ti *trajIndex) insert(id int, og *strg.OG) {
 	}
 }
 
+// probeScratch is the per-probe working set candidates reuses across
+// queries: the raw hit buffer and the dedup bitmap. Pooled (not hung off
+// trajIndex) because SharedDB runs composed queries concurrently under
+// its read lock.
+type probeScratch struct {
+	hits []int32
+	seen []bool
+}
+
+var probePool = sync.Pool{New: func() any { return new(probeScratch) }}
+
 // candidates returns the distinct OG ordinals owning a box intersecting
 // b, ascending, plus the tree nodes visited. Hits arrive one per step
 // box; a bitmap over the ordinal space dedups and orders them in O(hits
 // + maxID), cheaper than sorting when a probe crosses many step boxes.
 func (ti *trajIndex) candidates(b rtree.Box) ([]int, int) {
-	hits, visited := ti.tree.Search(b)
-	if len(hits) == 0 {
+	sc := probePool.Get().(*probeScratch)
+	defer probePool.Put(sc)
+	var visited int
+	sc.hits, visited = ti.tree.SearchAppend(b, sc.hits)
+	if len(sc.hits) == 0 {
 		return nil, visited
 	}
-	seen := make([]bool, ti.maxID)
+	if cap(sc.seen) < ti.maxID {
+		sc.seen = make([]bool, ti.maxID)
+	}
+	seen := sc.seen[:ti.maxID]
 	n := 0
-	for _, h := range hits {
+	for _, h := range sc.hits {
 		if !seen[h] {
 			seen[h] = true
 			n++
@@ -83,6 +101,11 @@ func (ti *trajIndex) candidates(b rtree.Box) ([]int, int) {
 		if ok {
 			ids = append(ids, id)
 		}
+	}
+	// Scrub only the bits this probe set (O(hits), not O(maxID)) so the
+	// pooled bitmap comes back clean.
+	for _, h := range sc.hits {
+		seen[h] = false
 	}
 	return ids, visited
 }
@@ -115,6 +138,16 @@ func (s querySource) DistanceUB(q dist.Sequence, i int, ub float64) (float64, bo
 	return s.db.tree.Cascade().DistanceUB(q, s.db.ogs[i].Sequence(), ub)
 }
 
+// ApproxStats implements query.ApproxSource: the planner reads the tier's
+// IVF geometry to resolve probe counts and fill the plan envelope.
+func (s querySource) ApproxStats() (nlists, defaultNProbe int, ok bool) {
+	if s.db.vec == nil {
+		return 0, 0, false
+	}
+	nlists, defaultNProbe = s.db.ApproxLists()
+	return nlists, defaultNProbe, true
+}
+
 // QueryResult is one executed declarative query: the matches plus the
 // plan that produced them and its per-stage accounting. For a plan routed
 // through the STRG-Index (pure similarity) Search carries the
@@ -125,6 +158,9 @@ type QueryResult struct {
 	Search  index.SearchStats
 	Plan    query.Plan
 	Stages  []query.StageStat
+	// Approx carries the approximate tier's probe accounting (nil for
+	// every other strategy).
+	Approx *ApproxInfo
 	// Total counts matches before Limit truncation; Limit echoes the
 	// effective cap (0 = none).
 	Total     int
@@ -149,6 +185,24 @@ func (db *VideoDB) QueryComposedCtx(ctx context.Context, q *query.Query) (*Query
 	}
 	src := querySource{db: db}
 	p := query.BuildPlan(q, src)
+
+	if p.Strategy == query.StrategyApprox {
+		if db.vec == nil {
+			return nil, fmt.Errorf("query: mode %q: %w", query.ModeApprox, ErrApproxDisabled)
+		}
+		query.ObservePlan(p)
+		c := q.Similar
+		ms, st, info, err := db.QueryTrajectoryApproxStatsCtx(ctx, c.Trajectory, c.K, p.NProbe)
+		if err != nil {
+			return nil, err
+		}
+		res := &QueryResult{Matches: ms, Search: st, Plan: p, Approx: info, Total: len(ms), Limit: q.Limit}
+		if q.Limit > 0 && len(ms) > q.Limit {
+			res.Matches = ms[:q.Limit]
+			res.Truncated = true
+		}
+		return res, nil
+	}
 
 	if p.Strategy == query.StrategyIndex {
 		query.ObservePlan(p)

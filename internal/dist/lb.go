@@ -114,6 +114,18 @@ type Cascade interface {
 	DistanceUB(a, b Sequence, ub float64) (float64, bool)
 }
 
+// CompactLBer is an optional Cascade capability: LBQuick computed from
+// the candidate's summary and end elements alone, without touching its
+// sequence. Batch scanners (the approximate tier's rerank) keep those
+// three values in flat per-list arrays, so the admissible quick bound
+// runs over sequential memory instead of chasing a pointer per
+// candidate. Implementations MUST be bit-identical to
+// LBQuick(a, b, sa, sb) whenever bFirst == b[0], bLast == b[len(b)-1]
+// and sb == Summarize(b) — prune decisions feed exactness contracts.
+type CompactLBer interface {
+	LBQuickCompact(a Sequence, sa Summary, bFirst, bLast Vec, sb Summary) float64
+}
+
 // EGEDMCascade returns the cascade for the metric Extended Graph Edit
 // Distance with constant gap g (nil means the zero vector) — the index's
 // default key metric, and identical to ERP.
@@ -147,6 +159,24 @@ func (c egedmCascade) LBQuick(a, b Sequence, sa, sb Summary) float64 {
 		// operations, so the last one is distinct from the first.
 		last := math.Min(Norm(a[len(a)-1], b[len(b)-1]),
 			math.Min(gapNorm(a[len(a)-1], c.g), gapNorm(b[len(b)-1], c.g)))
+		ends += last
+	}
+	return math.Max(lb, ends)
+}
+
+// LBQuickCompact implements CompactLBer: the same operations in the same
+// order as LBQuick, reading b's contribution from its ends and summary.
+func (c egedmCascade) LBQuickCompact(a Sequence, sa Summary, bFirst, bLast Vec, sb Summary) float64 {
+	lb := math.Abs(sa.GapSum - sb.GapSum)
+	if len(a) == 0 || sb.Len == 0 {
+		return lb
+	}
+	first := math.Min(Norm(a[0], bFirst),
+		math.Min(gapNorm(a[0], c.g), gapNorm(bFirst, c.g)))
+	ends := first
+	if len(a) > 1 || sb.Len > 1 {
+		last := math.Min(Norm(a[len(a)-1], bLast),
+			math.Min(gapNorm(a[len(a)-1], c.g), gapNorm(bLast, c.g)))
 		ends += last
 	}
 	return math.Max(lb, ends)
@@ -199,6 +229,22 @@ func (dtwCascade) LBQuick(a, b Sequence, sa, sb Summary) float64 {
 	lb := Norm(a[0], b[0])
 	if m+n > 2 {
 		lb += Norm(a[m-1], b[n-1])
+	}
+	return lb
+}
+
+// LBQuickCompact implements CompactLBer (see egedmCascade's).
+func (dtwCascade) LBQuickCompact(a Sequence, _ Summary, bFirst, bLast Vec, sb Summary) float64 {
+	m, n := len(a), sb.Len
+	if m == 0 || n == 0 {
+		if m == 0 && n == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	lb := Norm(a[0], bFirst)
+	if m+n > 2 {
+		lb += Norm(a[m-1], bLast)
 	}
 	return lb
 }

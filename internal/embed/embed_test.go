@@ -1,0 +1,294 @@
+package embed
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"strgindex/internal/dist"
+)
+
+func randSeq(rng *rand.Rand, n int) dist.Sequence {
+	s := make(dist.Sequence, n)
+	x, y := rng.Float64()*320, rng.Float64()*240
+	for i := range s {
+		x += rng.NormFloat64() * 8
+		y += rng.NormFloat64() * 8
+		s[i] = dist.Vec{x, y}
+	}
+	return s
+}
+
+func TestEmbedDeterministicAndFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		s := randSeq(rng, 2+rng.Intn(30))
+		a := Embed(s)
+		b := Embed(s.Clone())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("embedding not deterministic on case %d", i)
+		}
+		if len(a) != Dim {
+			t.Fatalf("dim %d, want %d", len(a), Dim)
+		}
+		for j, f := range a {
+			if math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) {
+				t.Fatalf("case %d dim %d = %v", i, j, f)
+			}
+		}
+	}
+}
+
+func TestEmbedEdgeCases(t *testing.T) {
+	if got := Embed(nil); !reflect.DeepEqual(got, make([]float32, Dim)) {
+		t.Errorf("empty sequence embeds to %v, want zeros", got)
+	}
+	one := Embed(dist.Sequence{{7, 9}})
+	for i := 0; i < 2*shapePoints; i += 2 {
+		if one[i] != 7 || one[i+1] != 9 {
+			t.Fatalf("singleton shape dims = %v", one[:2*shapePoints])
+		}
+	}
+	// A stationary trajectory has zero length, displacement and spread.
+	flat := Embed(dist.Sequence{{5, 5}, {5, 5}, {5, 5}})
+	for i := 2 * shapePoints; i < Dim; i++ {
+		if flat[i] != 0 {
+			t.Errorf("stationary dim %d = %v, want 0", i, flat[i])
+		}
+	}
+}
+
+// TestEmbedSeparatesDirections: the heading histogram must distinguish a
+// path from its reversal even though shape-by-position is symmetric at
+// the bounding-box level.
+func TestEmbedSeparatesDirections(t *testing.T) {
+	fwd := dist.Sequence{{0, 100}, {100, 100}, {200, 100}, {300, 100}}
+	rev := dist.Sequence{{300, 100}, {200, 100}, {100, 100}, {0, 100}}
+	a, b := Embed(fwd), Embed(rev)
+	if l2sq(a, b) == 0 {
+		t.Error("a path and its reversal embed identically")
+	}
+}
+
+func TestIVFFlatBeforeTraining(t *testing.T) {
+	x := NewIVF(Config{NLists: 4, TrainSize: 1000})
+	rng := rand.New(rand.NewSource(2))
+	var want []int32
+	for i := 0; i < 50; i++ {
+		x.Add(int32(i), Embed(randSeq(rng, 10)))
+		want = append(want, int32(i))
+	}
+	if x.Trained() || x.NLists() != 1 || x.Len() != 50 {
+		t.Fatalf("trained=%v nlists=%d len=%d, want untrained flat list of 50", x.Trained(), x.NLists(), x.Len())
+	}
+	var got []int32
+	x.Probe(Embed(randSeq(rng, 10)), 1, func(_ int, ids []int32) { got = append(got, ids...) })
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("flat probe returned %d ids, want all %d in insertion order", len(got), len(want))
+	}
+}
+
+// TestIVFProbeAllCoversCorpus: with nprobe >= NLists every vector comes
+// back exactly once — the property the recall==1.0 tier contract rests on.
+func TestIVFProbeAllCoversCorpus(t *testing.T) {
+	x := NewIVF(Config{NLists: 8, TrainSize: 64, Seed: 3})
+	rng := rand.New(rand.NewSource(3))
+	const n = 300
+	for i := 0; i < n; i++ {
+		x.Add(int32(i), Embed(randSeq(rng, 12)))
+	}
+	if !x.Trained() {
+		t.Fatal("index should have trained at 64 vectors")
+	}
+	var got []int32
+	probes := 0
+	x.Probe(Embed(randSeq(rng, 12)), 1<<30, func(_ int, ids []int32) { probes++; got = append(got, ids...) })
+	if probes != 8 {
+		t.Errorf("probed %d lists, want 8", probes)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != n {
+		t.Fatalf("probing all lists yielded %d ids, want %d", len(got), n)
+	}
+	for i, id := range got {
+		if id != int32(i) {
+			t.Fatalf("id %d missing or duplicated (slot %d holds %d)", i, i, id)
+		}
+	}
+}
+
+// TestIVFProbeMonotone: growing nprobe only adds candidates, and the
+// probe order (hence the candidate set at every nprobe) is deterministic.
+func TestIVFProbeMonotone(t *testing.T) {
+	x := NewIVF(Config{NLists: 8, TrainSize: 64, Seed: 4})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 400; i++ {
+		x.Add(int32(i), Embed(randSeq(rng, 12)))
+	}
+	q := Embed(randSeq(rng, 12))
+	collect := func(nprobe int) []int32 {
+		var ids []int32
+		x.Probe(q, nprobe, func(_ int, l []int32) { ids = append(ids, l...) })
+		return ids
+	}
+	prev := collect(1)
+	for nprobe := 2; nprobe <= 8; nprobe++ {
+		cur := collect(nprobe)
+		if len(cur) < len(prev) || !reflect.DeepEqual(cur[:len(prev)], prev) {
+			t.Fatalf("nprobe=%d candidates are not a prefix-extension of nprobe=%d", nprobe, nprobe-1)
+		}
+		prev = cur
+	}
+	if !reflect.DeepEqual(collect(3), collect(3)) {
+		t.Error("probe not deterministic")
+	}
+}
+
+// TestIVFTrainingDeterministicAcrossRebuild: re-adding the same stream
+// to a fresh index reproduces the trained state bit-for-bit — the
+// property that lets snapshots omit the vector index and rebuild it.
+func TestIVFTrainingDeterministicAcrossRebuild(t *testing.T) {
+	build := func() *IVF {
+		x := NewIVF(Config{NLists: 6, TrainSize: 100, Seed: 7})
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 250; i++ {
+			x.Add(int32(i), Embed(randSeq(rng, 9)))
+		}
+		return x
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Error("two identical ingest streams trained different indexes")
+	}
+}
+
+func TestIVFSnapshotRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{{"untrained", 20}, {"trained", 300}} {
+		t.Run(tc.name, func(t *testing.T) {
+			x := NewIVF(Config{NLists: 5, TrainSize: 80, Seed: 9})
+			rng := rand.New(rand.NewSource(6))
+			for i := 0; i < tc.n; i++ {
+				x.Add(int32(i), Embed(randSeq(rng, 11)))
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(x.Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+			var snap Snapshot
+			if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+				t.Fatal(err)
+			}
+			re, err := FromSnapshot(&snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(re.Snapshot(), x.Snapshot()) {
+				t.Error("snapshot round trip changed the index")
+			}
+			// The restored index keeps answering and ingesting.
+			q := Embed(randSeq(rng, 11))
+			var a, b []int32
+			x.Probe(q, 2, func(_ int, ids []int32) { a = append(a, ids...) })
+			re.Probe(q, 2, func(_ int, ids []int32) { b = append(b, ids...) })
+			if !reflect.DeepEqual(a, b) {
+				t.Error("restored index probes differently")
+			}
+			re.Add(int32(tc.n), q)
+			if re.Len() != tc.n+1 {
+				t.Errorf("post-restore Add: len %d, want %d", re.Len(), tc.n+1)
+			}
+		})
+	}
+}
+
+func TestIVFSnapshotRejectsCorrupt(t *testing.T) {
+	x := NewIVF(Config{NLists: 4, TrainSize: 50, Seed: 1})
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 120; i++ {
+		x.Add(int32(i), Embed(randSeq(rng, 8)))
+	}
+	for name, mut := range map[string]func(*Snapshot){
+		"centroids":  func(s *Snapshot) { s.Centroids = s.Centroids[:len(s.Centroids)-1] },
+		"list-skew":  func(s *Snapshot) { s.ListIDs[0] = s.ListIDs[0][:0] },
+		"count":      func(s *Snapshot) { s.Count += 3 },
+		"list-count": func(s *Snapshot) { s.ListVecs = s.ListVecs[:2] },
+	} {
+		s := x.Snapshot()
+		mut(s)
+		if _, err := FromSnapshot(s); err == nil {
+			t.Errorf("%s corruption accepted", name)
+		}
+	}
+	u := NewIVF(Config{NLists: 4, TrainSize: 50})
+	u.Add(1, make([]float32, Dim))
+	s := u.Snapshot()
+	s.Pending = s.Pending[:Dim-1]
+	if _, err := FromSnapshot(s); err == nil {
+		t.Error("torn pending buffer accepted")
+	}
+}
+
+// TestIVFGroupsNeighbors: vectors from the same tight cluster should
+// land in the same list, so probing the query's list finds its
+// neighbors — the geometric property candidate generation relies on.
+func TestIVFGroupsNeighbors(t *testing.T) {
+	x := NewIVF(Config{NLists: 4, TrainSize: 200, Seed: 11})
+	rng := rand.New(rand.NewSource(11))
+	// Four well-separated motion prototypes, 100 noisy copies each.
+	protos := []dist.Sequence{
+		{{10, 10}, {300, 10}},
+		{{10, 230}, {300, 230}},
+		{{10, 10}, {10, 230}},
+		{{310, 10}, {310, 230}},
+	}
+	noisy := func(p dist.Sequence) dist.Sequence {
+		s := make(dist.Sequence, 12)
+		for i := range s {
+			f := float64(i) / 11
+			s[i] = dist.Vec{
+				p[0][0] + (p[1][0]-p[0][0])*f + rng.NormFloat64()*3,
+				p[0][1] + (p[1][1]-p[0][1])*f + rng.NormFloat64()*3,
+			}
+		}
+		return s
+	}
+	// Interleave the four patterns, as a live camera stream would: the
+	// training buffer must see every mode, not just the first pattern.
+	id := int32(0)
+	for i := 0; i < 100; i++ {
+		for c, p := range protos {
+			x.Add(int32(c)<<16|id, Embed(noisy(p)))
+			id++
+		}
+	}
+	hits := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		c := i % len(protos)
+		var first []int32
+		x.Probe(Embed(noisy(protos[c])), 1, func(_ int, ids []int32) {
+			if first == nil {
+				first = ids
+			}
+		})
+		same := 0
+		for _, got := range first {
+			if int(got>>16) == c {
+				same++
+			}
+		}
+		if len(first) > 0 && same*2 > len(first) {
+			hits++
+		}
+	}
+	if hits < trials*3/4 {
+		t.Errorf("first probed list was majority-same-cluster on only %d/%d queries", hits, trials)
+	}
+}

@@ -1,0 +1,70 @@
+package eval
+
+// RecallAtK measures how much of a reference top-k an approximate result
+// list recovered: |approx ∩ exact[:k]| / |exact[:k]|, with both lists
+// truncated to their first k entries and duplicates within a list
+// counted once. It is the recall@k of the approximate-search literature,
+// where `exact` is the ground-truth ranking and `approx` the candidate
+// ranking under evaluation.
+//
+// An empty reference yields 1: there was nothing to recall, so nothing
+// was missed (the convention keeps averages over query batches from
+// being poisoned by queries with no true hits).
+func RecallAtK(approx, exact []int, k int) float64 {
+	if k > 0 {
+		if len(exact) > k {
+			exact = exact[:k]
+		}
+		if len(approx) > k {
+			approx = approx[:k]
+		}
+	}
+	if len(exact) == 0 {
+		return 1
+	}
+	want := make(map[int]bool, len(exact))
+	for _, id := range exact {
+		want[id] = true
+	}
+	hit := 0
+	for _, id := range approx {
+		if want[id] {
+			hit++
+			delete(want, id) // count each reference item at most once
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+// Overlap is the symmetric set overlap of two result lists:
+// |a ∩ b| / max(|a|, |b|) over the distinct IDs of each. Two identical
+// lists overlap at 1, disjoint lists at 0. Unlike RecallAtK it does not
+// privilege either list as ground truth — the recall-proxy metric uses
+// it to compare the answers at adjacent probe depths.
+func Overlap(a, b []int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	sa := make(map[int]bool, len(a))
+	for _, id := range a {
+		sa[id] = true
+	}
+	sb := make(map[int]bool, len(b))
+	for _, id := range b {
+		sb[id] = true
+	}
+	inter := 0
+	for id := range sa {
+		if sb[id] {
+			inter++
+		}
+	}
+	den := len(sa)
+	if len(sb) > den {
+		den = len(sb)
+	}
+	if den == 0 {
+		return 1
+	}
+	return float64(inter) / float64(den)
+}

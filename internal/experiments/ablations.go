@@ -136,19 +136,14 @@ func ablateSearchAndSplit(scale Scale, res *AblationResult) error {
 		counter.Reset()
 		tr.KNNExact(nil, qds.Items[qi], k)
 		exactEvals += counter.Count()
-		exactSet := map[int]bool{}
-		for _, r := range exact {
-			exactSet[r.Payload] = true
-		}
-		hit := 0
-		for _, r := range approx {
-			if exactSet[r.Payload] {
-				hit++
+		ids := func(rs []index.Result[int]) []int {
+			out := make([]int, len(rs))
+			for i, r := range rs {
+				out[i] = r.Payload
 			}
+			return out
 		}
-		if len(exact) > 0 {
-			approxRecall += float64(hit) / float64(len(exact))
-		}
+		approxRecall += eval.RecallAtK(ids(approx), ids(exact), k)
 	}
 	n := float64(len(qds.Items))
 	res.SearchPolicy = Table{

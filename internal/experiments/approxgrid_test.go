@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestApproxGridSpecValidate(t *testing.T) {
+	good := ApproxGridSpec{Name: "t", OGs: 100, Queries: 4, K: 5, NLists: 4, NProbes: []int{1, 2}}
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*ApproxGridSpec){
+		"zero ogs":     func(s *ApproxGridSpec) { s.OGs = 0 },
+		"zero queries": func(s *ApproxGridSpec) { s.Queries = 0 },
+		"zero k":       func(s *ApproxGridSpec) { s.K = 0 },
+		"zero nlists":  func(s *ApproxGridSpec) { s.NLists = 0 },
+		"no nprobes":   func(s *ApproxGridSpec) { s.NProbes = nil },
+		"nprobe zero":  func(s *ApproxGridSpec) { s.NProbes = []int{1, 0} },
+	} {
+		s := good
+		s.NProbes = append([]int(nil), good.NProbes...)
+		mutate(&s)
+		if err := s.validate(); err == nil {
+			t.Errorf("%s: validate() = nil, want error", name)
+		}
+	}
+}
+
+func TestLoadApproxGridSpecCommittedFiles(t *testing.T) {
+	// The committed specs must stay loadable — CI replays the smoke one
+	// and BENCH_approx.json documents its provenance via the million one.
+	for _, path := range []string{"grids/approx-smoke.json", "grids/approx-1m.json"} {
+		if _, err := LoadApproxGridSpec(path); err != nil {
+			t.Errorf("LoadApproxGridSpec(%s): %v", path, err)
+		}
+	}
+}
+
+func TestApproxGridEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid ingest is seconds of work")
+	}
+	spec := ApproxGridSpec{
+		Name: "test", OGs: 1200, Queries: 8, K: 5,
+		NLists: 4, NProbes: []int{1, 2, 4}, TrainSize: 256,
+		Batch: 400, Seed: 7,
+	}
+	res, err := ApproxGrid(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(spec.NProbes) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(spec.NProbes))
+	}
+	if res.ExactNsPerQuery <= 0 {
+		t.Error("exact baseline has non-positive ns/query")
+	}
+	prev := -1.0
+	for _, row := range res.Rows {
+		if row.Recall < prev-1e-9 {
+			t.Errorf("recall not monotone in nprobe: %.3f after %.3f", row.Recall, prev)
+		}
+		prev = row.Recall
+		if row.Candidates <= 0 || row.Candidates > float64(spec.OGs) {
+			t.Errorf("nprobe %d: candidates %.0f out of range", row.NProbe, row.Candidates)
+		}
+	}
+	// Probing every list makes the tier provably exact.
+	last := res.Rows[len(res.Rows)-1]
+	if last.NProbe != spec.NLists {
+		t.Fatalf("last row probes %d lists, want %d", last.NProbe, spec.NLists)
+	}
+	if last.Recall != 1.0 {
+		t.Errorf("recall at nprobe == nlists = %.3f, want exactly 1", last.Recall)
+	}
+
+	if !strings.Contains(res.Render(), "recall@5") {
+		t.Error("Render() lacks the recall column header")
+	}
+
+	pts := res.BenchPoints()
+	if len(pts) != 1+len(spec.NProbes) {
+		t.Fatalf("got %d bench points, want %d", len(pts), 1+len(spec.NProbes))
+	}
+	if pts[0].Name != "BenchmarkApproxGrid/mode=exact" {
+		t.Errorf("first point = %q, want the exact baseline", pts[0].Name)
+	}
+	raw, err := json.Marshal(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchPoint
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[1].Extra["recall@5/op"] != res.Rows[0].Recall {
+		t.Error("recall metric did not round-trip through JSON")
+	}
+}

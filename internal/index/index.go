@@ -401,10 +401,57 @@ func (t *Tree[P]) addItemsAt(x *txn[P], ri int, items []Item[P]) error {
 	if len(root.clusters) == 0 {
 		return t.buildClusters(x, root, items)
 	}
+	// With deferred splits the cluster set is frozen for the whole batch,
+	// so every item's routing can be computed up front and each touched
+	// leaf rebuilt in one merge — O(n log n) against the O(n²) shifting
+	// of per-item sorted inserts, the difference between minutes and
+	// hours at million-OG batches. With inline splits a mid-batch split
+	// changes the routing of later items, so the per-item path stands.
+	if x.deferSplit && len(items) > 1 {
+		return t.bulkInsert(x, root, items)
+	}
 	for _, it := range items {
 		if err := t.insertIntoRoot(x, root, it); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// bulkInsert routes a whole batch against the frozen cluster set and
+// merges each cluster's newcomers into its leaf in one pass. The final
+// leaf contents are byte-identical to per-item insertIntoRoot calls:
+// routing sees the same centroids (no inline splits), records are keyed
+// and quant-encoded identically, and sortedLeaf/mergeLeaf replicate
+// insertSorted's arrival-tie order. Only the split-candidate list
+// differs — one candidate per touched oversized cluster instead of one
+// per insert — which the asynchronous evaluator treats identically
+// (duplicates were already collapsed by its revalidation).
+func (t *Tree[P]) bulkInsert(x *txn[P], root *rootRecord[P], items []Item[P]) error {
+	buckets := make([][]int, len(root.clusters))
+	for i, it := range items {
+		ci := argminCluster(root.clusters, it.Seq, t.cfg.ClusterDistance, t.cfg.Concurrency)
+		if ci < 0 {
+			return fmt.Errorf("index: root %d has no clusters", root.id)
+		}
+		buckets[ci] = append(buckets[ci], i)
+	}
+	for ci, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		cl := x.cluster(root, ci)
+		recs := make([]leafRecord[P], len(bucket))
+		for bi, i := range bucket {
+			rec := t.newLeafRecord(cl.centroid, items[i].Seq, items[i].Payload)
+			// Same grid policy as insertIntoRoot: encode against the
+			// leaf's existing grid, which stays fixed across inserts.
+			rec.qc = cl.qgrid.Encode(rec.sum.Box)
+			recs[bi] = rec
+		}
+		cl.leaf = mergeLeaf(cl.leaf, sortedLeaf(recs))
+		t.size += len(bucket)
+		t.maybeSplit(x, root, cl)
 	}
 	return nil
 }
@@ -488,9 +535,11 @@ func (t *Tree[P]) buildClusters(x *txn[P], root *rootRecord[P], items []Item[P])
 		cl := &clusterRecord[P]{id: t.nextCl, centroid: res.Centroids[k]}
 		t.nextCl++
 		x.own(cl)
-		for _, j := range members {
-			cl.insertSorted(t.newLeafRecord(cl.centroid, items[j].Seq, items[j].Payload))
+		recs := make([]leafRecord[P], len(members))
+		for mi, j := range members {
+			recs[mi] = t.newLeafRecord(cl.centroid, items[j].Seq, items[j].Payload)
 		}
+		cl.leaf = sortedLeaf(recs)
 		t.refitQuant(cl)
 		root.clusters = append(root.clusters, cl)
 		t.size += len(members)
@@ -590,6 +639,51 @@ func (c *clusterRecord[P]) insertSorted(rec leafRecord[P]) {
 	c.leaf[i] = rec
 }
 
+// sortedLeaf orders a batch of records exactly as sequential insertSorted
+// arrivals would have left them — ascending key, and among equal keys the
+// later arrival first (insertSorted places a new record before existing
+// equal keys) — in O(n log n) instead of the O(n²) shifting of one
+// insertSorted call per record. recs must be in arrival order; the slice
+// is consumed.
+func sortedLeaf[P any](recs []leafRecord[P]) []leafRecord[P] {
+	ord := make([]int, len(recs))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		ra, rb := ord[a], ord[b]
+		if recs[ra].key != recs[rb].key {
+			return recs[ra].key < recs[rb].key
+		}
+		return ra > rb
+	})
+	out := make([]leafRecord[P], len(recs))
+	for i, j := range ord {
+		out[i] = recs[j]
+	}
+	return out
+}
+
+// mergeLeaf merges a sorted batch (sortedLeaf order) into a sorted leaf,
+// placing a newcomer before any existing record of equal key — the same
+// final order one insertSorted call per newcomer would produce, in one
+// linear pass.
+func mergeLeaf[P any](old, recs []leafRecord[P]) []leafRecord[P] {
+	merged := make([]leafRecord[P], 0, len(old)+len(recs))
+	i, j := 0, 0
+	for i < len(old) && j < len(recs) {
+		if recs[j].key <= old[i].key {
+			merged = append(merged, recs[j])
+			j++
+		} else {
+			merged = append(merged, old[i])
+			i++
+		}
+	}
+	merged = append(merged, old[i:]...)
+	return append(merged, recs[j:]...)
+}
+
 // maybeSplit applies Section 5.3: when a leaf exceeds MaxLeafEntries, EM
 // with K = 2 is fitted to its members and adopted if it improves BIC over
 // the single-cluster model. A declined verdict is remembered at the
@@ -635,20 +729,21 @@ func (t *Tree[P]) applySplit(root *rootRecord[P], cl *clusterRecord[P], two *clu
 	newCl := &clusterRecord[P]{id: t.nextCl, centroid: two.Centroids[1]}
 	t.nextCl++
 	cl.centroid = two.Centroids[0]
-	cl.leaf = nil
 	cl.splitChecked = 0
-	for _, j := range mem0 {
-		// Re-key against the new centroid, but keep the record's summary
-		// and hash: both depend only on the sequence, not the cluster.
-		rec := records[j]
-		rec.key = t.cfg.Metric(rec.seq, cl.centroid)
-		cl.insertSorted(rec)
+	rekey := func(members []int, centroid dist.Sequence) []leafRecord[P] {
+		recs := make([]leafRecord[P], len(members))
+		for mi, j := range members {
+			// Re-key against the new centroid, but keep the record's
+			// summary and hash: both depend only on the sequence, not the
+			// cluster.
+			rec := records[j]
+			rec.key = t.cfg.Metric(rec.seq, centroid)
+			recs[mi] = rec
+		}
+		return sortedLeaf(recs)
 	}
-	for _, j := range mem1 {
-		rec := records[j]
-		rec.key = t.cfg.Metric(rec.seq, newCl.centroid)
-		newCl.insertSorted(rec)
-	}
+	cl.leaf = rekey(mem0, cl.centroid)
+	newCl.leaf = rekey(mem1, newCl.centroid)
 	// Both memberships changed wholesale; give each leaf a fresh grid.
 	t.refitQuant(cl)
 	t.refitQuant(newCl)

@@ -1,0 +1,174 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"strgindex/internal/dist"
+	"strgindex/internal/strg"
+)
+
+// approxFakeSource decorates fakeSource with a configurable approximate
+// tier, standing in for a database with the IVF index enabled.
+type approxFakeSource struct {
+	*fakeSource
+	nlists, defNProbe int
+	tierOK            bool
+}
+
+func (s *approxFakeSource) ApproxStats() (int, int, bool) {
+	return s.nlists, s.defNProbe, s.tierOK
+}
+
+func TestNProbeForRecall(t *testing.T) {
+	const nlists = 64
+	if got := NProbeForRecall(1, nlists); got != nlists {
+		t.Errorf("target 1 → %d probes, want every list (%d)", got, nlists)
+	}
+	if got := NProbeForRecall(0, nlists); got != 1 {
+		t.Errorf("target 0 → %d probes, want 1", got)
+	}
+	if got := NProbeForRecall(-3, nlists); got != 1 {
+		t.Errorf("negative target → %d probes, want 1", got)
+	}
+	if got := NProbeForRecall(0.999999, 4); got != 4 {
+		t.Errorf("aggressive target → %d probes, want clamp to nlists", got)
+	}
+	if got := NProbeForRecall(0.5, 0); got != 1 {
+		t.Errorf("degenerate nlists → %d probes, want 1", got)
+	}
+	prev := 0
+	for _, target := range []float64{0.5, 0.8, 0.9, 0.95, 0.99} {
+		n := NProbeForRecall(target, nlists)
+		if n < prev {
+			t.Errorf("NProbeForRecall(%.2f) = %d < %d: not monotone in target", target, n, prev)
+		}
+		prev = n
+	}
+}
+
+func approxQuery(c SimilarClause) *Query {
+	c.Trajectory = dist.Sequence{{0, 0}, {1, 1}}
+	c.Mode = ModeApprox
+	if c.K == 0 {
+		c.K = 3
+	}
+	return &Query{Similar: &c}
+}
+
+func TestPlanApproxResolvesNProbe(t *testing.T) {
+	src := &approxFakeSource{
+		fakeSource: newFakeSource(t, []*strg.OG{lineOG(0, 0, 100, 0, 0, 8)}),
+		nlists:     32, defNProbe: 4, tierOK: true,
+	}
+	cases := []struct {
+		name   string
+		clause SimilarClause
+		want   int
+	}{
+		{"explicit nprobe wins", SimilarClause{NProbe: 7}, 7},
+		{"explicit nprobe clamps to nlists", SimilarClause{NProbe: 99}, 32},
+		{"default when nothing named", SimilarClause{}, 4},
+		{"recall target 1 probes every list", SimilarClause{RecallTarget: 1}, 32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := BuildPlan(approxQuery(tc.clause), src)
+			if p.Strategy != StrategyApprox {
+				t.Fatalf("strategy = %s, want approx", p.Strategy)
+			}
+			if p.NProbe != tc.want {
+				t.Errorf("NProbe = %d, want %d", p.NProbe, tc.want)
+			}
+		})
+	}
+
+	// A recall target routes through the miss-decay model.
+	p := BuildPlan(approxQuery(SimilarClause{RecallTarget: 0.9}), src)
+	if want := NProbeForRecall(0.9, 32); p.NProbe != want {
+		t.Errorf("recall target 0.9 → NProbe %d, want %d", p.NProbe, want)
+	}
+	if p.EstSelectivity <= 0 || p.EstSelectivity > 1 {
+		t.Errorf("EstSelectivity = %g, want a probed-fraction in (0, 1]", p.EstSelectivity)
+	}
+}
+
+func TestPlanApproxWithoutTierLeavesNProbeZero(t *testing.T) {
+	// A source without the capability interface, and one whose tier
+	// reports disabled, both keep NProbe at 0 — the executor turns that
+	// into the configuration error rather than silently degrading.
+	plain := newFakeSource(t, []*strg.OG{lineOG(0, 0, 100, 0, 0, 8)})
+	off := &approxFakeSource{fakeSource: plain, nlists: 8, defNProbe: 2, tierOK: false}
+	for name, src := range map[string]Source{"no capability": plain, "tier disabled": off} {
+		p := BuildPlan(approxQuery(SimilarClause{}), src)
+		if p.Strategy != StrategyApprox {
+			t.Errorf("%s: strategy = %s, want approx (mode is explicit)", name, p.Strategy)
+		}
+		if p.NProbe != 0 {
+			t.Errorf("%s: NProbe = %d, want 0", name, p.NProbe)
+		}
+	}
+}
+
+func TestValidateSimilarApproxRejections(t *testing.T) {
+	traj := dist.Sequence{{0, 0}, {1, 1}}
+	cases := []struct {
+		name string
+		q    *Query
+		frag string
+	}{
+		{"radius under approx", &Query{Similar: &SimilarClause{Trajectory: traj, Radius: 5, Mode: ModeApprox}}, "k-NN only"},
+		{"exact contradicts approx", &Query{Similar: &SimilarClause{Trajectory: traj, K: 3, Exact: true, Mode: ModeApprox}}, "contradicts"},
+		{"negative nprobe", &Query{Similar: &SimilarClause{Trajectory: traj, K: 3, Mode: ModeApprox, NProbe: -1}}, "non-negative"},
+		{"recall target above 1", &Query{Similar: &SimilarClause{Trajectory: traj, K: 3, Mode: ModeApprox, RecallTarget: 1.5}}, "(0, 1]"},
+		{"recall target NaN", &Query{Similar: &SimilarClause{Trajectory: traj, K: 3, Mode: ModeApprox, RecallTarget: math.NaN()}}, "(0, 1]"},
+		{"nprobe and recall together", &Query{Similar: &SimilarClause{Trajectory: traj, K: 3, Mode: ModeApprox, NProbe: 2, RecallTarget: 0.9}}, "mutually exclusive"},
+		{"unknown mode", &Query{Similar: &SimilarClause{Trajectory: traj, K: 3, Mode: "fuzzy"}}, "unknown mode"},
+		{"nprobe without approx mode", &Query{Similar: &SimilarClause{Trajectory: traj, K: 3, NProbe: 2}}, "require mode"},
+		{"approx with where tree", &Query{
+			Similar: &SimilarClause{Trajectory: traj, K: 3, Mode: ModeApprox},
+			Where:   DuringNode{From: 0, To: 10},
+		}, "where tree"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.q)
+			if err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+
+	ok := &Query{Similar: &SimilarClause{Trajectory: traj, K: 3, Mode: ModeApprox, RecallTarget: 0.95}}
+	if err := Validate(ok); err != nil {
+		t.Errorf("valid approx query rejected: %v", err)
+	}
+}
+
+func TestRtreeStageName(t *testing.T) {
+	for _, src := range []string{"passes_through", "starts_in", "ends_in", "during", "within"} {
+		if got, want := rtreeStageName(src), "rtree:"+src; got != want {
+			t.Errorf("rtreeStageName(%q) = %q, want %q", src, got, want)
+		}
+	}
+	if got := rtreeStageName("custom"); got != "rtree:custom" {
+		t.Errorf("fallback = %q, want rtree:custom", got)
+	}
+}
+
+func TestHeadingShorthands(t *testing.T) {
+	down := lineOG(0, 0, 0, 100, 0, 8)  // +y: southbound in image coords
+	left := lineOG(100, 0, 0, 0, 0, 8)  // -x: westbound
+	right := lineOG(0, 0, 100, 0, 0, 8) // +x: eastbound
+	tol := math.Pi / 4
+	if !Southbound(tol)(down) || Southbound(tol)(right) {
+		t.Error("Southbound should match the +y track and only it")
+	}
+	if !Westbound(tol)(left) || Westbound(tol)(down) {
+		t.Error("Westbound should match the -x track and only it")
+	}
+}

@@ -105,6 +105,15 @@ func (n SpatialNode) name() string {
 	}
 }
 
+// Similarity modes of the optional "mode" field. ModeExact is an explicit
+// spelling of the default paths (it changes nothing — the pinning the
+// byte-identity contract tests rely on); ModeApprox opts a pure-similarity
+// k-NN into the approximate tier (IVF candidates, exact rerank).
+const (
+	ModeExact  = "exact"
+	ModeApprox = "approx"
+)
+
 // SimilarClause ranks the where-tree's matches by metric distance to a
 // query trajectory: k-NN semantics when K > 0, range semantics when
 // Radius > 0 (exactly one must be set).
@@ -118,6 +127,18 @@ type SimilarClause struct {
 	Exact bool
 	// Radius selects range semantics: every match within Radius.
 	Radius float64
+	// Mode is "", ModeExact or ModeApprox. ModeApprox requires k-NN
+	// semantics, no where tree and no Exact flag; whether the serving
+	// database has the tier enabled is checked at execution, not here.
+	Mode string
+	// NProbe overrides the approximate tier's probe count (ModeApprox
+	// only); 0 defers to the database default. Mutually exclusive with
+	// RecallTarget.
+	NProbe int
+	// RecallTarget asks the planner to pick a probe count aiming at this
+	// recall@k in (0, 1] (ModeApprox only; 1 probes every list, making
+	// the answer provably exact).
+	RecallTarget float64
 }
 
 // Query is one parsed declarative query.
@@ -207,6 +228,9 @@ func Validate(q *Query) error {
 		if err := validateSimilar(q.Similar); err != nil {
 			return err
 		}
+		if q.Similar.Mode == ModeApprox && q.Where != nil {
+			return fmt.Errorf("query: similar: mode %q cannot be composed with a where tree (the candidate set is approximate; filtered ranking is exact-only)", ModeApprox)
+		}
 	}
 	return nil
 }
@@ -229,6 +253,30 @@ func validateSimilar(c *SimilarClause) error {
 		return fmt.Errorf("query: similar: radius must be finite")
 	case c.Radius > 0 && c.Exact:
 		return fmt.Errorf("query: similar: exact applies to k-NN only")
+	}
+	switch c.Mode {
+	case "", ModeExact:
+		if c.NProbe != 0 || c.RecallTarget != 0 {
+			return fmt.Errorf("query: similar: nprobe and recall_target require mode %q", ModeApprox)
+		}
+	case ModeApprox:
+		if c.Radius > 0 {
+			return fmt.Errorf("query: similar: mode %q is k-NN only (radius is exact)", ModeApprox)
+		}
+		if c.Exact {
+			return fmt.Errorf("query: similar: exact contradicts mode %q", ModeApprox)
+		}
+		if c.NProbe < 0 {
+			return fmt.Errorf("query: similar: nprobe must be non-negative")
+		}
+		if c.RecallTarget != 0 && (math.IsNaN(c.RecallTarget) || c.RecallTarget <= 0 || c.RecallTarget > 1) {
+			return fmt.Errorf("query: similar: recall_target must be in (0, 1]")
+		}
+		if c.NProbe > 0 && c.RecallTarget > 0 {
+			return fmt.Errorf("query: similar: nprobe and recall_target are mutually exclusive")
+		}
+	default:
+		return fmt.Errorf("query: similar: unknown mode %q (want %q or %q)", c.Mode, ModeExact, ModeApprox)
 	}
 	return nil
 }

@@ -44,6 +44,11 @@ type similarDoc struct {
 	K          int          `json:"k"`
 	Exact      bool         `json:"exact"`
 	Radius     float64      `json:"radius"`
+	// Mode "approx" opts into the approximate tier; "nprobe" and
+	// "recall_target" tune it (mutually exclusive).
+	Mode         string  `json:"mode"`
+	NProbe       int     `json:"nprobe"`
+	RecallTarget float64 `json:"recall_target"`
 }
 
 // rectDoc mirrors the rectangle shape of the legacy select endpoint;
@@ -77,7 +82,10 @@ func Parse(data []byte) (*Query, error) {
 		q.Where = n
 	}
 	if doc.Similar != nil {
-		c := &SimilarClause{K: doc.Similar.K, Exact: doc.Similar.Exact, Radius: doc.Similar.Radius}
+		c := &SimilarClause{
+			K: doc.Similar.K, Exact: doc.Similar.Exact, Radius: doc.Similar.Radius,
+			Mode: doc.Similar.Mode, NProbe: doc.Similar.NProbe, RecallTarget: doc.Similar.RecallTarget,
+		}
 		c.Trajectory = make(dist.Sequence, len(doc.Similar.Trajectory))
 		for i, p := range doc.Similar.Trajectory {
 			c.Trajectory[i] = dist.Vec{p[0], p[1]}

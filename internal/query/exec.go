@@ -44,10 +44,10 @@ type Result struct {
 // ctx.Err() and no partial results. StrategyIndex plans are the caller's
 // job (the STRG-Index lives above this package) and return an error.
 func Execute(ctx context.Context, src Source, q *Query, p Plan) (*Result, error) {
-	if p.Strategy == StrategyIndex {
-		return nil, fmt.Errorf("query: StrategyIndex plans execute through the index, not Execute")
+	if p.Strategy == StrategyIndex || p.Strategy == StrategyApprox {
+		return nil, fmt.Errorf("query: %s plans execute through the index, not Execute", p.Strategy)
 	}
-	res := &Result{}
+	res := &Result{Stages: make([]StageStat, 0, 3)}
 	n := src.NumOGs()
 
 	// Access stage: candidate OG indices, ascending.
@@ -64,17 +64,19 @@ func Execute(ctx context.Context, src Source, q *Query, p Plan) (*Result, error)
 			break
 		}
 		cands = ids
-		res.addStage("rtree:"+p.ProbeSource, n, len(ids), time.Since(start))
+		res.addStage(rtreeStageName(p.ProbeSource), n, len(ids), time.Since(start))
 	default:
 		cands = allIndices(n)
 		res.addStage("scan", n, n, 0)
 	}
 
-	// Filter stage: the residual predicate over every candidate. The
+	// Filter stage: the residual predicate over every candidate, written
+	// back into the candidate slice (both access paths hand over a fresh
+	// slice, and the write cursor never passes the read cursor). The
 	// probe generated a superset, so this re-check makes rtree and scan
 	// plans answer identically.
 	start := time.Now()
-	matched := cands[:0:0]
+	matched := cands[:0]
 	for i, id := range cands {
 		if i&0xff == 0 {
 			if err := ctx.Err(); err != nil {
@@ -125,6 +127,25 @@ func Execute(ctx context.Context, src Source, q *Query, p Plan) (*Result, error)
 
 func (r *Result) addStage(name string, in, out int, d time.Duration) {
 	r.Stages = append(r.Stages, StageStat{Name: name, In: in, Out: out, Duration: d})
+}
+
+// rtreeStageName resolves the access stage's display name without
+// concatenating on the hot path: probe sources come from the closed set
+// of box-deriving conjuncts, so every name is a constant.
+func rtreeStageName(probeSource string) string {
+	switch probeSource {
+	case "passes_through":
+		return "rtree:passes_through"
+	case "starts_in":
+		return "rtree:starts_in"
+	case "ends_in":
+		return "rtree:ends_in"
+	case "during":
+		return "rtree:during"
+	case "within":
+		return "rtree:within"
+	}
+	return "rtree:" + probeSource
 }
 
 func allIndices(n int) []int {

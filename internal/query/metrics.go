@@ -18,8 +18,12 @@ import (
 
 var (
 	planCounters  sync.Map // Strategy -> *obs.Counter
-	stageCounters sync.Map // "stage/dir" -> *obs.Counter
+	stageCounters sync.Map // stageKey -> *obs.Counter
 )
+
+// stageKey keys the stage-counter memo without concatenating strings on
+// the per-query path.
+type stageKey struct{ stage, dir string }
 
 func plansTotal(strategy Strategy) *obs.Counter {
 	if c, ok := planCounters.Load(strategy); ok {
@@ -33,7 +37,7 @@ func plansTotal(strategy Strategy) *obs.Counter {
 }
 
 func stageCounter(stage, dir string) *obs.Counter {
-	key := stage + "/" + dir
+	key := stageKey{stage, dir}
 	if c, ok := stageCounters.Load(key); ok {
 		return c.(*obs.Counter)
 	}

@@ -25,7 +25,10 @@ type Source interface {
 	SpatialStats() (bounds rtree.Box, boxes int, ok bool)
 	// SpatialCandidates returns the indices of OGs owning at least one
 	// step box intersecting b, ascending, plus the tree nodes visited.
-	// ok is false when no spatial index is available.
+	// ok is false when no spatial index is available. The returned slice
+	// is the executor's to own — implementations must hand out a fresh
+	// (or otherwise unshared) slice per call, as Execute filters it in
+	// place.
 	SpatialCandidates(b rtree.Box) (ids []int, visited int, ok bool)
 	// DistanceUB evaluates the key metric between q and OG i's attribute
 	// sequence with early-abandoning threshold ub: abandoned reports that
@@ -47,7 +50,49 @@ const (
 	// straight to the STRG-Index lower-bound cascade; the caller executes
 	// it (the index lives above this package).
 	StrategyIndex Strategy = "index"
+	// StrategyApprox routes an opted-in pure-similarity k-NN (mode
+	// "approx") to the approximate tier: IVF candidate generation, exact
+	// rerank. Never chosen by cost — only an explicit mode selects it,
+	// and the executor rejects it cleanly when the tier is disabled.
+	StrategyApprox Strategy = "approx"
 )
+
+// ApproxSource is optionally implemented by a Source whose database
+// carries the approximate similarity tier. ok is false when the tier is
+// disabled; the planner then leaves Plan.NProbe at 0 and the executor
+// reports the configuration error.
+type ApproxSource interface {
+	// ApproxStats returns the tier's inverted-list count and the default
+	// probe count for queries that do not name one.
+	ApproxStats() (nlists, defaultNProbe int, ok bool)
+}
+
+// NProbeForRecall maps a recall target in (0, 1] to an IVF probe count
+// under a geometric miss-decay model: each additional probed list roughly
+// halves the chance the true neighbors were missed, so nprobe grows with
+// log(1/(1-target)). A target of 1 probes every list, making the answer
+// provably exact (the tier takes every member of a probed list as a
+// candidate). A heuristic, not a guarantee — the experiment grid measures
+// the real recall curve.
+func NProbeForRecall(target float64, nlists int) int {
+	if nlists < 1 {
+		nlists = 1
+	}
+	if target >= 1 {
+		return nlists
+	}
+	if target <= 0 {
+		return 1
+	}
+	n := int(math.Ceil(2 * math.Log2(1/(1-target))))
+	if n < 1 {
+		n = 1
+	}
+	if n > nlists {
+		n = nlists
+	}
+	return n
+}
 
 // Plan is a compiled query: the chosen access path, the residual
 // predicate (with its top-level conjuncts reordered cheapest-and-most-
@@ -67,6 +112,11 @@ type Plan struct {
 	// CostScan and CostRTree are the modeled stage costs (arbitrary
 	// units; comparable to each other only).
 	CostScan, CostRTree float64
+	// NProbe is the resolved IVF probe count (StrategyApprox only; 0
+	// when the serving database has the tier disabled) and CostApprox
+	// the modeled cost of the probe plus rerank.
+	NProbe     int
+	CostApprox float64
 	// Order lists the residual's top-level conjuncts in evaluation order.
 	Order []string
 	// residual is the compiled where tree (vacuous truth when nil).
@@ -87,6 +137,11 @@ const (
 	costBoxTest = 2.0
 	// costConst is the cost of an O(1) predicate (during, longer_than).
 	costConst = 1.0
+	// costProbeList is ranking one IVF centroid (a Dim-wide L2) and
+	// costRerank one candidate's pass through the exact cascade (the
+	// lower bounds usually dispose of it before the DP).
+	costProbeList = 2.0
+	costRerank    = costPerSample * estSamplesPerOG
 )
 
 // nodeCost estimates the evaluation cost of one where node per OG.
@@ -248,6 +303,9 @@ func BuildPlan(q *Query, src Source) Plan {
 		if q.Similar != nil {
 			p.Strategy = StrategyIndex
 			p.Rank = false
+			if q.Similar.Mode == ModeApprox {
+				planApprox(q.Similar, src, &p)
+			}
 		}
 		return p
 	}
@@ -298,6 +356,46 @@ func BuildPlan(q *Query, src Source) Plan {
 		p.Order = []string{ordered.name()}
 	}
 	return p
+}
+
+// planApprox switches a pure-similarity plan to the approximate tier.
+// The validator already guaranteed k-NN semantics and no where tree; here
+// the probe count is resolved — explicit nprobe wins, then a recall
+// target through the miss-decay model, then the database default — and
+// the cost model fills the envelope the server reports. When the source
+// carries no tier, NProbe stays 0 and the executor rejects the plan with
+// the configuration error (an explicit mode never silently degrades to a
+// different access path).
+func planApprox(c *SimilarClause, src Source, p *Plan) {
+	p.Strategy = StrategyApprox
+	as, ok := src.(ApproxSource)
+	if !ok {
+		return
+	}
+	nlists, defNProbe, ok := as.ApproxStats()
+	if !ok {
+		return
+	}
+	nprobe := c.NProbe
+	switch {
+	case nprobe > 0:
+	case c.RecallTarget > 0:
+		nprobe = NProbeForRecall(c.RecallTarget, nlists)
+	default:
+		nprobe = defNProbe
+	}
+	if nprobe < 1 {
+		nprobe = 1
+	}
+	if nprobe > nlists {
+		nprobe = nlists
+	}
+	n := src.NumOGs()
+	p.NProbe = nprobe
+	p.EstSelectivity = float64(nprobe) / float64(nlists)
+	p.EstCandidates = int(math.Ceil(p.EstSelectivity * float64(n)))
+	p.CostApprox = float64(nlists)*costProbeList + float64(p.EstCandidates)*costRerank
+	p.CostScan = float64(n) * costRerank
 }
 
 // orderConjuncts reorders a top-level And's children by ascending

@@ -237,24 +237,31 @@ func (t *Tree[P]) split(n *node[P]) []*entry[P] {
 // Search returns the payloads of every indexed box intersecting q. The
 // second return value counts the nodes visited (the query's I/O cost).
 func (t *Tree[P]) Search(q Box) ([]P, int) {
-	var out []P
-	visited := 0
-	var rec func(n *node[P])
-	rec = func(n *node[P]) {
-		visited++
-		for _, e := range n.entries {
-			if !e.box.Intersects(q) {
-				continue
-			}
-			if n.leaf {
-				out = append(out, e.payload)
-			} else {
-				rec(e.child)
-			}
-		}
+	return t.SearchAppend(q, nil)
+}
+
+// SearchAppend is Search reusing the caller's buffer: results are
+// appended to out[:0] and the (possibly grown) buffer is returned, so a
+// hot probe path can amortize the hit slice across queries.
+func (t *Tree[P]) SearchAppend(q Box, out []P) ([]P, int) {
+	out = out[:0]
+	if t.size == 0 {
+		return out, 0
 	}
-	if t.size > 0 {
-		rec(t.root)
+	return searchNode(t.root, q, out, 0)
+}
+
+func searchNode[P any](n *node[P], q Box, out []P, visited int) ([]P, int) {
+	visited++
+	for _, e := range n.entries {
+		if !e.box.Intersects(q) {
+			continue
+		}
+		if n.leaf {
+			out = append(out, e.payload)
+		} else {
+			out, visited = searchNode(e.child, q, out, visited)
+		}
 	}
 	return out, visited
 }

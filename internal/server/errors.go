@@ -33,6 +33,11 @@ const (
 	// CodeUnavailable covers /readyz while the server is not ready:
 	// recovery still replaying, or shutdown draining.
 	CodeUnavailable = "unavailable"
+	// CodeApproxDisabled covers a query that asked for the approximate
+	// similarity tier ("mode": "approx") on a server whose database was
+	// opened without it. A client error (400), not a server fault: the
+	// tier is strictly opt-in configuration.
+	CodeApproxDisabled = "approx_disabled"
 )
 
 // errorBody is the payload of the envelope:

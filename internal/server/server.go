@@ -244,6 +244,11 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, limit int64, v a
 // envelope goes nowhere, but the status makes the request metric and log
 // line honest); anything else is a pool failure.
 func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, core.ErrApproxDisabled) {
+		writeError(w, r, http.StatusBadRequest, CodeApproxDisabled,
+			"approximate tier is disabled on this server (start it with -approx, or drop \"mode\": \"approx\")")
+		return
+	}
 	if errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == context.DeadlineExceeded {
 		s.log.Warn("query deadline exceeded",
 			"request_id", obs.RequestIDFrom(r.Context()),
@@ -334,6 +339,7 @@ type stageJSON struct {
 type queryStatsJSON struct {
 	searchStatsJSON
 	Stages []stageJSON `json:"stages,omitempty"`
+	Approx *approxJSON `json:"approx,omitempty"`
 }
 
 // planJSON describes the access path the cost-based planner chose.
@@ -344,7 +350,20 @@ type planJSON struct {
 	EstCandidates  int      `json:"est_candidates,omitempty"`
 	CostScan       float64  `json:"cost_scan,omitempty"`
 	CostRTree      float64  `json:"cost_rtree,omitempty"`
+	NProbe         int      `json:"nprobe,omitempty"`
+	CostApprox     float64  `json:"cost_approx,omitempty"`
 	Order          []string `json:"order,omitempty"`
+}
+
+// approxJSON is the approximate tier's probe accounting (strategy
+// "approx" only; the rerank itself reports through the regular search
+// stats — its distances are exact).
+type approxJSON struct {
+	NProbe      int     `json:"nprobe"`
+	Lists       int     `json:"lists"`
+	Probed      int     `json:"probed"`
+	Candidates  int     `json:"candidates"`
+	RecallProxy float64 `json:"recall_proxy"`
 }
 
 // queryResponse is the unified reply envelope of every /v1/query*
@@ -364,7 +383,7 @@ func (s *Server) toQueryResponse(res *core.QueryResult) queryResponse {
 	for i, st := range res.Stages {
 		stages[i] = stageJSON{Name: st.Name, In: st.In, Out: st.Out, Micros: st.Duration.Microseconds()}
 	}
-	return queryResponse{
+	out := queryResponse{
 		Matches:   toMatchJSON(res.Matches),
 		Total:     res.Total,
 		Limit:     res.Limit,
@@ -377,9 +396,21 @@ func (s *Server) toQueryResponse(res *core.QueryResult) queryResponse {
 			EstCandidates:  res.Plan.EstCandidates,
 			CostScan:       res.Plan.CostScan,
 			CostRTree:      res.Plan.CostRTree,
+			NProbe:         res.Plan.NProbe,
+			CostApprox:     res.Plan.CostApprox,
 			Order:          res.Plan.Order,
 		},
 	}
+	if res.Approx != nil {
+		out.Stats.Approx = &approxJSON{
+			NProbe:      res.Approx.NProbe,
+			Lists:       res.Approx.Lists,
+			Probed:      res.Approx.Probed,
+			Candidates:  res.Approx.Candidates,
+			RecallProxy: res.Approx.RecallProxy,
+		}
+	}
+	return out
 }
 
 // deprecated marks a legacy endpoint's response: the endpoint keeps

@@ -403,3 +403,90 @@ func TestSelectSpeedAndFrames(t *testing.T) {
 		t.Errorf("impossible speed matched %d", len(sel.Matches))
 	}
 }
+
+// TestQueryApproxDisabledEnvelope: asking for the approximate tier on a
+// server without it must answer a clean versioned 400 with the stable
+// approx_disabled code — a client configuration error, never a 500.
+func TestQueryApproxDisabledEnvelope(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingest(t, ts, "walker", 120, 1)
+
+	resp, body := post(t, ts.URL+"/v1/query", map[string]any{
+		"similar": map[string]any{
+			"trajectory": [][2]float64{{16, 120}, {160, 120}, {304, 120}},
+			"k":          3,
+			"mode":       "approx",
+		},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("decoding error envelope %s: %v", body, err)
+	}
+	if env.Error.Code != CodeApproxDisabled {
+		t.Errorf("code %q, want %q", env.Error.Code, CodeApproxDisabled)
+	}
+	if env.Error.RequestID == "" {
+		t.Error("error envelope lost the request id")
+	}
+
+	// Malformed approx knobs are plain validation errors (bad_request):
+	// the DSL layer rejects them before any tier question arises.
+	resp, body = post(t, ts.URL+"/v1/query", map[string]any{
+		"similar": map[string]any{
+			"trajectory":    [][2]float64{{16, 120}, {304, 120}},
+			"k":             3,
+			"mode":          "approx",
+			"nprobe":        4,
+			"recall_target": 0.9,
+		},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("conflicting knobs: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != CodeBadRequest {
+		t.Errorf("conflicting knobs: code %q (err %v), want %q", env.Error.Code, err, CodeBadRequest)
+	}
+}
+
+// TestQueryApproxEndToEnd: with the tier enabled, "mode": "approx"
+// answers through strategy approx and the envelope carries the probe
+// accounting alongside the exact rerank's search stats.
+func TestQueryApproxEndToEnd(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Approx = core.ApproxConfig{Enabled: true, NLists: 2, TrainSize: 2}
+	s := NewWith(cfg, quietOptions())
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	for i := 0; i < 3; i++ {
+		ingest(t, ts, "walker", 60+40*float64(i), int64(i+1))
+	}
+
+	resp, body := post(t, ts.URL+"/v1/query", map[string]any{
+		"similar": map[string]any{
+			"trajectory":    [][2]float64{{16, 120}, {160, 120}, {304, 120}},
+			"k":             2,
+			"mode":          "approx",
+			"recall_target": 1,
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	res := decodeQuery(t, body)
+	if res.Plan.Strategy != "approx" || res.Plan.NProbe == 0 {
+		t.Errorf("plan = %+v, want strategy approx with a resolved nprobe", res.Plan)
+	}
+	if res.Stats.Approx == nil {
+		t.Fatalf("no approx accounting in %s", body)
+	}
+	if res.Stats.Approx.Probed != res.Stats.Approx.Lists || res.Stats.Approx.RecallProxy != 1 {
+		t.Errorf("recall_target 1 probed %d/%d lists (proxy %g), want all",
+			res.Stats.Approx.Probed, res.Stats.Approx.Lists, res.Stats.Approx.RecallProxy)
+	}
+	if len(res.Matches) == 0 || res.Stats.Records == 0 {
+		t.Errorf("empty approx answer: %d matches, %d reranked", len(res.Matches), res.Stats.Records)
+	}
+}
