@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race vet chaos bench bench-json bench-cascade bench-approx bench-approx-smoke cover cover-check fuzz-smoke golden golden-update soak experiments experiments-full examples clean
+.PHONY: build test test-race vet chaos chaos-replica bench bench-json bench-cascade bench-approx bench-approx-smoke cover cover-check fuzz-smoke golden golden-update soak experiments experiments-full examples clean
 
 build:
 	go build ./...
@@ -14,12 +14,13 @@ vet:
 # Default test path: static checks, the full suite (includes the golden
 # e2e corpus and the short soak), a race-detector run of the
 # concurrency-heavy packages (distance cascade, index search and shards,
-# HTTP middleware/observability), the crash-recovery fault-injection
-# matrix, and the coverage ratchet.
+# HTTP middleware/observability, replication), the crash-recovery and
+# replication fault-injection matrices, and the coverage ratchet.
 test: vet
 	go test ./...
-	go test -race ./internal/dist ./internal/index ./internal/server
+	go test -race ./internal/dist ./internal/index ./internal/server ./internal/replica
 	$(MAKE) chaos
+	$(MAKE) chaos-replica
 	$(MAKE) cover-check
 
 test-race:
@@ -32,6 +33,15 @@ chaos:
 	go test -race -count=1 -run 'Crash|EveryPrefix|Durable|BitFlip|Torn|Atomic' \
 		./internal/wal ./internal/faultfs ./internal/core
 
+# Replication fault-injection matrix: every replica-side apply prefix
+# under a dying disk, tampered and torn wire batches, a primary killed
+# and restarted mid-stream, a resume position rotated off the retained
+# WAL, and planted matched-position divergence caught by anti-entropy.
+chaos-replica:
+	go test -race -count=1 \
+		-run 'ReplicaCrash|ReplicaCorrupt|ReplicaTorn|ReplicaResume|ReplicaWALGone|ReplicaAntiEntropy' \
+		./internal/replica
+
 cover:
 	go test -cover ./internal/...
 
@@ -42,10 +52,11 @@ cover:
 # behind /v1/query, rtree owns the pruning superset guarantee, embed owns
 # the approximate tier's candidate generation and its recall-monotonicity
 # contract). Floors sit ~3 points under current coverage (index 94.2%,
-# wal 80.4%, dist 97.8%, query 90.4%, rtree 96.0%, embed 90.2% when set);
-# raise them as coverage rises — never lower them to make a build pass.
+# wal 80.4%, dist 97.8%, query 90.4%, rtree 96.0%, embed 90.2%, replica
+# 81.5% when set); raise them as coverage rises — never lower them to
+# make a build pass.
 cover-check:
-	@status=0; for spec in internal/index:91.0 internal/wal:77.0 internal/dist:94.0 internal/query:86.0 internal/rtree:93.0 internal/embed:87.0; do \
+	@status=0; for spec in internal/index:91.0 internal/wal:77.0 internal/dist:94.0 internal/query:86.0 internal/rtree:93.0 internal/embed:87.0 internal/replica:78.0; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$(go test -cover ./$$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "FAIL: no coverage output for $$pkg"; status=1; continue; fi; \
@@ -66,6 +77,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzEGEDKernels$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 16x ./internal/dist
 	go test -run '^$$' -fuzz '^FuzzColumnarKernels$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 16x ./internal/dist
 	go test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 16x ./internal/query
+	go test -run '^$$' -fuzz '^FuzzReplicaBatchDecode$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 16x ./internal/replica
 
 # Golden end-to-end corpus: deterministic synthetic video in, bit-exact
 # query answers out, at shard counts 1, 2 and 4.

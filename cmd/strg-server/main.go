@@ -26,6 +26,16 @@
 // request carries a -request-timeout server-side deadline (504 when
 // exceeded). Probe and metrics endpoints are exempt.
 //
+// With -data-dir (and no -replicate-from) the server is also a
+// replication primary: read replicas register, fetch a bootstrap
+// snapshot and tail the WAL over /v1/replication/*. With -replicate-from
+// the server is a read replica of the given primary: ingest answers 403,
+// queries serve from the locally replicated state, and /readyz answers
+// 503 while replication lag exceeds -replica-lag-max or the local state
+// needs a re-bootstrap. A replica that detects divergence (or falls off
+// the primary's retained WAL) exits non-zero after persisting a RESYNC
+// marker — restarting it wipes the local state and bootstraps fresh.
+//
 // With -pprof, net/http/pprof profiling handlers are mounted under
 // /debug/pprof/. SIGINT/SIGTERM trigger a graceful shutdown: readiness
 // drops, the listener stops accepting, in-flight requests get -grace to
@@ -50,6 +60,7 @@ import (
 
 	"strgindex/internal/core"
 	"strgindex/internal/obs"
+	"strgindex/internal/replica"
 	"strgindex/internal/server"
 )
 
@@ -73,11 +84,18 @@ func run() int {
 	maxInFlight := flag.Int("max-inflight", 256, "maximum concurrently served API requests (0 = unlimited); excess requests are shed with 429")
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "how long a request may wait for an in-flight slot before 429")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "server-side deadline per API request (0 = none)")
+	replicateFrom := flag.String("replicate-from", "", "base URL of a primary to replicate from (e.g. http://primary:8080); makes this server a read replica (requires -data-dir)")
+	replicaID := flag.String("replica-id", "", "identity in the primary's replica registry (default: hostname; set explicitly when running several replicas per host)")
+	replicaLagMax := flag.Int64("replica-lag-max", 0, "replication lag in committed WAL bytes past which /readyz answers 503 (0 = 64 MiB, negative = unbounded)")
 	flag.Parse()
 
 	logger := obs.NewLogger()
 	if *dataDir != "" && *dbPath != "" {
 		logger.Error("-data-dir and -db are mutually exclusive (put the ingested database in the data dir instead)")
+		return 2
+	}
+	if *replicateFrom != "" && *dataDir == "" {
+		logger.Error("-replicate-from requires -data-dir (the replica keeps a durable local copy)")
 		return 2
 	}
 	cfg := core.DefaultConfig()
@@ -120,7 +138,31 @@ func run() int {
 
 	var srv *server.Server
 	var db *core.SharedDB
+	var rep *replica.Replica
 	switch {
+	case *replicateFrom != "":
+		id := *replicaID
+		if id == "" {
+			if id, _ = os.Hostname(); id == "" {
+				id = "replica"
+			}
+		}
+		rep, err = replica.Open(ctx, replica.Config{
+			Primary: *replicateFrom,
+			ID:      id,
+			Dir:     *dataDir,
+			DB:      cfg,
+			LagMax:  *replicaLagMax,
+			Logger:  logger,
+		})
+		if err != nil {
+			logger.Error("replica bootstrap failed", "primary", *replicateFrom, "err", err)
+			return 1
+		}
+		db = rep.DB()
+		logger.Info("replica recovered", "primary", *replicateFrom, "id", id, "pos", db.ReplicaPos().String())
+		opts.Replica = rep
+		srv = server.NewShared(db, opts)
 	case *dataDir != "":
 		shared, rec, err := core.OpenDurable(cfg, core.Durability{Dir: *dataDir})
 		if err != nil {
@@ -135,6 +177,12 @@ func run() int {
 			"wal_records", rec.ReplayedRecords,
 			"torn_tail", rec.TornTail,
 			"duration_ms", float64(rec.Duration.Nanoseconds())/1e6)
+		prim, perr := replica.NewPrimary(shared, replica.PrimaryOptions{})
+		if perr != nil {
+			logger.Error("replication primary", "err", perr)
+			return 1
+		}
+		opts.Replication = prim
 		srv = server.NewShared(shared, opts)
 	case *dbPath != "":
 		f, err := os.Open(*dbPath)
@@ -157,10 +205,31 @@ func run() int {
 	st := srv.DB().Stats()
 	logger.Info("ready", "segments", st.Segments, "ogs", st.OGs, "clusters", st.Clusters, "shards", st.Shards)
 
+	// The replication loop runs alongside the listener; repc stays nil
+	// (and its case never fires) on a primary.
+	var repc chan error
+	if rep != nil {
+		repc = make(chan error, 1)
+		go func() { repc <- rep.Run(ctx) }()
+	}
+
 	select {
 	case err := <-errc:
 		logger.Error("serve", "err", err)
 		return 1
+	case err := <-repc:
+		if !errors.Is(err, context.Canceled) {
+			if errors.Is(err, replica.ErrResyncNeeded) {
+				// The RESYNC marker is on disk: exit non-zero so a
+				// supervisor restarts us, and the next Open wipes and
+				// re-bootstraps.
+				logger.Error("replica requires re-bootstrap; restart to repair", "err", err)
+				return 1
+			}
+			logger.Error("replication loop exited", "err", err)
+			return 1
+		}
+		repc = nil // canceled alongside the signal context: graceful shutdown
 	case <-ctx.Done():
 	}
 	// Unregister the handler: a second SIGTERM takes the default
@@ -174,7 +243,20 @@ func run() int {
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Error("shutdown", "err", err)
 	}
-	if db != nil {
+	switch {
+	case rep != nil:
+		// Wait for the replication loop to notice the canceled context so
+		// it cannot race the final checkpoint.
+		if repc != nil {
+			<-repc
+		}
+		db.QuiesceIndex()
+		if err := rep.Close(); err != nil {
+			logger.Error("closing replica", "err", err)
+			return 1
+		}
+		logger.Info("replica closed")
+	case db != nil:
 		// Settle in-flight asynchronous splits, then fold the log into a
 		// final snapshot so the next boot is a single file load; failure is
 		// not fatal — the WAL already has everything.

@@ -97,6 +97,16 @@ type walOp struct {
 	// a different shard count still works). Logs written before sharding
 	// decode with Shard zero.
 	Shard int
+	// SrcSeq/SrcOff are set only on a replica: the primary WAL position
+	// immediately after this operation's record — the position replication
+	// resumes from once this record is locally durable. Persisting the
+	// resume point inside the record itself makes resume crash-safe with
+	// no sidecar file: a torn local tail truncates the record AND its
+	// position together, so the operation is re-fetched, never skipped or
+	// doubled. Zero on a primary, so gob omits them and primary WAL bytes
+	// are unchanged.
+	SrcSeq uint64
+	SrcOff int64
 }
 
 func encodeOp(op walOp) ([]byte, error) {
@@ -132,6 +142,18 @@ type durable struct {
 	// a failed commit rolls the log back to it.
 	pendingStart int64
 
+	// srcPos is, on a replica, the primary WAL position after the last
+	// applied operation (the replication resume point); applySrc stages
+	// the position of the operation currently being applied so append can
+	// stamp it into the record. Both zero on a primary.
+	srcPos   WALPos
+	applySrc WALPos
+	// retain is the lowest WAL sequence rotation must preserve for
+	// replication readers (MaxUint64 = no floor). Stored atomically so
+	// the primary-side replication service can move it without the
+	// database lock.
+	retain atomic.Uint64
+
 	// snapshotting single-flights background snapshots; inflight tracks
 	// the running one so Close and Checkpoint can wait without holding
 	// the database lock.
@@ -166,6 +188,20 @@ func (d *durable) path(name string) string { return filepath.Join(d.dir, name) }
 // non-final log record aborts with an error matching ErrCorrupt — damaged
 // state is never silently loaded.
 func OpenDurable(cfg Config, d Durability) (*SharedDB, RecoveryStats, error) {
+	return openDurable(cfg, d, false)
+}
+
+// OpenReplica opens a crash-safe database in replica mode: the same
+// recovery path as OpenDurable, but the external ingest surface is
+// sealed (IngestSegment/IngestStream/IngestVideo return ErrReplica) and
+// mutations arrive only through ApplyReplicated, which stamps each local
+// WAL record with the primary position it came from. ReplicaPos reports
+// the crash-safe resume point recovered from the snapshot and log chain.
+func OpenReplica(cfg Config, d Durability) (*SharedDB, RecoveryStats, error) {
+	return openDurable(cfg, d, true)
+}
+
+func openDurable(cfg Config, d Durability, replica bool) (*SharedDB, RecoveryStats, error) {
 	start := time.Now()
 	var stats RecoveryStats
 	if d.Dir == "" {
@@ -186,6 +222,7 @@ func OpenDurable(cfg Config, d Durability) (*SharedDB, RecoveryStats, error) {
 	}
 
 	dur := &durable{fsys: fsys, dir: d.Dir, cfg: d, pendingStart: -1}
+	dur.retain.Store(^uint64(0))
 
 	// Sweep leftovers of an interrupted atomic write: a *.tmp never
 	// renamed into place is dead weight.
@@ -213,6 +250,7 @@ func OpenDurable(cfg Config, d Durability) (*SharedDB, RecoveryStats, error) {
 		if img.WALSeq > 0 {
 			startSeq = img.WALSeq
 		}
+		dur.srcPos = WALPos{Seq: img.SrcSeq, Off: img.SrcOff}
 		stats.SnapshotLoaded = true
 	}
 
@@ -237,13 +275,19 @@ func OpenDurable(cfg Config, d Durability) (*SharedDB, RecoveryStats, error) {
 		}
 	}
 
-	replay := func(payload []byte) error {
+	replay := func(_ int64, payload []byte) error {
 		op, err := decodeOp(payload)
 		if err != nil {
 			return err
 		}
 		if _, err := db.IngestSegment(op.Stream, op.Segment); err != nil {
 			return err
+		}
+		if op.SrcSeq != 0 {
+			// Replica record: its source position is the resume point once
+			// this record is re-applied. A torn final record never reaches
+			// here, so the recovered position is exactly the durable one.
+			dur.srcPos = WALPos{Seq: op.SrcSeq, Off: op.SrcOff}
 		}
 		stats.ReplayedRecords++
 		return nil
@@ -281,7 +325,7 @@ func OpenDurable(cfg Config, d Durability) (*SharedDB, RecoveryStats, error) {
 	}
 	dur.ops = stats.ReplayedRecords
 
-	s := &SharedDB{db: db, dur: dur}
+	s := &SharedDB{db: db, dur: dur, replica: replica}
 	db.onCommit = dur.append
 	stats.Duration = time.Since(start)
 	recoverySeconds.Observe(stats.Duration.Seconds())
@@ -305,7 +349,8 @@ func (d *durable) append(stream string, seg *video.Segment, shard int) error {
 	if d.closed {
 		return fmt.Errorf("core: database closed")
 	}
-	payload, err := encodeOp(walOp{Stream: stream, Segment: seg, Shard: shard})
+	payload, err := encodeOp(walOp{Stream: stream, Segment: seg, Shard: shard,
+		SrcSeq: d.applySrc.Seq, SrcOff: d.applySrc.Off})
 	if err != nil {
 		return err
 	}
@@ -363,6 +408,7 @@ func (s *SharedDB) rotateLocked(sync bool) {
 	}
 	img := s.db.image()
 	img.WALSeq = d.seq + 1
+	img.SrcSeq, img.SrcOff = d.srcPos.Seq, d.srcPos.Off
 	newLog, err := wal.Create(d.fsys, d.path(walFileName(d.seq+1)))
 	if err != nil {
 		d.setSnapErr(fmt.Errorf("core: rotating write-ahead log: %w", err))
@@ -392,10 +438,14 @@ func (s *SharedDB) rotateLocked(sync bool) {
 			return
 		}
 		snapshotSaves.Inc()
-		// The snapshot now covers every log below img.WALSeq.
+		// The snapshot now covers every log below img.WALSeq — but logs a
+		// registered replication reader has not acked yet are kept (the
+		// retention floor). A later rotation, with the floor advanced,
+		// removes them.
+		floor := d.retain.Load()
 		if entries, err := d.fsys.ReadDir(d.dir); err == nil {
 			for _, e := range entries {
-				if seq, ok := parseWALName(e.Name()); ok && seq < img.WALSeq {
+				if seq, ok := parseWALName(e.Name()); ok && seq < img.WALSeq && seq < floor {
 					_ = d.fsys.Remove(d.path(e.Name()))
 				}
 			}

@@ -95,6 +95,13 @@ type dbImage struct {
 	// covered by this snapshot; recovery replays logs from WALSeq on.
 	// Zero for databases saved outside a durable directory.
 	WALSeq uint64
+	// SrcSeq/SrcOff are set only on a replica (and in replication
+	// bootstrap snapshots): the primary WAL position immediately after
+	// the last operation this image covers — the position replication
+	// resumes from. Zero on a primary, so gob omits them and primary
+	// snapshot bytes are unchanged.
+	SrcSeq uint64
+	SrcOff int64
 }
 
 // image captures the persistable state. Asynchronous split evaluations

@@ -24,6 +24,9 @@ type SharedDB struct {
 	mu  sync.RWMutex
 	db  *VideoDB
 	dur *durable
+	// replica seals the external ingest surface: mutations arrive only
+	// through ApplyReplicated (see replication.go).
+	replica bool
 }
 
 // OpenShared creates an empty concurrent database.
@@ -44,6 +47,9 @@ func LoadShared(r io.Reader, cfg Config) (*SharedDB, error) {
 // On a durable database the segment is write-ahead logged before any
 // state mutates.
 func (s *SharedDB) IngestSegment(stream string, seg *video.Segment) (*IngestStats, error) {
+	if s.replica {
+		return nil, ErrReplica
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, err := s.db.IngestSegment(stream, seg)
@@ -53,6 +59,9 @@ func (s *SharedDB) IngestSegment(stream string, seg *video.Segment) (*IngestStat
 
 // IngestStream ingests a whole stream under the write lock.
 func (s *SharedDB) IngestStream(stream *video.Stream) error {
+	if s.replica {
+		return ErrReplica
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.db.IngestStream(stream)
@@ -63,6 +72,9 @@ func (s *SharedDB) IngestStream(stream *video.Stream) error {
 // IngestVideo shot-parses and ingests a long recording under the write
 // lock.
 func (s *SharedDB) IngestVideo(stream string, seg *video.Segment, shotCfg shot.Config) (int, error) {
+	if s.replica {
+		return 0, ErrReplica
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n, err := s.db.IngestVideo(stream, seg, shotCfg)

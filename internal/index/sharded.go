@@ -118,6 +118,12 @@ func (s *Sharded[P]) shardOf(globalID int) int {
 	return int(h % uint64(s.n))
 }
 
+// ShardOfRoot exposes the deterministic global-root-ID → shard
+// assignment (see shardOf). The replication layer groups a canonical
+// snapshot's roots by shard with it to compute per-shard anti-entropy
+// hashes that are stable across build paths.
+func (s *Sharded[P]) ShardOfRoot(globalID int) int { return s.shardOf(globalID) }
+
 // resolveRoot mirrors Tree.findOrCreateRoot's matching over the directory
 // (creation order): the index of the best SimGraph match at or above the
 // threshold, the first nil-background entry for a nil bg, or -1.

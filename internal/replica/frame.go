@@ -1,0 +1,229 @@
+// Package replica implements WAL-streaming replication: a primary-side
+// service that ships snapshot bootstrap plus live WAL frames over HTTP
+// to N read replicas, and a replica-side connection loop that verifies
+// each batch under a Merkle root before applying it through the core
+// recovery path — so a replica's answers are byte-identical to the
+// primary's at the same applied version.
+//
+// # Batch wire format
+//
+// A batch is a self-contained binary message:
+//
+//	[8]byte magic "STRGRPL\x01"
+//	uint32 LE total length of everything after this field
+//	uint64 LE start seq | uint64 LE start off      (position of frame 0)
+//	uint64 LE next seq  | uint64 LE next off       (resume position)
+//	uint64 LE end seq   | uint64 LE end off        (primary committed end)
+//	uint64 LE lag bytes                            (committed bytes after next)
+//	uint32 LE frame count
+//	frame count × ( uint64 LE next seq | uint64 LE next off |
+//	                uint32 LE payload length | payload )
+//	[32]byte Merkle root (SHA-256 leaf hashes, pairwise reduction)
+//	uint32 LE CRC32C over everything after the total-length field
+//
+// The declared total length makes the torn/corrupt dichotomy of the WAL
+// scanner work over the wire: a buffer shorter than declared is
+// ErrTruncated (retryable — fetch again), while a full-length buffer
+// that fails the CRC, the Merkle root, or structural validation is
+// ErrCorrupt (refused — re-fetch from the last applied position).
+package replica
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"strgindex/internal/core"
+)
+
+// batchMagic identifies a replication batch; the last byte is the
+// protocol version.
+var batchMagic = [8]byte{'S', 'T', 'R', 'G', 'R', 'P', 'L', 1}
+
+const (
+	batchMagicSize = 8
+	batchLenSize   = 4
+	// batchFixedSize is the fixed part after the length field: three
+	// positions (16 bytes each), the lag, and the frame count.
+	batchFixedSize = 3*16 + 8 + 4
+	// frameFixedSize is the per-frame header: resume position + length.
+	frameFixedSize = 16 + 4
+	batchTrailer   = sha256.Size + 4
+	// MaxBatchBytes bounds a declared batch length; anything above it can
+	// only be corruption.
+	MaxBatchBytes = 256 << 20
+)
+
+// ErrTruncated reports a batch cut short relative to its declared
+// length — the residue of a dropped connection or a torn read. The
+// fetch is simply retried.
+var ErrTruncated = errors.New("replica: truncated batch")
+
+// ErrCorrupt reports a full-length batch that failed CRC, Merkle, or
+// structural validation — refused, never applied.
+var ErrCorrupt = errors.New("replica: corrupt batch")
+
+var batchCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Batch is a verified group of WAL frames plus the stream positions a
+// replica needs to apply and resume.
+type Batch struct {
+	// Start is the position frame 0 was read from (must equal the
+	// position the replica requested).
+	Start core.WALPos
+	// Next is the position to fetch from after applying every frame.
+	Next core.WALPos
+	// End is the primary's committed WAL end when the batch was built.
+	End core.WALPos
+	// Lag is the primary-computed committed byte count after Next —
+	// how far a replica that applies this batch still trails.
+	Lag int64
+	// Frames are the records in stream order with per-record resume
+	// positions.
+	Frames []core.WALFrame
+}
+
+// MerkleRoot reduces the frame payloads to one root: SHA-256 leaf
+// hashes, then pairwise parent hashes (an odd node is carried up), so a
+// replica verifies a whole batch with one comparison. An empty batch
+// hashes to SHA-256 of nothing.
+func MerkleRoot(frames []core.WALFrame) [sha256.Size]byte {
+	if len(frames) == 0 {
+		return sha256.Sum256(nil)
+	}
+	level := make([][sha256.Size]byte, len(frames))
+	for i := range frames {
+		level[i] = sha256.Sum256(frames[i].Payload)
+	}
+	for len(level) > 1 {
+		next := level[:0:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				var pair [2 * sha256.Size]byte
+				copy(pair[:], level[i][:])
+				copy(pair[sha256.Size:], level[i+1][:])
+				next = append(next, sha256.Sum256(pair[:]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func putPos(b []byte, p core.WALPos) {
+	binary.LittleEndian.PutUint64(b, p.Seq)
+	binary.LittleEndian.PutUint64(b[8:], uint64(p.Off))
+}
+
+func getPos(b []byte) core.WALPos {
+	return core.WALPos{
+		Seq: binary.LittleEndian.Uint64(b),
+		Off: int64(binary.LittleEndian.Uint64(b[8:])),
+	}
+}
+
+// EncodeBatch serializes a batch.
+func EncodeBatch(b *Batch) []byte {
+	inner := batchFixedSize
+	for _, f := range b.Frames {
+		inner += frameFixedSize + len(f.Payload)
+	}
+	inner += batchTrailer
+	out := make([]byte, batchMagicSize+batchLenSize+inner)
+	copy(out, batchMagic[:])
+	binary.LittleEndian.PutUint32(out[batchMagicSize:], uint32(inner))
+	p := out[batchMagicSize+batchLenSize:]
+	putPos(p, b.Start)
+	putPos(p[16:], b.Next)
+	putPos(p[32:], b.End)
+	binary.LittleEndian.PutUint64(p[48:], uint64(b.Lag))
+	binary.LittleEndian.PutUint32(p[56:], uint32(len(b.Frames)))
+	off := batchFixedSize
+	for _, f := range b.Frames {
+		putPos(p[off:], f.Next)
+		binary.LittleEndian.PutUint32(p[off+16:], uint32(len(f.Payload)))
+		copy(p[off+frameFixedSize:], f.Payload)
+		off += frameFixedSize + len(f.Payload)
+	}
+	root := MerkleRoot(b.Frames)
+	copy(p[off:], root[:])
+	off += sha256.Size
+	binary.LittleEndian.PutUint32(p[off:], crc32.Checksum(p[:off], batchCRC))
+	return out
+}
+
+// DecodeBatch parses and verifies one batch. The error dichotomy is the
+// contract the connection loop and the fuzz target lean on: a strict
+// prefix of a valid encoding is ErrTruncated; a full-length buffer that
+// fails any check is ErrCorrupt; trailing bytes beyond the declared
+// length are ErrCorrupt (a batch is a complete message, not a stream).
+func DecodeBatch(data []byte) (*Batch, error) {
+	n := len(data)
+	if n < batchMagicSize {
+		if bytes.Equal(data, batchMagic[:n]) {
+			return nil, fmt.Errorf("%w: %d bytes of magic", ErrTruncated, n)
+		}
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if [batchMagicSize]byte(data[:batchMagicSize]) != batchMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if n < batchMagicSize+batchLenSize {
+		return nil, fmt.Errorf("%w: header cut at %d bytes", ErrTruncated, n)
+	}
+	total := int64(binary.LittleEndian.Uint32(data[batchMagicSize:]))
+	if total > MaxBatchBytes || total < batchFixedSize+batchTrailer {
+		return nil, fmt.Errorf("%w: declared length %d out of range", ErrCorrupt, total)
+	}
+	body := data[batchMagicSize+batchLenSize:]
+	if int64(len(body)) < total {
+		return nil, fmt.Errorf("%w: %d of %d declared bytes", ErrTruncated, len(body), total)
+	}
+	if int64(len(body)) > total {
+		return nil, fmt.Errorf("%w: %d trailing bytes after declared length", ErrCorrupt, int64(len(body))-total)
+	}
+
+	// Full-length from here on: every failure is corruption.
+	crcAt := total - 4
+	if got, want := crc32.Checksum(body[:crcAt], batchCRC), binary.LittleEndian.Uint32(body[crcAt:]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	b := &Batch{
+		Start: getPos(body),
+		Next:  getPos(body[16:]),
+		End:   getPos(body[32:]),
+		Lag:   int64(binary.LittleEndian.Uint64(body[48:])),
+	}
+	count := binary.LittleEndian.Uint32(body[56:])
+	if int64(count) > (total-batchFixedSize-batchTrailer)/frameFixedSize {
+		return nil, fmt.Errorf("%w: frame count %d exceeds body", ErrCorrupt, count)
+	}
+	off := int64(batchFixedSize)
+	limit := total - batchTrailer
+	for i := uint32(0); i < count; i++ {
+		if off+frameFixedSize > limit {
+			return nil, fmt.Errorf("%w: frame %d header overruns body", ErrCorrupt, i)
+		}
+		next := getPos(body[off:])
+		plen := int64(binary.LittleEndian.Uint32(body[off+16:]))
+		if off+frameFixedSize+plen > limit {
+			return nil, fmt.Errorf("%w: frame %d payload overruns body", ErrCorrupt, i)
+		}
+		payload := body[off+frameFixedSize : off+frameFixedSize+plen : off+frameFixedSize+plen]
+		b.Frames = append(b.Frames, core.WALFrame{Payload: payload, Next: next})
+		off += frameFixedSize + plen
+	}
+	if off != limit {
+		return nil, fmt.Errorf("%w: %d undeclared bytes between frames and trailer", ErrCorrupt, limit-off)
+	}
+	root := MerkleRoot(b.Frames)
+	if [sha256.Size]byte(body[limit:limit+sha256.Size]) != root {
+		return nil, fmt.Errorf("%w: merkle root mismatch", ErrCorrupt)
+	}
+	return b, nil
+}

@@ -1,0 +1,61 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"strgindex/internal/core"
+)
+
+// FuzzReplicaBatchDecode feeds arbitrary bytes to the batch decoder and
+// checks the contract the connection loop depends on: it never panics,
+// every failure is exactly one of ErrTruncated or ErrCorrupt, a strict
+// prefix of a valid encoding is always truncated (retryable), and a
+// successful decode round-trips — re-encoding reproduces the input
+// byte-for-byte, so nothing the decoder accepted was silently ignored.
+func FuzzReplicaBatchDecode(f *testing.F) {
+	valid := EncodeBatch(&Batch{
+		Start: core.WALPos{Seq: 1, Off: 8},
+		Next:  core.WALPos{Seq: 1, Off: 64},
+		End:   core.WALPos{Seq: 2, Off: 8},
+		Lag:   512,
+		Frames: []core.WALFrame{
+			{Payload: []byte("seed payload"), Next: core.WALPos{Seq: 1, Off: 36}},
+			{Payload: []byte{0, 1, 2, 3}, Next: core.WALPos{Seq: 1, Off: 64}},
+		},
+	})
+	empty := EncodeBatch(&Batch{Start: core.WALPos{Seq: 3, Off: 40}, Next: core.WALPos{Seq: 3, Off: 40}, End: core.WALPos{Seq: 3, Off: 40}})
+	f.Add([]byte{})
+	f.Add(batchMagic[:])
+	f.Add(valid)
+	f.Add(empty)
+	f.Add(valid[:len(valid)-5])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), valid...), 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error outside the dichotomy: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(EncodeBatch(b), data) {
+			t.Fatal("accepted batch does not re-encode to the input bytes")
+		}
+		// Any strict prefix of an accepted encoding must be truncated —
+		// the retry path, never the refusal path, never a smaller batch.
+		for _, cut := range []int{0, 4, len(data) / 2, len(data) - 1} {
+			if cut < 0 || cut >= len(data) {
+				continue
+			}
+			if _, perr := DecodeBatch(data[:cut]); !errors.Is(perr, ErrTruncated) {
+				t.Fatalf("prefix %d of a valid batch: err = %v, want ErrTruncated", cut, perr)
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package replica
+
+import "strgindex/internal/obs"
+
+// Replication metrics, exposed through the shared registry on /metrics:
+//
+//	strg_repl_batches_sent_total           batches served by the primary
+//	strg_repl_bytes_sent_total             batch bytes served by the primary
+//	strg_repl_registered_replicas          live entries in the primary's registry
+//	strg_repl_bootstraps_served_total      bootstrap snapshots streamed
+//	strg_repl_batches_applied_total        batches verified and applied by a replica
+//	strg_repl_records_applied_total        WAL records applied by a replica
+//	strg_repl_batches_rejected_total       batches refused before apply, by reason
+//	strg_repl_reconnects_total             connection-loop retries after an error
+//	strg_repl_lag_bytes                    committed primary bytes this replica trails
+//	strg_repl_bootstraps_total             snapshot bootstraps performed by a replica
+//	strg_repl_anti_entropy_checks_total    digest comparisons completed at matched positions
+//	strg_repl_anti_entropy_repairs_total   divergences detected (each forces a re-bootstrap)
+var (
+	mBatchesSent = obs.Default.Counter("strg_repl_batches_sent_total",
+		"replication batches served by the primary", nil)
+	mBytesSent = obs.Default.Counter("strg_repl_bytes_sent_total",
+		"replication batch bytes served by the primary", nil)
+	mRegistered = obs.Default.Gauge("strg_repl_registered_replicas",
+		"replicas currently registered with the primary", nil)
+	mBootstrapsServed = obs.Default.Counter("strg_repl_bootstraps_served_total",
+		"bootstrap snapshots streamed to replicas", nil)
+
+	mBatchesApplied = obs.Default.Counter("strg_repl_batches_applied_total",
+		"replication batches verified and applied", nil)
+	mRecordsApplied = obs.Default.Counter("strg_repl_records_applied_total",
+		"replicated WAL records applied", nil)
+	mRejectedCorrupt = obs.Default.Counter("strg_repl_batches_rejected_total",
+		"replication batches refused before apply", obs.Labels{"reason": "corrupt"})
+	mRejectedTruncated = obs.Default.Counter("strg_repl_batches_rejected_total",
+		"replication batches refused before apply", obs.Labels{"reason": "truncated"})
+	mReconnects = obs.Default.Counter("strg_repl_reconnects_total",
+		"replica connection-loop retries after an error", nil)
+	mLagBytes = obs.Default.Gauge("strg_repl_lag_bytes",
+		"committed primary WAL bytes this replica has not applied", nil)
+	mBootstraps = obs.Default.Counter("strg_repl_bootstraps_total",
+		"snapshot bootstraps performed by this replica", nil)
+	mAntiEntropyChecks = obs.Default.Counter("strg_repl_anti_entropy_checks_total",
+		"anti-entropy digest comparisons completed at matched positions", nil)
+	mAntiEntropyRepairs = obs.Default.Counter("strg_repl_anti_entropy_repairs_total",
+		"anti-entropy divergences detected (each forces a re-bootstrap)", nil)
+)

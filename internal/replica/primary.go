@@ -1,0 +1,206 @@
+package replica
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"strgindex/internal/core"
+)
+
+// PrimaryOptions tunes the primary-side replication service.
+type PrimaryOptions struct {
+	// MaxBatchBytes bounds the payload bytes packed into one batch.
+	// 0 means 4 MiB.
+	MaxBatchBytes int64
+	// ReplicaTTL expires a registered replica that has neither acked nor
+	// fetched for this long, releasing its WAL retention. 0 means 10
+	// minutes; negative disables expiry.
+	ReplicaTTL time.Duration
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+// Primary is the primary-side replication service over a durable
+// SharedDB: it serves bootstrap snapshots, builds Merkle-rooted WAL
+// batches, tracks each registered replica's acked position, and holds
+// the WAL retention floor at the minimum acked sequence so rotation
+// never deletes frames a live replica still needs.
+type Primary struct {
+	db   *core.SharedDB
+	opts PrimaryOptions
+
+	mu       sync.Mutex
+	replicas map[string]*replicaEntry
+}
+
+type replicaEntry struct {
+	acked core.WALPos
+	seen  time.Time
+}
+
+// NewPrimary wraps db (which must be durable — replication streams its
+// WAL) as a replication primary.
+func NewPrimary(db *core.SharedDB, opts PrimaryOptions) (*Primary, error) {
+	if !db.Durable() {
+		return nil, core.ErrNotDurable
+	}
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = 4 << 20
+	}
+	if opts.ReplicaTTL == 0 {
+		opts.ReplicaTTL = 10 * time.Minute
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	return &Primary{db: db, opts: opts, replicas: make(map[string]*replicaEntry)}, nil
+}
+
+// Register adds (or refreshes) a replica with an acked position of zero,
+// pinning the entire retained WAL chain. Registration happens BEFORE the
+// bootstrap fetch so rotation cannot delete the logs between the
+// snapshot position and the replica's first ack.
+func (p *Primary) Register(id string) error {
+	if id == "" {
+		return fmt.Errorf("replica: empty replica id")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.replicas[id]; !ok {
+		p.replicas[id] = &replicaEntry{}
+	}
+	p.replicas[id].seen = p.opts.now()
+	p.updateFloorLocked()
+	return nil
+}
+
+// Ack records that the replica has durably applied everything before
+// pos. Acks never move backwards — a stale or replayed ack cannot
+// re-pin released logs.
+func (p *Primary) Ack(id string, pos core.WALPos) error {
+	if id == "" {
+		return fmt.Errorf("replica: empty replica id")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.replicas[id]
+	if !ok {
+		e = &replicaEntry{}
+		p.replicas[id] = e
+	}
+	if e.acked.Before(pos) {
+		e.acked = pos
+	}
+	e.seen = p.opts.now()
+	p.updateFloorLocked()
+	return nil
+}
+
+// Touch refreshes a replica's liveness without changing its ack (called
+// on every fetch).
+func (p *Primary) Touch(id string) {
+	if id == "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.replicas[id]; ok {
+		e.seen = p.opts.now()
+	}
+	p.updateFloorLocked()
+}
+
+// updateFloorLocked prunes expired replicas and pushes the minimum acked
+// sequence into the core retention floor.
+func (p *Primary) updateFloorLocked() {
+	now := p.opts.now()
+	floor := uint64(math.MaxUint64)
+	for id, e := range p.replicas {
+		if p.opts.ReplicaTTL > 0 && now.Sub(e.seen) > p.opts.ReplicaTTL {
+			delete(p.replicas, id)
+			continue
+		}
+		if e.acked.Seq < floor {
+			floor = e.acked.Seq
+		}
+	}
+	mRegistered.Set(int64(len(p.replicas)))
+	_ = p.db.SetWALRetainFloor(floor)
+}
+
+// Batch builds one encoded batch starting at from: frames read off the
+// WAL chain, positions for resume, the primary's committed end, the
+// remaining lag after Next, all under a Merkle root and CRC. An empty
+// batch (Start == Next == End, no frames) means the reader is caught up.
+func (p *Primary) Batch(from core.WALPos, maxBytes int64) ([]byte, error) {
+	if maxBytes <= 0 || maxBytes > p.opts.MaxBatchBytes {
+		maxBytes = p.opts.MaxBatchBytes
+	}
+	frames, next, end, err := p.db.WALFrames(from, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{
+		Start:  from,
+		Next:   next,
+		End:    end,
+		Lag:    p.db.WALBytesBetween(next, end),
+		Frames: frames,
+	}
+	out := EncodeBatch(b)
+	mBatchesSent.Inc()
+	mBytesSent.Add(int64(len(out)))
+	return out, nil
+}
+
+// WriteSnapshot streams a bootstrap snapshot to w and reports the WAL
+// position it is current to.
+func (p *Primary) WriteSnapshot(w io.Writer) (core.WALPos, error) {
+	pos, err := p.db.ReplicationSnapshot(w)
+	if err == nil {
+		mBootstrapsServed.Inc()
+	}
+	return pos, err
+}
+
+// Digest computes the primary's anti-entropy state digest.
+func (p *Primary) Digest() (core.StateDigest, error) {
+	return p.db.ReplicationDigest()
+}
+
+// ReplicaStatus is one registry entry in a Status report.
+type ReplicaStatus struct {
+	ID    string      `json:"id"`
+	Acked core.WALPos `json:"acked"`
+	// SeenAgo is how long ago the replica last registered, acked, or
+	// fetched, in seconds.
+	SeenAgo float64 `json:"seen_ago_seconds"`
+}
+
+// PrimaryStatus is the primary's replication status report.
+type PrimaryStatus struct {
+	Role     string          `json:"role"`
+	WALEnd   core.WALPos     `json:"wal_end"`
+	Segments int             `json:"segments"`
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// Status reports the registry and the committed WAL end.
+func (p *Primary) Status() PrimaryStatus {
+	end, _ := p.db.WALPos()
+	st := PrimaryStatus{Role: "primary", WALEnd: end, Segments: p.db.AppliedSegments()}
+	now := p.opts.now()
+	p.mu.Lock()
+	for id, e := range p.replicas {
+		st.Replicas = append(st.Replicas, ReplicaStatus{
+			ID: id, Acked: e.acked, SeenAgo: now.Sub(e.seen).Seconds(),
+		})
+	}
+	p.mu.Unlock()
+	sort.Slice(st.Replicas, func(i, j int) bool { return st.Replicas[i].ID < st.Replicas[j].ID })
+	return st
+}

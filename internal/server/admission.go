@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -38,7 +39,6 @@ func (s *Server) admission(next http.Handler) http.Handler {
 	if s.opts.MaxInFlight > 0 {
 		slots = make(chan struct{}, s.opts.MaxInFlight)
 	}
-	retryAfter := strconv.Itoa(int((s.opts.QueueTimeout + time.Second - 1) / time.Second))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if exempt(r.URL.Path) {
 			next.ServeHTTP(w, r)
@@ -55,6 +55,7 @@ func (s *Server) admission(next http.Handler) http.Handler {
 					queue.Stop()
 				case <-queue.C:
 					shed.Inc()
+					retryAfter := shedRetryAfter(s.opts.QueueTimeout)
 					w.Header().Set("Retry-After", retryAfter)
 					writeError(w, r, http.StatusTooManyRequests, CodeOverloaded,
 						"server at capacity (%d in flight); retry after %ss",
@@ -76,14 +77,35 @@ func (s *Server) admission(next http.Handler) http.Handler {
 	})
 }
 
+// shedRetryAfter computes one shed response's Retry-After hint: the
+// queue timeout rounded up to whole seconds, plus uniform jitter of up
+// to the same span again. A fixed hint would have every shed client —
+// reconnecting replicas included — retry in lockstep and re-saturate the
+// queue at the same instant; the jitter spreads the herd.
+func shedRetryAfter(queueTimeout time.Duration) string {
+	base := int((queueTimeout + time.Second - 1) / time.Second)
+	if base < 1 {
+		base = 1
+	}
+	return strconv.Itoa(base + rand.IntN(base+1))
+}
+
 // handleReadyz is the readiness probe: 200 only when the server should
 // receive traffic. It is false while recovery replays the write-ahead
 // log and during shutdown drain, so orchestrators route around the
-// process without killing it (that is /healthz's call).
+// process without killing it (that is /healthz's call); on a replica the
+// ReadyCheck hook additionally fails it while replication lag exceeds
+// the configured bound or the state awaits a re-bootstrap.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		writeError(w, r, http.StatusServiceUnavailable, CodeUnavailable, "not ready")
 		return
+	}
+	if s.opts.ReadyCheck != nil {
+		if err := s.opts.ReadyCheck(); err != nil {
+			writeError(w, r, http.StatusServiceUnavailable, CodeUnavailable, "not ready: %v", err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

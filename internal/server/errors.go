@@ -38,6 +38,13 @@ const (
 	// opened without it. A client error (400), not a server fault: the
 	// tier is strictly opt-in configuration.
 	CodeApproxDisabled = "approx_disabled"
+	// CodeReadOnlyReplica covers ingest attempts against a read replica
+	// (403): replicas accept mutations only from the primary's WAL stream.
+	CodeReadOnlyReplica = "read_only_replica"
+	// CodeWALGone covers a replication fetch from a WAL position the
+	// primary no longer retains (410): the replica must re-bootstrap from
+	// a fresh snapshot.
+	CodeWALGone = "wal_gone"
 )
 
 // errorBody is the payload of the envelope:

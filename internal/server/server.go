@@ -57,6 +57,7 @@ import (
 	"strgindex/internal/index"
 	"strgindex/internal/obs"
 	"strgindex/internal/query"
+	"strgindex/internal/replica"
 	"strgindex/internal/video"
 )
 
@@ -105,6 +106,19 @@ type Options struct {
 	// StartUnready makes /readyz answer 503 until SetReady(true) — for a
 	// process that binds its listener before recovery has finished.
 	StartUnready bool
+	// ReadyCheck, when set, is consulted by /readyz after the ready flag:
+	// a non-nil error answers 503 with the error text. Defaults to
+	// Replica.Healthy when Replica is set, so a lagging or diverged
+	// replica drops out of rotation automatically.
+	ReadyCheck func() error
+	// Replication mounts the primary-side replication endpoints
+	// (/v1/replication/{register,ack,snapshot,wal,digest,status}) over the
+	// given service.
+	Replication *replica.Primary
+	// Replica marks this server as a read replica: ingest answers 403
+	// read_only_replica, /v1/replication/status reports the replica's
+	// view, and /readyz fails while the replica lags past its bound.
+	Replica *replica.Replica
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +136,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxInFlight > 0 && o.QueueTimeout <= 0 {
 		o.QueueTimeout = time.Second
+	}
+	if o.ReadyCheck == nil && o.Replica != nil {
+		o.ReadyCheck = o.Replica.Healthy
 	}
 	return o
 }
@@ -185,14 +202,31 @@ func wrap(db *core.SharedDB, opts Options) *Server {
 	// Method mismatches on known paths envelope as 405 with an Allow
 	// header; everything else falls through to the catch-all 404. Both
 	// stay JSON: a /v1 client should never see a text/plain error.
-	for p, allow := range map[string]string{
+	allowed := map[string]string{
 		"/v1/segments":     http.MethodPost,
 		"/v1/query":        http.MethodPost,
 		"/v1/query/knn":    http.MethodPost,
 		"/v1/query/range":  http.MethodPost,
 		"/v1/query/select": http.MethodPost,
 		"/v1/stats":        http.MethodGet,
-	} {
+	}
+	if opts.Replication != nil {
+		s.mux.HandleFunc("POST /v1/replication/register", s.handleReplRegister)
+		s.mux.HandleFunc("POST /v1/replication/ack", s.handleReplAck)
+		s.mux.HandleFunc("GET /v1/replication/snapshot", s.handleReplSnapshot)
+		s.mux.HandleFunc("GET /v1/replication/wal", s.handleReplWAL)
+		s.mux.HandleFunc("GET /v1/replication/digest", s.handleReplDigest)
+		allowed["/v1/replication/register"] = http.MethodPost
+		allowed["/v1/replication/ack"] = http.MethodPost
+		allowed["/v1/replication/snapshot"] = http.MethodGet
+		allowed["/v1/replication/wal"] = http.MethodGet
+		allowed["/v1/replication/digest"] = http.MethodGet
+	}
+	if opts.Replication != nil || opts.Replica != nil {
+		s.mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
+		allowed["/v1/replication/status"] = http.MethodGet
+	}
+	for p, allow := range allowed {
 		allow := allow
 		s.mux.HandleFunc(p, func(w http.ResponseWriter, r *http.Request) {
 			s.handleMethodNotAllowed(w, r, allow)
@@ -469,6 +503,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stats, err := s.db.IngestSegment(req.Stream, req.Segment)
+	if errors.Is(err, core.ErrReplica) {
+		writeError(w, r, http.StatusForbidden, CodeReadOnlyReplica,
+			"this server is a read replica; ingest on the primary")
+		return
+	}
 	if err != nil {
 		writeError(w, r, http.StatusUnprocessableEntity, CodeBadRequest, "ingest: %v", err)
 		return

@@ -48,7 +48,7 @@ func FuzzWALScan(f *testing.F) {
 			t.Fatal(err)
 		}
 		applied := 0
-		res, err := wal.Scan(faultfs.OS{}, path, func(p []byte) error { applied++; return nil })
+		res, err := wal.Scan(faultfs.OS{}, path, func(_ int64, p []byte) error { applied++; return nil })
 		if err != nil {
 			if !errors.Is(err, wal.ErrCorrupt) {
 				t.Fatalf("Scan error is not corruption: %v", err)
@@ -79,7 +79,7 @@ func FuzzWALScan(f *testing.F) {
 		if err := os.WriteFile(prefix, data[:res.CommittedSize], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		res2, err := wal.Scan(faultfs.OS{}, prefix, func(p []byte) error { return nil })
+		res2, err := wal.Scan(faultfs.OS{}, prefix, func(_ int64, p []byte) error { return nil })
 		if err != nil {
 			t.Fatalf("rescan of committed prefix failed: %v", err)
 		}

@@ -38,8 +38,9 @@ var Magic = [8]byte{'S', 'T', 'R', 'G', 'W', 'A', 'L', 1}
 // HeaderSize is the byte length of the file header.
 const HeaderSize = 8
 
-// frameOverhead is the per-record framing: length + CRC.
-const frameOverhead = 8
+// FrameOverhead is the per-record framing: length + CRC. Exported so the
+// replication layer can compute resume offsets from record payloads.
+const FrameOverhead = 8
 
 // MaxRecordBytes bounds a single record payload. A length prefix above it
 // can only come from corruption (ingest bodies are far smaller), so the
@@ -49,6 +50,12 @@ const MaxRecordBytes = 256 << 20
 // ErrCorrupt is the sentinel matched (via errors.Is) by every corruption
 // error the scanner reports.
 var ErrCorrupt = errors.New("wal: corrupt log")
+
+// ErrStopScan, returned by a scan callback, ends the scan cleanly: the
+// Result covers the records applied so far (Stopped is set) and Scan
+// returns a nil error. Used by readers that page through a log in
+// bounded batches.
+var ErrStopScan = errors.New("wal: stop scan")
 
 // CorruptError reports where and why a log was rejected.
 type CorruptError struct {
@@ -94,21 +101,38 @@ type Result struct {
 	// TornOffset is the offset the torn bytes start at (== CommittedSize
 	// when Torn).
 	TornOffset int64
+	// Stopped reports that the scan ended early because apply returned
+	// ErrStopScan; records may remain after CommittedSize.
+	Stopped bool
 }
 
 // Scan reads the log at path, calling apply for each intact record in
-// order. A torn tail (file ends inside a record frame, or inside the file
-// header) is reported in the Result, not as an error; corruption (bad
-// magic, oversized length, CRC mismatch on a fully present record) aborts
-// with a *CorruptError. An apply error aborts the scan and is returned
-// wrapped.
+// order; off is the byte offset the record's frame starts at. A torn tail
+// (file ends inside a record frame, or inside the file header) is
+// reported in the Result, not as an error; corruption (bad magic,
+// oversized length, CRC mismatch on a fully present record) aborts with a
+// *CorruptError. An apply error aborts the scan and is returned wrapped,
+// except ErrStopScan which ends it cleanly.
 //
 // The payload slice passed to apply aliases the scan buffer and is only
 // valid for the duration of the call.
-func Scan(fsys faultfs.FS, path string, apply func(payload []byte) error) (Result, error) {
+func Scan(fsys faultfs.FS, path string, apply func(off int64, payload []byte) error) (Result, error) {
+	return ScanRange(fsys, path, HeaderSize, -1, apply)
+}
+
+// ScanRange is Scan restricted to a byte window: records are read
+// starting at offset from (which must be a record boundary — HeaderSize
+// or an offset previously reported by Scan), and bytes at or beyond
+// limit are treated as absent (limit < 0 means the whole file). The
+// replication reader uses the limit to page a live log up to its
+// committed size without seeing an append in flight.
+func ScanRange(fsys faultfs.FS, path string, from, limit int64, apply func(off int64, payload []byte) error) (Result, error) {
 	data, err := faultfs.ReadFile(fsys, path)
 	if err != nil {
 		return Result{}, err
+	}
+	if limit >= 0 && int64(len(data)) > limit {
+		data = data[:limit]
 	}
 	var res Result
 	if len(data) < HeaderSize {
@@ -124,14 +148,21 @@ func Scan(fsys faultfs.FS, path string, apply func(payload []byte) error) (Resul
 	if [8]byte(data[:8]) != Magic {
 		return res, &CorruptError{Path: path, Offset: 0, Reason: "bad magic"}
 	}
-	off := int64(HeaderSize)
+	if from < HeaderSize {
+		from = HeaderSize
+	}
+	if from > int64(len(data)) {
+		return res, &CorruptError{Path: path, Offset: from,
+			Reason: fmt.Sprintf("start offset beyond %d available bytes", len(data))}
+	}
+	off := from
 	res.CommittedSize = off
 	for {
 		remaining := int64(len(data)) - off
 		if remaining == 0 {
 			return res, nil
 		}
-		if remaining < frameOverhead {
+		if remaining < FrameOverhead {
 			res.Torn, res.TornOffset = true, off
 			walTornTails.Inc()
 			return res, nil
@@ -143,20 +174,24 @@ func Scan(fsys faultfs.FS, path string, apply func(payload []byte) error) (Resul
 			return res, &CorruptError{Path: path, Offset: off,
 				Reason: fmt.Sprintf("record length %d exceeds limit", length)}
 		}
-		if remaining < frameOverhead+length {
+		if remaining < FrameOverhead+length {
 			res.Torn, res.TornOffset = true, off
 			walTornTails.Inc()
 			return res, nil
 		}
-		payload := data[off+frameOverhead : off+frameOverhead+length]
+		payload := data[off+FrameOverhead : off+FrameOverhead+length]
 		if crc32.Checksum(payload, castagnoli) != sum {
 			walChecksumFailures.Inc()
 			return res, &CorruptError{Path: path, Offset: off, Reason: "checksum mismatch"}
 		}
-		if err := apply(payload); err != nil {
+		if err := apply(off, payload); err != nil {
+			if errors.Is(err, ErrStopScan) {
+				res.Stopped = true
+				return res, nil
+			}
 			return res, fmt.Errorf("wal: applying record %d of %s: %w", res.Records, path, err)
 		}
-		off += frameOverhead + length
+		off += FrameOverhead + length
 		res.Records++
 		res.CommittedSize = off
 	}
@@ -223,10 +258,10 @@ func OpenAppend(fsys faultfs.FS, path string, committedSize int64) (*Log, error)
 // caller either truncates with TruncateTo or leaves for the next Scan to
 // measure off.
 func (l *Log) Append(payload []byte) error {
-	frame := make([]byte, frameOverhead+len(payload))
+	frame := make([]byte, FrameOverhead+len(payload))
 	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
-	copy(frame[frameOverhead:], payload)
+	copy(frame[FrameOverhead:], payload)
 	n, err := l.f.Write(frame)
 	if err != nil {
 		return fmt.Errorf("wal: appending to %s after %d/%d bytes: %w", l.path, n, len(frame), err)

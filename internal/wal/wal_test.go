@@ -46,7 +46,12 @@ func writeLog(t *testing.T, path string, payloads [][]byte) {
 func scanAll(t *testing.T, fsys faultfs.FS, path string) ([][]byte, Result, error) {
 	t.Helper()
 	var got [][]byte
-	res, err := Scan(fsys, path, func(p []byte) error {
+	var wantOff int64 = HeaderSize
+	res, err := Scan(fsys, path, func(off int64, p []byte) error {
+		if off != wantOff {
+			t.Errorf("record %d offset = %d, want %d", len(got), off, wantOff)
+		}
+		wantOff = off + FrameOverhead + int64(len(p))
 		got = append(got, bytes.Clone(p))
 		return nil
 	})
@@ -98,7 +103,7 @@ func TestScanEveryPrefix(t *testing.T) {
 	ends := []int64{HeaderSize}
 	off := int64(HeaderSize)
 	for _, p := range payloads {
-		off += frameOverhead + int64(len(p))
+		off += FrameOverhead + int64(len(p))
 		ends = append(ends, off)
 	}
 
@@ -168,9 +173,9 @@ func TestBitFlipDetected(t *testing.T) {
 	writeLog(t, path, payloads)
 
 	// Flip one bit in the middle record's payload, then in its CRC field.
-	rec1Start := int64(HeaderSize + frameOverhead + len(payloads[0]))
+	rec1Start := int64(HeaderSize + FrameOverhead + len(payloads[0]))
 	for name, offset := range map[string]int64{
-		"payload": rec1Start + frameOverhead + 2,
+		"payload": rec1Start + FrameOverhead + 2,
 		"crc":     rec1Start + 5,
 	} {
 		t.Run(name, func(t *testing.T) {
@@ -206,7 +211,7 @@ func TestBadMagicRejected(t *testing.T) {
 
 func TestOversizedLengthRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	frame := make([]byte, HeaderSize+frameOverhead+4)
+	frame := make([]byte, HeaderSize+FrameOverhead+4)
 	copy(frame, Magic[:])
 	// Length field far beyond MaxRecordBytes.
 	frame[HeaderSize] = 0xff
@@ -258,7 +263,7 @@ func TestAppendFailsCleanlyOnCrashedDisk(t *testing.T) {
 	path := filepath.Join(dir, "wal.log")
 	// Budget covers the header plus one full record, then tears.
 	payload := []byte("0123456789")
-	budget := int64(HeaderSize + frameOverhead + len(payload) + 5)
+	budget := int64(HeaderSize + FrameOverhead + len(payload) + 5)
 	fsys := faultfs.NewInject(faultfs.OS{}, faultfs.Config{WriteBudget: budget, FailSyncAfter: -1})
 	l, err := Create(fsys, path)
 	if err != nil {
@@ -286,7 +291,7 @@ func TestScanApplyErrorAborts(t *testing.T) {
 	writeLog(t, path, testPayloads(3))
 	calls := 0
 	boom := fmt.Errorf("boom")
-	_, err := Scan(faultfs.OS{}, path, func(p []byte) error {
+	_, err := Scan(faultfs.OS{}, path, func(_ int64, p []byte) error {
 		calls++
 		if calls == 2 {
 			return boom
