@@ -182,6 +182,7 @@ func run() int {
 			logger.Error("replication primary", "err", perr)
 			return 1
 		}
+		defer prim.Close()
 		opts.Replication = prim
 		srv = server.NewShared(shared, opts)
 	case *dbPath != "":

@@ -157,10 +157,14 @@ func (s *SharedDB) WALFrames(from WALPos, maxBytes int64) (frames []WALFrame, ne
 			if os.IsNotExist(serr) {
 				return nil, from, end, fmt.Errorf("core: %s rotated away: %w", walFileName(next.Seq), ErrWALGone)
 			}
-			if errors.Is(serr, wal.ErrCorrupt) && next.Seq < curSeq {
-				// A sealed log cannot legitimately fail its checksums; a
-				// bad reader offset lands here too. Either way the reader
-				// cannot resume from this position.
+			if errors.Is(serr, wal.ErrCorrupt) {
+				// A sealed log cannot legitimately fail its checksums, the
+				// live log is only read up to its committed size, and a bad
+				// reader offset (e.g. one that now lands mid-record because
+				// a restarted primary wrote different bytes past it) parses
+				// as garbage. Either way the reader cannot resume from this
+				// position — answer ErrWALGone so it re-bootstraps instead
+				// of retrying a permanent failure forever.
 				return nil, from, end, fmt.Errorf("core: reading %s: %v: %w", walFileName(next.Seq), serr, ErrWALGone)
 			}
 			return nil, from, end, serr
@@ -301,12 +305,16 @@ func (s *SharedDB) ApplyReplicated(payload []byte, src WALPos) error {
 	s.dur.applySrc = src
 	_, err = s.db.IngestSegment(op.Stream, op.Segment)
 	s.dur.applySrc = WALPos{}
-	s.afterIngestLocked(err)
-	if err != nil {
-		return err
+	if err == nil {
+		// Advance the resume point BEFORE settling the WAL: settling can
+		// trigger a rotation whose snapshot already contains this record,
+		// so it must be stamped with this record's position — stamping the
+		// previous one would make a post-crash recovery re-fetch and
+		// re-apply the record, silently diverging from the primary.
+		s.dur.srcPos = src
 	}
-	s.dur.srcPos = src
-	return nil
+	s.afterIngestLocked(err)
+	return err
 }
 
 // StateDigest is the anti-entropy fingerprint of a database: per-shard

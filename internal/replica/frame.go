@@ -37,6 +37,7 @@ import (
 	"hash/crc32"
 
 	"strgindex/internal/core"
+	"strgindex/internal/wal"
 )
 
 // batchMagic identifies a replication batch; the last byte is the
@@ -52,9 +53,17 @@ const (
 	// frameFixedSize is the per-frame header: resume position + length.
 	frameFixedSize = 16 + 4
 	batchTrailer   = sha256.Size + 4
-	// MaxBatchBytes bounds a declared batch length; anything above it can
-	// only be corruption.
+	// MaxBatchBytes bounds the frame payload budget a primary packs into
+	// one batch (NewPrimary clamps its option to it).
 	MaxBatchBytes = 256 << 20
+	// maxBatchWireBytes bounds a declared batch length on the wire;
+	// anything above it can only be corruption. A legal batch can exceed
+	// the payload budget: WALFrames keeps the record that crosses it —
+	// up to one maximum-size WAL record (wal.MaxRecordBytes) — and
+	// framing adds a fixed header plus frameFixedSize per record, so the
+	// bound leaves headroom for both rather than sitting exactly at the
+	// budget (which would wedge a replica behind a maximum-size record).
+	maxBatchWireBytes = MaxBatchBytes + wal.MaxRecordBytes + MaxBatchBytes/2
 )
 
 // ErrTruncated reports a batch cut short relative to its declared
@@ -177,7 +186,7 @@ func DecodeBatch(data []byte) (*Batch, error) {
 		return nil, fmt.Errorf("%w: header cut at %d bytes", ErrTruncated, n)
 	}
 	total := int64(binary.LittleEndian.Uint32(data[batchMagicSize:]))
-	if total > MaxBatchBytes || total < batchFixedSize+batchTrailer {
+	if total > maxBatchWireBytes || total < batchFixedSize+batchTrailer {
 		return nil, fmt.Errorf("%w: declared length %d out of range", ErrCorrupt, total)
 	}
 	body := data[batchMagicSize+batchLenSize:]

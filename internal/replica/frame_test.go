@@ -3,6 +3,7 @@ package replica
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"testing"
 
@@ -100,6 +101,27 @@ func TestBatchDecodeDichotomy(t *testing.T) {
 	// is a complete message, not a stream.
 	if _, err := DecodeBatch(append(append([]byte(nil), enc...), 0x00)); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("trailing byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDecodeBatchDeclaredLengthBounds: the wire bound must leave room
+// above the payload budget — a batch carrying a single maximum-size WAL
+// record legally declares more than MaxBatchBytes (framing plus the
+// one-record overshoot WALFrames permits), and refusing it as corrupt
+// would wedge the replica behind that record forever.
+func TestDecodeBatchDeclaredLengthBounds(t *testing.T) {
+	hdr := make([]byte, batchMagicSize+batchLenSize)
+	copy(hdr, batchMagic[:])
+
+	over := MaxBatchBytes + batchFixedSize + frameFixedSize + batchTrailer
+	binary.LittleEndian.PutUint32(hdr[batchMagicSize:], uint32(over))
+	if _, err := DecodeBatch(hdr); !errors.Is(err, ErrTruncated) {
+		t.Errorf("declared length just past the payload budget: err = %v, want ErrTruncated", err)
+	}
+
+	binary.LittleEndian.PutUint32(hdr[batchMagicSize:], uint32(maxBatchWireBytes+1))
+	if _, err := DecodeBatch(hdr); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("declared length above the wire bound: err = %v, want ErrCorrupt", err)
 	}
 }
 

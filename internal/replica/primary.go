@@ -14,7 +14,8 @@ import (
 // PrimaryOptions tunes the primary-side replication service.
 type PrimaryOptions struct {
 	// MaxBatchBytes bounds the payload bytes packed into one batch.
-	// 0 means 4 MiB.
+	// 0 means 4 MiB; values above the protocol limit (the package-level
+	// MaxBatchBytes) are clamped to it so every batch stays decodable.
 	MaxBatchBytes int64
 	// ReplicaTTL expires a registered replica that has neither acked nor
 	// fetched for this long, releasing its WAL retention. 0 means 10
@@ -35,6 +36,9 @@ type Primary struct {
 
 	mu       sync.Mutex
 	replicas map[string]*replicaEntry
+
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 type replicaEntry struct {
@@ -51,13 +55,49 @@ func NewPrimary(db *core.SharedDB, opts PrimaryOptions) (*Primary, error) {
 	if opts.MaxBatchBytes <= 0 {
 		opts.MaxBatchBytes = 4 << 20
 	}
+	if opts.MaxBatchBytes > MaxBatchBytes {
+		opts.MaxBatchBytes = MaxBatchBytes
+	}
 	if opts.ReplicaTTL == 0 {
 		opts.ReplicaTTL = 10 * time.Minute
 	}
 	if opts.now == nil {
 		opts.now = time.Now
 	}
-	return &Primary{db: db, opts: opts, replicas: make(map[string]*replicaEntry)}, nil
+	p := &Primary{db: db, opts: opts, replicas: make(map[string]*replicaEntry), stop: make(chan struct{})}
+	if opts.ReplicaTTL > 0 {
+		go p.sweep()
+	}
+	return p, nil
+}
+
+// sweep expires dead replicas on a timer. Expiry otherwise runs only
+// inside Register/Ack/Touch: if the sole replica dies permanently, no
+// replication call ever arrives again and its last acked sequence would
+// pin WAL retention forever, growing the primary's disk without bound.
+func (p *Primary) sweep() {
+	interval := p.opts.ReplicaTTL / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.mu.Lock()
+			p.updateFloorLocked()
+			p.mu.Unlock()
+		}
+	}
+}
+
+// Close stops the background expiry sweeper. The registry itself needs
+// no teardown.
+func (p *Primary) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
 }
 
 // Register adds (or refreshes) a replica with an acked position of zero,

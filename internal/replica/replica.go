@@ -228,7 +228,9 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	tmp := join(r.cfg.Dir, "bootstrap.strg.tmp")
 	final := join(r.cfg.Dir, "snapshot.strg")
 
-	resp, err := r.get(ctx, "/v1/replication/snapshot", nil)
+	// The replica id rides along so the primary Touches our registration
+	// as it serves the stream.
+	resp, err := r.get(ctx, "/v1/replication/snapshot", url.Values{"replica": {r.cfg.ID}})
 	if err != nil {
 		return err
 	}
@@ -240,7 +242,28 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("replica: creating %s: %w", tmp, err)
 	}
+	// Re-register periodically while the snapshot streams: a download
+	// longer than the primary's replica TTL would otherwise expire the
+	// registration mid-bootstrap, letting rotation delete the WAL between
+	// the snapshot position and our first ack.
+	kctx, kcancel := context.WithCancel(ctx)
+	kdone := make(chan struct{})
+	go func() {
+		defer close(kdone)
+		t := time.NewTicker(30 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-kctx.Done():
+				return
+			case <-t.C:
+				_ = r.register(kctx)
+			}
+		}
+	}()
 	_, cerr := io.Copy(f, resp.Body)
+	kcancel()
+	<-kdone
 	if serr := f.Sync(); cerr == nil {
 		cerr = serr
 	}

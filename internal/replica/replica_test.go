@@ -148,6 +148,7 @@ type primaryFixture struct {
 
 func (p *primaryFixture) close() {
 	p.ts.Close()
+	p.prim.Close()
 	_ = p.db.Close()
 }
 
@@ -988,4 +989,151 @@ func waitFor(t *testing.T, what string, ok func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestReplicaSnapshotDuringApplyStampsAppliedPosition: a rotation
+// triggered by the apply itself (SnapshotOps=1 makes every apply one)
+// captures a snapshot that already contains the record, so it must be
+// stamped with that record's source position. A stale stamp would make
+// recovery resume one record back, re-fetch and re-apply it, and
+// silently diverge from the primary.
+func TestReplicaSnapshotDuringApplyStampsAppliedPosition(t *testing.T) {
+	cfg := testCfg(1)
+	stream := miniStream(t, 6, 41)
+	sigs := refSigs(t, cfg, stream.Segments)
+
+	pdb, _, err := core.OpenDurable(cfg, core.Durability{Dir: t.TempDir(), SnapshotOps: -1, SnapshotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pdb.Close()
+	for _, seg := range stream.Segments {
+		if _, err := pdb.IngestSegment("Mini", seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, _, _, err := pdb.WALFrames(core.WALPos{Seq: 1, Off: wal.HeaderSize}, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Close waits the background snapshot out, so each reopen recovers
+	// from a snapshot captured DURING the apply of the latest record.
+	dir := t.TempDir()
+	for k, f := range frames {
+		rdb, _, err := core.OpenReplica(cfg, core.Durability{Dir: dir, SnapshotOps: 1, SnapshotBytes: -1})
+		if err != nil {
+			t.Fatalf("record %d: open: %v", k, err)
+		}
+		if err := rdb.ApplyReplicated(f.Payload, f.Next); err != nil {
+			t.Fatalf("record %d: apply: %v", k, err)
+		}
+		_ = rdb.Close()
+
+		r2, _, err := core.OpenReplica(cfg, core.Durability{Dir: dir, SnapshotOps: -1, SnapshotBytes: -1})
+		if err != nil {
+			t.Fatalf("record %d: recovery: %v", k, err)
+		}
+		if got := r2.ReplicaPos(); got != f.Next {
+			t.Fatalf("record %d: recovered position %v, want %v", k, got, f.Next)
+		}
+		if got := r2.AppliedSegments(); got != k+1 {
+			t.Fatalf("record %d: recovered %d applied segments, want %d", k, got, k+1)
+		}
+		if sig := sharedSig(t, r2); sig != sigs[k+1] {
+			t.Errorf("record %d: recovered answers differ from the reference", k)
+		}
+		_ = r2.Close()
+	}
+}
+
+// TestWALFramesMidRecordOffsetInLiveLog: a fetch offset that lands
+// mid-record in the CURRENT log must answer ErrWALGone (the server's
+// 410, the replica's cue to re-bootstrap), not a raw corruption error
+// the replica would retry forever. The scenario: a primary crash loses
+// an unsynced WAL tail and the restarted primary writes different bytes
+// past a replica's old offset.
+func TestWALFramesMidRecordOffsetInLiveLog(t *testing.T) {
+	stream := miniStream(t, 4, 43)
+	pdb, _, err := core.OpenDurable(testCfg(1), core.Durability{Dir: t.TempDir(), SnapshotOps: -1, SnapshotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pdb.Close()
+	for _, seg := range stream.Segments {
+		if _, err := pdb.IngestSegment("Mini", seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end, err := pdb.WALPos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := core.WALPos{Seq: end.Seq, Off: wal.HeaderSize + 3} // inside the live log's first record
+	if _, _, _, err := pdb.WALFrames(bad, 1<<20); !errors.Is(err, core.ErrWALGone) {
+		t.Fatalf("mid-record live-log offset: err = %v, want ErrWALGone", err)
+	}
+}
+
+// TestPrimaryExpiresDeadReplicaWithoutTraffic: expiry must run on a
+// timer, not only inside Register/Ack/Touch — a permanently dead
+// replica sends no further calls, and without the sweep its last acked
+// sequence would pin WAL retention (and primary disk) forever.
+func TestPrimaryExpiresDeadReplicaWithoutTraffic(t *testing.T) {
+	db, _, err := core.OpenDurable(testCfg(1), core.Durability{Dir: t.TempDir(), SnapshotOps: -1, SnapshotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	prim, err := replica.NewPrimary(db, replica.PrimaryOptions{ReplicaTTL: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prim.Close()
+	if err := prim.Register("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := prim.Ack("doomed", core.WALPos{Seq: 1, Off: wal.HeaderSize}); err != nil {
+		t.Fatal(err)
+	}
+	// No further replication calls: only the background sweep can expire it.
+	waitFor(t, "dead replica expiry", func() bool { return len(prim.Status().Replicas) == 0 })
+}
+
+// TestBootstrapSnapshotFetchCarriesReplicaID: the snapshot GET names the
+// replica so the primary refreshes its registration while the
+// (potentially TTL-exceeding) download streams — otherwise rotation
+// could delete the WAL between the snapshot position and the first ack.
+func TestBootstrapSnapshotFetchCarriesReplicaID(t *testing.T) {
+	stream := miniStream(t, 4, 47)
+	p := startPrimary(t, t.TempDir(), 1)
+	p.ingest(t, stream.Segments)
+
+	var snapID atomic.Value
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/replication/snapshot" {
+			snapID.Store(r.URL.Query().Get("replica"))
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, p.ts.URL+r.URL.RequestURI(), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	defer proxy.Close()
+
+	rep := openReplicaAt(t, proxy.URL, t.TempDir(), 1, nil)
+	defer rep.Close()
+	if got, ok := snapID.Load().(string); !ok || got != "r1" {
+		t.Fatalf("snapshot fetch carried replica id %q, want %q", got, "r1")
+	}
 }
