@@ -1,11 +1,19 @@
-// Command strg-gen emits synthetic datasets as JSON: either the 48-pattern
-// trajectory data of Section 6.1 (-kind synth) or a full segmented video
-// stream (-kind stream).
+// Command strg-gen emits synthetic datasets as JSON: the 48-pattern
+// trajectory data of Section 6.1 (-kind synth), a full segmented video
+// stream (-kind stream), or the same stream flattened to the newline-
+// delimited frame protocol of the live-feed API (-kind feed).
 //
 // Usage:
 //
 //	strg-gen -kind synth  -per 10 -noise 0.10 -seed 1 > synth.json
 //	strg-gen -kind stream -profile Lab2 -objects 40 -seed 1 > stream.json
+//	strg-gen -kind feed   -profile Lab1 -seed 1 |
+//	    curl -sS --data-binary @- http://localhost:8080/v1/feeds/cam0/frames
+//
+// The feed output is one JSON value per line: a {"meta": ...} header
+// carrying the frame geometry, then every frame of the stream with a
+// contiguous feed-global index — exactly what POST /v1/feeds/{id}/frames
+// accepts.
 package main
 
 import (
@@ -71,8 +79,34 @@ func main() {
 		fail(err)
 		fail(enc.Encode(stream))
 
+	case "feed":
+		p, ok := findProfile(*profile)
+		if !ok {
+			fail(fmt.Errorf("unknown profile %q", *profile))
+		}
+		if *objects > 0 {
+			p.NumObjects = *objects
+		}
+		stream, err := video.GenerateStream(p, *seed)
+		fail(err)
+		// NDJSON: one compact value per line (the indented encoder would
+		// still parse, but one-line records are the feed protocol's idiom).
+		nd := json.NewEncoder(os.Stdout)
+		first := stream.Segments[0]
+		fail(nd.Encode(map[string]any{"meta": map[string]float64{
+			"width": first.Width, "height": first.Height, "fps": first.FPS,
+		}}))
+		next := 0
+		for _, seg := range stream.Segments {
+			for _, f := range seg.Frames {
+				f.Index = next
+				next++
+				fail(nd.Encode(&f))
+			}
+		}
+
 	default:
-		fail(fmt.Errorf("unknown kind %q (want synth or stream)", *kind))
+		fail(fmt.Errorf("unknown kind %q (want synth, stream or feed)", *kind))
 	}
 }
 

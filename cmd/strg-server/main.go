@@ -14,6 +14,13 @@
 //	                        and again while shutdown drains)
 //	GET  /metrics           Prometheus text exposition
 //
+// With -feeds (requires -data-dir) the live-feed surface is mounted:
+// POST /v1/feeds/{id}/frames accepts newline-delimited frame batches
+// (crash-safe journals per feed, epoch commits through the ordinary
+// ingest path), POST /v1/subscriptions registers standing queries, and
+// GET /v1/subscriptions/{id}/events streams their matches over
+// Server-Sent Events. See internal/feed and DESIGN.md §16.
+//
 // With -data-dir the database is durable: every ingest is written to a
 // checksummed write-ahead log before it is acknowledged, and on boot the
 // server recovers by loading the last snapshot and replaying the log —
@@ -54,11 +61,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"strgindex/internal/core"
+	"strgindex/internal/feed"
 	"strgindex/internal/obs"
 	"strgindex/internal/replica"
 	"strgindex/internal/server"
@@ -84,6 +93,7 @@ func run() int {
 	maxInFlight := flag.Int("max-inflight", 256, "maximum concurrently served API requests (0 = unlimited); excess requests are shed with 429")
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "how long a request may wait for an in-flight slot before 429")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "server-side deadline per API request (0 = none)")
+	feeds := flag.Bool("feeds", false, "mount the live-feed and standing-query endpoints (/v1/feeds/*, /v1/subscriptions/*); requires -data-dir, incompatible with -replicate-from")
 	replicateFrom := flag.String("replicate-from", "", "base URL of a primary to replicate from (e.g. http://primary:8080); makes this server a read replica (requires -data-dir)")
 	replicaID := flag.String("replica-id", "", "identity in the primary's replica registry (default: hostname; set explicitly when running several replicas per host)")
 	replicaLagMax := flag.Int64("replica-lag-max", 0, "replication lag in committed WAL bytes past which /readyz answers 503 (0 = 64 MiB, negative = unbounded)")
@@ -96,6 +106,14 @@ func run() int {
 	}
 	if *replicateFrom != "" && *dataDir == "" {
 		logger.Error("-replicate-from requires -data-dir (the replica keeps a durable local copy)")
+		return 2
+	}
+	if *feeds && *dataDir == "" {
+		logger.Error("-feeds requires -data-dir (feed journals must survive restarts)")
+		return 2
+	}
+	if *feeds && *replicateFrom != "" {
+		logger.Error("-feeds is incompatible with -replicate-from (a read replica cannot ingest)")
 		return 2
 	}
 	cfg := core.DefaultConfig()
@@ -139,6 +157,7 @@ func run() int {
 	var srv *server.Server
 	var db *core.SharedDB
 	var rep *replica.Replica
+	var feedSvc *feed.Service
 	switch {
 	case *replicateFrom != "":
 		id := *replicaID
@@ -184,6 +203,19 @@ func run() int {
 		}
 		defer prim.Close()
 		opts.Replication = prim
+		if *feeds {
+			feedSvc, err = feed.Open(feed.Options{
+				Dir:  filepath.Join(*dataDir, "feeds"),
+				DB:   shared,
+				STRG: &cfg.STRG,
+			})
+			if err != nil {
+				logger.Error("feed recovery failed", "dir", filepath.Join(*dataDir, "feeds"), "err", err)
+				return 1
+			}
+			opts.Feeds = feedSvc
+			logger.Info("feeds recovered", "feeds", len(feedSvc.Feeds()))
+		}
 		srv = server.NewShared(shared, opts)
 	case *dbPath != "":
 		f, err := os.Open(*dbPath)
@@ -258,6 +290,15 @@ func run() int {
 		}
 		logger.Info("replica closed")
 	case db != nil:
+		// The feed service closes first: it detaches the commit hook,
+		// drains the standing-query engine and seals every journal (frames
+		// pending an epoch stay journaled and recover on the next boot).
+		if feedSvc != nil {
+			if err := feedSvc.Close(); err != nil {
+				logger.Warn("closing feeds", "err", err)
+			}
+			logger.Info("feeds closed")
+		}
 		// Settle in-flight asynchronous splits, then fold the log into a
 		// final snapshot so the next boot is a single file load; failure is
 		// not fatal — the WAL already has everything.

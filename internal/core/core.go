@@ -126,12 +126,18 @@ type VideoDB struct {
 	// vec is the approximate similarity tier (nil unless
 	// Config.Approx.Enabled); see vec.go.
 	vec *vecTier
+	// streamSegs counts committed segments per stream — the feed layer's
+	// read-your-writes reconciliation point (see delta.go).
+	streamSegs map[string]int
 	// onCommit, when set, runs at the top of every segment commit, before
 	// any database state mutates — the write-ahead hook of the durability
 	// layer (see durable.go). shard is the index shard the segment will
 	// land on (resolved before the commit, so the log can record the
 	// route). An error aborts the commit.
 	onCommit func(stream string, seg *video.Segment, shard int) error
+	// onDelta, when set, runs at the end of every segment commit with the
+	// commit's OG delta (see delta.go).
+	onDelta func(CommitDelta)
 }
 
 // Open creates an empty database.
@@ -150,7 +156,7 @@ func Open(cfg Config) *VideoDB {
 	if cfg.DistCacheSize < 0 {
 		cfg.DistCacheSize = DefaultDistCacheSize
 	}
-	db := &VideoDB{cfg: cfg}
+	db := &VideoDB{cfg: cfg, streamSegs: make(map[string]int)}
 	if cfg.DistCacheSize > 0 && cfg.Index.Cache == nil {
 		db.cache = newDistCache(cfg.DistCacheSize)
 		db.cfg.Index.Cache = db.cache
@@ -246,11 +252,26 @@ func (db *VideoDB) commitSegment(stream string, b *builtSegment) (*IngestStats, 
 		db.records = append(db.records, items[i].Payload)
 	}
 	db.segments++
+	db.streamSegs[stream]++
 	db.ogCount += len(d.OGs)
 	db.strgBytes += d.STRGSizeBytes()
 	db.rawBytes += s.MemoryBytes()
 	ingestSegments.Inc()
 	ingestOGs.Add(int64(len(d.OGs)))
+	if db.onDelta != nil {
+		recs := make([]ClipRecord, len(items))
+		for i := range items {
+			recs[i] = items[i].Payload
+		}
+		db.onDelta(CommitDelta{
+			Stream:   stream,
+			Segment:  seg.Name,
+			Shard:    shard,
+			Versions: db.tree.Versions(),
+			Records:  recs,
+			OGs:      d.OGs,
+		})
+	}
 	return &IngestStats{
 		Frames:        len(seg.Frames),
 		TemporalEdges: s.NumTemporalEdges(),

@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 
 	"strgindex/internal/embed"
 	"strgindex/internal/faultfs"
@@ -91,6 +92,13 @@ type dbImage struct {
 	// back to a deterministic rebuild from OGs when absent. A tier-
 	// disabled load ignores it.
 	Vec *embed.Snapshot
+	// StreamSegs is the per-stream committed-segment count, flattened into
+	// a stream-name-sorted slice so snapshot bytes stay deterministic (a
+	// gob map would encode in random order and break the replication
+	// digests' byte-identity). Pre-existing files decode with it nil, which
+	// restores an empty count table — SegmentsIn then reports zero, exactly
+	// what those databases reported before the field existed.
+	StreamSegs []streamSegCount
 	// WALSeq is the sequence number of the first write-ahead log NOT
 	// covered by this snapshot; recovery replays logs from WALSeq on.
 	// Zero for databases saved outside a durable directory.
@@ -102,6 +110,12 @@ type dbImage struct {
 	// snapshot bytes are unchanged.
 	SrcSeq uint64
 	SrcOff int64
+}
+
+// streamSegCount is one stream's committed-segment count.
+type streamSegCount struct {
+	Stream string
+	Count  int
 }
 
 // image captures the persistable state. Asynchronous split evaluations
@@ -118,6 +132,12 @@ func (db *VideoDB) image() dbImage {
 		OGs:       db.ogs,
 		Records:   db.records,
 	}
+	for stream, n := range db.streamSegs {
+		img.StreamSegs = append(img.StreamSegs, streamSegCount{Stream: stream, Count: n})
+	}
+	sort.Slice(img.StreamSegs, func(i, j int) bool {
+		return img.StreamSegs[i].Stream < img.StreamSegs[j].Stream
+	})
 	if db.vec != nil {
 		img.Vec = db.vec.ivf.Snapshot()
 	}
@@ -134,6 +154,9 @@ func (db *VideoDB) restore(img dbImage) error {
 	}
 	db.tree = tree
 	db.segments = img.Segments
+	for _, sc := range img.StreamSegs {
+		db.streamSegs[sc.Stream] = sc.Count
+	}
 	db.ogCount = img.OGCount
 	db.strgBytes = img.STRGBytes
 	db.rawBytes = img.RawBytes

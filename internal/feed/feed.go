@@ -1,0 +1,281 @@
+package feed
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"strgindex/internal/strg"
+	"strgindex/internal/video"
+	"strgindex/internal/wal"
+)
+
+// Feed is one live camera stream: a journal chain for durability, a
+// preview OnlineBuilder whose quiescence signal picks epoch boundaries,
+// and a buffer of frames pending commit. Commits go through the owning
+// database's ordinary IngestSegment path, one segment per epoch, so the
+// WAL, replication and snapshot layers see a live feed as a sequence of
+// plain ingests — byte-identical to replaying the same epoch slices
+// offline.
+type Feed struct {
+	mu   sync.Mutex
+	svc  *Service
+	id   string
+	meta Meta
+
+	b   *strg.OnlineBuilder
+	log *wal.Log
+	// seq numbers the current journal file in the chain.
+	seq uint64
+	// epoch counts committed segments; next is the next expected
+	// feed-global frame index.
+	epoch int
+	next  int
+	// pending holds accepted frames not yet committed (the open epoch).
+	pending []video.Frame
+	closed  bool
+}
+
+// AppendResult reports one batch append.
+type AppendResult struct {
+	// Accepted counts frames journaled by this call; Duplicates counts
+	// frames skipped because their index precedes NextFrame (idempotent
+	// client retries).
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+	// NextFrame is the next frame index the feed expects — the client's
+	// resume cursor after a reconnect.
+	NextFrame int `json:"next_frame"`
+	// Epoch is the current (uncommitted) epoch; Flushed reports whether
+	// this append triggered an epoch commit.
+	Epoch   int  `json:"epoch"`
+	Flushed bool `json:"flushed"`
+}
+
+// ID returns the feed identifier.
+func (f *Feed) ID() string { return f.id }
+
+// Meta returns the feed's fixed frame geometry.
+func (f *Feed) Meta() Meta { return f.meta }
+
+// State is a point-in-time snapshot of a feed's progress.
+type State struct {
+	ID        string `json:"id"`
+	Meta      Meta   `json:"meta"`
+	Epoch     int    `json:"epoch"`
+	NextFrame int    `json:"next_frame"`
+	Pending   int    `json:"pending_frames"`
+	// OpenMoving is the preview builder's quiescence signal: open object
+	// chains still in motion. Zero means an epoch boundary is imminent.
+	OpenMoving int `json:"open_moving"`
+}
+
+// State returns the feed's current progress snapshot.
+func (f *Feed) State() State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return State{
+		ID: f.id, Meta: f.meta, Epoch: f.epoch, NextFrame: f.next,
+		Pending: len(f.pending), OpenMoving: f.b.OpenMoving(),
+	}
+}
+
+// Append validates and journals a batch of frames. Frames whose index
+// precedes the feed's cursor are duplicates (a client retrying after a
+// lost ack) and are skipped; a frame beyond the cursor is a gap and
+// rejects the whole batch with a *video.FrameOrderError before anything
+// is journaled — a batch is all-or-nothing. Accepted frames are durable
+// (one fsync) when Append returns. Crossing the epoch-size threshold
+// while the preview builder is quiescent — or hitting the hard cap —
+// commits the epoch inline.
+func (f *Feed) Append(frames []video.Frame) (AppendResult, error) {
+	start := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return AppendResult{}, fmt.Errorf("feed: %s is closed", f.id)
+	}
+
+	// Pass 1: validate the whole batch against the cursor and geometry.
+	// Nothing is journaled until every frame checks out.
+	res := AppendResult{NextFrame: f.next, Epoch: f.epoch}
+	expect := f.next
+	var accepted []video.Frame
+	for i := range frames {
+		fr := frames[i]
+		switch {
+		case fr.Index < expect:
+			res.Duplicates++
+		case fr.Index > expect:
+			return AppendResult{}, &video.FrameOrderError{Segment: f.id, Index: fr.Index, Want: expect}
+		default:
+			if err := fr.Validate(f.meta.Width, f.meta.Height); err != nil {
+				return AppendResult{}, fmt.Errorf("feed: %s frame %d: %w", f.id, fr.Index, err)
+			}
+			accepted = append(accepted, fr)
+			expect++
+		}
+	}
+	if len(accepted) == 0 {
+		framesDuplicate.Add(int64(res.Duplicates))
+		return res, nil
+	}
+
+	payload, err := encodeRec(journalRec{Kind: recFrames, Frames: accepted})
+	if err != nil {
+		return AppendResult{}, err
+	}
+	if err := f.log.Append(payload); err != nil {
+		return AppendResult{}, err
+	}
+	for i := range accepted {
+		f.b.AddFrame(accepted[i]) // preview emissions are discarded
+	}
+	f.pending = append(f.pending, accepted...)
+	f.next = expect
+	res.Accepted = len(accepted)
+	res.NextFrame = f.next
+	framesTotal.Add(int64(res.Accepted))
+	framesDuplicate.Add(int64(res.Duplicates))
+
+	if f.shouldFlushLocked() {
+		if err := f.flushLocked(); err != nil {
+			// The frames are durable; only the epoch commit failed. The
+			// client's cursor still advances — a later append or explicit
+			// flush retries the commit.
+			return res, err
+		}
+		res.Flushed = true
+		res.Epoch = f.epoch
+	}
+	appendSeconds.Observe(time.Since(start).Seconds())
+	return res, nil
+}
+
+// shouldFlushLocked decides whether the open epoch commits now: at the
+// soft threshold once the preview builder reports every tracked object
+// quiescent (a natural cut — no chain is split mid-motion), and
+// unconditionally at the hard cap.
+func (f *Feed) shouldFlushLocked() bool {
+	if len(f.pending) >= f.svc.opts.MaxEpochFrames {
+		return true
+	}
+	return len(f.pending) >= f.svc.opts.MinEpochFrames && f.b.OpenMoving() == 0
+}
+
+// Flush commits the open epoch regardless of thresholds. A feed with no
+// pending frames flushes to nothing, successfully.
+func (f *Feed) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("feed: %s is closed", f.id)
+	}
+	if len(f.pending) == 0 {
+		return nil
+	}
+	return f.flushLocked()
+}
+
+// flushLocked commits the open epoch through the database write path and
+// rotates the journal. The crash windows:
+//
+//  1. intent appended, commit not reached — recovery sees the intent,
+//     asks the database (SegmentsIn ≤ epoch) and redoes the commit.
+//  2. commit landed, next journal not created — recovery sees the intent,
+//     SegmentsIn > epoch says it landed, skips the redo.
+//  3. next journal created, old not removed — recovery picks the higher
+//     journal and removes the lower.
+//
+// Every redo ingests the identical segment (same frames, same name), so
+// the database sees exactly one commit per epoch.
+func (f *Feed) flushLocked() error {
+	intent, err := encodeRec(journalRec{Kind: recIntent, Epoch: f.epoch})
+	if err != nil {
+		return err
+	}
+	preIntent := f.log.Size()
+	if err := f.log.Append(intent); err != nil {
+		return err
+	}
+
+	seg := f.epochSegmentLocked()
+	if _, err := f.svc.opts.DB.IngestSegment(f.id, seg); err != nil {
+		// The epoch is intact in memory and in the journal; withdraw the
+		// intent so recovery does not redo a commit that never happened
+		// with frames that may grow before the retry.
+		if terr := f.log.TruncateTo(preIntent); terr != nil {
+			return fmt.Errorf("feed: %s epoch %d commit failed (%v) and intent rollback failed: %w", f.id, f.epoch, err, terr)
+		}
+		return fmt.Errorf("feed: %s committing epoch %d: %w", f.id, f.epoch, err)
+	}
+
+	f.epoch++
+	f.pending = f.pending[:0]
+	flushesTotal.Inc()
+	return f.rotateLocked()
+}
+
+// epochSegmentLocked builds the segment the open epoch commits as: the
+// pending frames renumbered from zero under the epoch's name. Renumbering
+// makes each epoch a self-contained segment — Validate-clean and
+// byte-identical to an offline ingest of the same slice.
+func (f *Feed) epochSegmentLocked() *video.Segment {
+	frames := make([]video.Frame, len(f.pending))
+	copy(frames, f.pending)
+	for i := range frames {
+		frames[i].Index = i
+	}
+	return &video.Segment{
+		Name:   fmt.Sprintf("%s/%06d", f.id, f.epoch),
+		Width:  f.meta.Width,
+		Height: f.meta.Height,
+		FPS:    f.meta.FPS,
+		Frames: frames,
+	}
+}
+
+// rotateLocked seals the journal chain after a commit: create journal
+// seq+1 headed by a fresh checkpoint, then remove journal seq. A crash
+// between the two leaves both files; recovery keeps the higher.
+func (f *Feed) rotateLocked() error {
+	dir := filepath.Join(f.svc.opts.Dir, f.id)
+	nextPath := filepath.Join(dir, journalFileName(f.seq+1))
+	nl, err := wal.Create(f.svc.opts.FS, nextPath)
+	if err != nil {
+		return fmt.Errorf("feed: %s rotating journal: %w", f.id, err)
+	}
+	meta, err := encodeRec(journalRec{Kind: recMeta, Meta: &metaRec{
+		ID: f.id, Meta: f.meta, Epoch: f.epoch, NextFrame: f.next,
+		Builder: f.b.Checkpoint(),
+	}})
+	if err != nil {
+		nl.Close()
+		return err
+	}
+	if err := nl.Append(meta); err != nil {
+		nl.Close()
+		return fmt.Errorf("feed: %s writing checkpoint: %w", f.id, err)
+	}
+	old := f.log
+	f.log = nl
+	f.seq++
+	old.Close()
+	if err := f.svc.opts.FS.Remove(filepath.Join(dir, journalFileName(f.seq-1))); err != nil {
+		return fmt.Errorf("feed: %s removing sealed journal: %w", f.id, err)
+	}
+	return f.svc.opts.FS.SyncDir(dir)
+}
+
+// close releases the journal handle. Pending frames stay journaled and
+// recover on the next open.
+func (f *Feed) close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	return f.log.Close()
+}

@@ -1,0 +1,87 @@
+package feed
+
+import (
+	"testing"
+
+	"strgindex/internal/core"
+	"strgindex/internal/query"
+	"strgindex/internal/video"
+)
+
+// FuzzSubscriptionRegister enforces the standing-query front door's
+// contract on arbitrary DSL documents: whatever the parser accepts either
+// registers cleanly — delivering a well-formed subscription whose seeded
+// events carry dense sequence numbers — or is rejected with an error;
+// registration never panics and never wedges the engine.
+func FuzzSubscriptionRegister(f *testing.F) {
+	seeds := []string{
+		`{"where": {"longer_than": 1}}`,
+		`{"where": {"heading": {"dir": "east"}}}`,
+		`{"similar": {"trajectory": [[20, 120], [160, 120]], "k": 3}}`,
+		`{"similar": {"trajectory": [[0, 0]], "radius": 1e6}}`,
+		`{"where": {"speed": {"min": 0.5}}, "similar": {"trajectory": [[50, 50], [100, 100]], "k": 2}}`,
+		`{"similar": {"trajectory": [[1, 1]], "k": 2, "mode": "approx"}}`,
+		`{"similar": {"trajectory": [[1, 1]], "k": 2, "exact": true}}`,
+		`{}`,
+		`{"where": 7}`,
+		`not json`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	p := video.StreamProfile{
+		Name: "Mini", Kind: video.KindLab,
+		NumObjects: 4, SegmentFrames: 16, ObjectsPerSegment: 2,
+	}
+	stream, err := video.GenerateStream(p, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := shardConfig(2)
+	db := core.OpenShared(cfg)
+	if _, err := db.IngestSegment("Mini", stream.Segments[0]); err != nil {
+		f.Fatal(err)
+	}
+	svc, err := Open(Options{Dir: f.TempDir(), DB: db, STRG: &cfg.STRG})
+	if err != nil {
+		f.Fatal(err)
+	}
+	eng := svc.Engine()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := query.Parse(data)
+		if err != nil {
+			return
+		}
+		sub, err := eng.Register(q)
+		if err != nil {
+			// Rejected standing queries (approx mode, etc.) must not
+			// leave residue behind.
+			for _, info := range eng.Subs() {
+				if _, ok := eng.Get(info.ID); !ok {
+					t.Fatalf("Subs lists %s but Get cannot find it", info.ID)
+				}
+			}
+			return
+		}
+		if sub.ID() == "" {
+			t.Fatal("registered subscription has no ID")
+		}
+		evs, gapped, _ := sub.EventsSince(0)
+		if gapped {
+			t.Fatal("fresh subscription reports a gap")
+		}
+		for i, ev := range evs {
+			if ev.Seq != uint64(i+1) {
+				t.Fatalf("seed event %d has seq %d", i, ev.Seq)
+			}
+			if ev.Type != "enter" {
+				t.Fatalf("seed event of type %q", ev.Type)
+			}
+		}
+		if !eng.Unregister(sub.ID()) {
+			t.Fatalf("Unregister(%s) failed for a live subscription", sub.ID())
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package feed
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"regexp"
+
+	"strgindex/internal/strg"
+	"strgindex/internal/video"
+)
+
+// The feed journal is a chain of sequence-numbered write-ahead files, one
+// directory per feed:
+//
+//	<dir>/<feed-id>/journal-00000001.log
+//
+// Each file begins with a meta record — the feed's identity plus a full
+// checkpoint of its state at the epoch boundary the file starts at — and
+// then accumulates one frames record per accepted batch (one fsync per
+// HTTP request). An epoch flush appends an intent record, commits the
+// epoch's segment through the database write path, seals the chain by
+// creating the next journal (whose meta checkpoint embeds the post-flush
+// state) and removes the old file. Recovery reads the highest journal with
+// a readable meta record and replays it; an intent with no following
+// journal is resolved against core.SegmentsIn — the database says whether
+// the commit landed, so the flush is redone or acknowledged but never
+// doubled.
+const (
+	journalNameFmt = "journal-%08d.log"
+
+	recMeta   = int8(1)
+	recFrames = int8(2)
+	recIntent = int8(3)
+)
+
+func journalFileName(seq uint64) string { return fmt.Sprintf(journalNameFmt, seq) }
+
+// parseJournalName extracts the sequence from a journal file name,
+// reporting whether the name is one.
+func parseJournalName(name string) (uint64, bool) {
+	var seq uint64
+	if n, err := fmt.Sscanf(name, journalNameFmt, &seq); n == 1 && err == nil && name == journalFileName(seq) {
+		return seq, true
+	}
+	return 0, false
+}
+
+// feedIDPattern is the set of feed IDs accepted: they name directories and
+// appear in URLs, so they stay conservative.
+var feedIDPattern = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
+
+// ValidID reports whether id is an acceptable feed identifier.
+func ValidID(id string) bool { return feedIDPattern.MatchString(id) }
+
+// Meta is a feed's fixed identity: the frame geometry every batch is
+// validated against and every committed segment carries.
+type Meta struct {
+	Width  float64 `json:"width"`
+	Height float64 `json:"height"`
+	FPS    float64 `json:"fps"`
+}
+
+func (m Meta) validate() error {
+	if m.Width <= 0 || m.Height <= 0 {
+		return fmt.Errorf("feed: non-positive frame dimensions %gx%g", m.Width, m.Height)
+	}
+	if m.FPS <= 0 {
+		return fmt.Errorf("feed: non-positive FPS %g", m.FPS)
+	}
+	return nil
+}
+
+// metaRec is the checkpoint heading every journal file: everything needed
+// to resume the feed exactly at the epoch boundary the file starts at.
+type metaRec struct {
+	ID   string
+	Meta Meta
+	// Epoch is the next epoch to commit; NextFrame the next expected
+	// feed-global frame index.
+	Epoch     int
+	NextFrame int
+	// Builder is the preview builder's checkpoint (see strg.BuilderState);
+	// frames records replayed on top of it reproduce the live state.
+	Builder *strg.BuilderState
+}
+
+// journalRec is the single gob-framed record shape; Kind selects which
+// fields are meaningful.
+type journalRec struct {
+	Kind   int8
+	Meta   *metaRec      // recMeta
+	Frames []video.Frame // recFrames
+	Epoch  int           // recIntent: the epoch about to commit
+}
+
+func encodeRec(rec journalRec) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
+		return nil, fmt.Errorf("feed: encoding journal record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeRec(payload []byte) (journalRec, error) {
+	var rec journalRec
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return rec, fmt.Errorf("feed: decoding journal record: %w", err)
+	}
+	return rec, nil
+}

@@ -1,0 +1,42 @@
+package feed
+
+import "strgindex/internal/obs"
+
+// Live-feed and standing-query instrumentation, registered against the
+// process-global registry and exposed by the HTTP server at GET /metrics.
+//
+//	strg_feed_open                       live feeds currently open
+//	strg_feed_frames_total               frames accepted across all feeds
+//	strg_feed_duplicate_frames_total     idempotent retry frames skipped
+//	strg_feed_flushes_total              epochs committed to the database
+//	strg_feed_append_seconds             journal fsync + preview time per batch
+//	strg_feed_subscriptions              standing queries currently registered
+//	strg_feed_events_total               events appended to subscriber rings
+//	strg_feed_events_dropped_total       ring evictions (slow consumers)
+//	strg_feed_delta_queue                work items waiting for the dispatcher
+//	strg_feed_reconciles_total           periodic full k-NN re-evaluations
+//	strg_feed_reconcile_diffs_total      corrections those re-evaluations found
+var (
+	feedsOpen = obs.Default.Gauge("strg_feed_open",
+		"live feeds currently open", nil)
+	framesTotal = obs.Default.Counter("strg_feed_frames_total",
+		"frames accepted across all live feeds", nil)
+	framesDuplicate = obs.Default.Counter("strg_feed_duplicate_frames_total",
+		"duplicate frames skipped (idempotent client retries)", nil)
+	flushesTotal = obs.Default.Counter("strg_feed_flushes_total",
+		"feed epochs committed to the database", nil)
+	appendSeconds = obs.Default.Histogram("strg_feed_append_seconds",
+		"journal append + preview time of one frame batch in seconds", nil, nil)
+	subsActive = obs.Default.Gauge("strg_feed_subscriptions",
+		"standing queries currently registered", nil)
+	eventsTotal = obs.Default.Counter("strg_feed_events_total",
+		"standing-query events appended to subscriber rings", nil)
+	eventsDropped = obs.Default.Counter("strg_feed_events_dropped_total",
+		"events evicted from subscriber rings before delivery (slow consumers)", nil)
+	deltaQueue = obs.Default.Gauge("strg_feed_delta_queue",
+		"commit deltas and registrations waiting for the dispatcher", nil)
+	reconcilesTotal = obs.Default.Counter("strg_feed_reconciles_total",
+		"periodic full re-evaluations of standing k-NN queries", nil)
+	reconcileDiffs = obs.Default.Counter("strg_feed_reconcile_diffs_total",
+		"membership corrections found by periodic k-NN re-evaluation", nil)
+)

@@ -1,0 +1,61 @@
+package feed
+
+import "testing"
+
+func TestRingSequenceAndGap(t *testing.T) {
+	r := newRing(4)
+	if r.lastSeq() != 0 {
+		t.Fatalf("fresh ring lastSeq = %d", r.lastSeq())
+	}
+	for i := 0; i < 10; i++ {
+		if seq := r.append(Event{Type: "match", OGID: i}); seq != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d", i, seq)
+		}
+	}
+	evs, gapped, missedFrom := r.eventsSince(0)
+	if !gapped || missedFrom != 1 {
+		t.Errorf("full-history read: gapped=%v missedFrom=%d, want true/1", gapped, missedFrom)
+	}
+	if len(evs) != 4 || evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Errorf("retained window = %+v, want seqs 7..10", evs)
+	}
+	if r.droppedCount() != 6 {
+		t.Errorf("dropped = %d, want 6", r.droppedCount())
+	}
+
+	evs, gapped, _ = r.eventsSince(8)
+	if gapped || len(evs) != 2 || evs[0].Seq != 9 {
+		t.Errorf("in-window resume: gapped=%v evs=%+v", gapped, evs)
+	}
+	evs, gapped, _ = r.eventsSince(10)
+	if gapped || len(evs) != 0 {
+		t.Errorf("caught-up resume: gapped=%v evs=%+v", gapped, evs)
+	}
+	// A cursor from the future clamps to the present instead of
+	// replaying events the client claims to have seen.
+	evs, gapped, _ = r.eventsSince(99)
+	if gapped || len(evs) != 0 {
+		t.Errorf("future cursor: gapped=%v evs=%+v", gapped, evs)
+	}
+}
+
+func TestRingWait(t *testing.T) {
+	r := newRing(2)
+	ch := r.wait()
+	select {
+	case <-ch:
+		t.Fatal("wait channel closed before any append")
+	default:
+	}
+	r.append(Event{Type: "match"})
+	select {
+	case <-ch:
+	default:
+		t.Fatal("wait channel not closed by append")
+	}
+	// The channel armed before a scan wakes for appends after it.
+	ch2 := r.wait()
+	if ch2 == ch {
+		t.Fatal("wait channel not replaced after append")
+	}
+}

@@ -1,0 +1,407 @@
+package feed
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"strgindex/internal/core"
+	"strgindex/internal/dist"
+	"strgindex/internal/faultfs"
+	"strgindex/internal/strg"
+	"strgindex/internal/wal"
+)
+
+// Options configures a feed service.
+type Options struct {
+	// Dir is the root under which each feed keeps its journal chain
+	// (Dir/<feed-id>/journal-*.log).
+	Dir string
+	// FS is the filesystem the journals live on; nil means the real one.
+	// Tests inject faults here.
+	FS faultfs.FS
+	// DB is the database feeds commit into and standing queries watch.
+	DB *core.SharedDB
+	// STRG configures the preview builders; it must match the
+	// configuration DB was opened with, or epoch boundaries drift from
+	// what ingest emits. Zero value means strg.DefaultConfig.
+	STRG *strg.Config
+	// MinEpochFrames is the soft epoch size: once pending reaches it and
+	// the preview builder is quiescent, the epoch commits. Default 16.
+	MinEpochFrames int
+	// MaxEpochFrames is the hard cap forcing a commit. Default 512.
+	MaxEpochFrames int
+	// Metric pins the distance for standing similarity queries; nil means
+	// the index default (EGED_M, zero gap).
+	Metric dist.Metric
+	// ReconcileEvery is how many commit deltas pass between full k-NN
+	// re-evaluations of each standing query. Default 8.
+	ReconcileEvery int
+	// RingSize bounds each subscription's undelivered-event buffer.
+	// Default 256.
+	RingSize int
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	opts := *o
+	if opts.Dir == "" {
+		return opts, errors.New("feed: Options.Dir is required")
+	}
+	if opts.DB == nil {
+		return opts, errors.New("feed: Options.DB is required")
+	}
+	if opts.FS == nil {
+		opts.FS = faultfs.OS{}
+	}
+	if opts.STRG == nil {
+		cfg := strg.DefaultConfig()
+		opts.STRG = &cfg
+	}
+	if opts.MinEpochFrames <= 0 {
+		opts.MinEpochFrames = 16
+	}
+	if opts.MaxEpochFrames <= 0 {
+		opts.MaxEpochFrames = 512
+	}
+	if opts.MaxEpochFrames < opts.MinEpochFrames {
+		opts.MaxEpochFrames = opts.MinEpochFrames
+	}
+	if opts.ReconcileEvery <= 0 {
+		opts.ReconcileEvery = 8
+	}
+	if opts.RingSize <= 0 {
+		opts.RingSize = 256
+	}
+	return opts, nil
+}
+
+// Service owns every live feed and the standing-query engine. It attaches
+// to the database's commit-delta hook, so subscriptions observe every
+// committed OG — from feeds and from offline ingest alike.
+type Service struct {
+	opts   Options
+	engine *Engine
+
+	mu     sync.Mutex
+	feeds  map[string]*Feed
+	closed bool
+}
+
+// Open starts a feed service: recovers every feed journaled under
+// opts.Dir (redoing or acknowledging any in-flight epoch commit against
+// the database) and attaches the standing-query engine to the database's
+// commit hook.
+func Open(o Options) (*Service, error) {
+	opts, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feed: creating %s: %w", opts.Dir, err)
+	}
+	s := &Service{opts: opts, feeds: make(map[string]*Feed)}
+
+	entries, err := opts.FS.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("feed: scanning %s: %w", opts.Dir, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !ValidID(e.Name()) {
+			continue
+		}
+		f, err := s.recoverFeed(e.Name())
+		if err != nil {
+			s.closeFeeds()
+			return nil, err
+		}
+		if f == nil {
+			continue // creation crashed before anything was acknowledged
+		}
+		s.feeds[f.id] = f
+	}
+	feedsOpen.Set(int64(len(s.feeds)))
+
+	s.engine = newEngine(opts.DB, opts.Metric, opts.ReconcileEvery, opts.RingSize)
+	opts.DB.OnCommitDelta(s.engine.enqueueDelta)
+	return s, nil
+}
+
+// Feed returns the open feed with the given ID.
+func (s *Service) Feed(id string) (*Feed, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.feeds[id]
+	return f, ok
+}
+
+// Open returns the feed with the given ID, creating it if absent. An
+// existing feed's geometry must match meta — a feed's identity is fixed
+// at creation.
+func (s *Service) Open(id string, meta Meta) (*Feed, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("feed: invalid feed ID %q", id)
+	}
+	if err := meta.validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("feed: service closed")
+	}
+	if f, ok := s.feeds[id]; ok {
+		if f.meta != meta {
+			return nil, fmt.Errorf("feed: %s exists with geometry %gx%g@%g, not %gx%g@%g",
+				id, f.meta.Width, f.meta.Height, f.meta.FPS, meta.Width, meta.Height, meta.FPS)
+		}
+		return f, nil
+	}
+	f, err := s.createFeed(id, meta)
+	if err != nil {
+		return nil, err
+	}
+	s.feeds[id] = f
+	feedsOpen.Set(int64(len(s.feeds)))
+	return f, nil
+}
+
+// Feeds returns a snapshot of every open feed's state, sorted by ID.
+func (s *Service) Feeds() []State {
+	s.mu.Lock()
+	feeds := make([]*Feed, 0, len(s.feeds))
+	for _, f := range s.feeds {
+		feeds = append(feeds, f)
+	}
+	s.mu.Unlock()
+	states := make([]State, len(feeds))
+	for i, f := range feeds {
+		states[i] = f.State()
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].ID < states[j].ID })
+	return states
+}
+
+// Engine returns the standing-query engine.
+func (s *Service) Engine() *Engine { return s.engine }
+
+// Close detaches the commit hook, stops the engine and closes every
+// journal. Pending frames stay journaled and recover on the next Open.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.opts.DB.OnCommitDelta(nil)
+	s.engine.Close()
+	return s.closeFeeds()
+}
+
+func (s *Service) closeFeeds() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, f := range s.feeds {
+		if err := f.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	feedsOpen.Set(0)
+	return first
+}
+
+// createFeed initializes a fresh journal chain: directory, journal #1,
+// checkpoint of a pristine builder.
+func (s *Service) createFeed(id string, meta Meta) (*Feed, error) {
+	dir := filepath.Join(s.opts.Dir, id)
+	if err := s.opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feed: creating %s: %w", dir, err)
+	}
+	f := &Feed{svc: s, id: id, meta: meta, b: strg.NewOnlineBuilder(*s.opts.STRG), seq: 1}
+	log, err := wal.Create(s.opts.FS, filepath.Join(dir, journalFileName(1)))
+	if err != nil {
+		return nil, fmt.Errorf("feed: creating journal for %s: %w", id, err)
+	}
+	head, err := encodeRec(journalRec{Kind: recMeta, Meta: &metaRec{
+		ID: id, Meta: meta, Builder: f.b.Checkpoint(),
+	}})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	if err := log.Append(head); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("feed: writing checkpoint for %s: %w", id, err)
+	}
+	f.log = log
+	return f, nil
+}
+
+// recoverFeed rebuilds one feed from its journal chain. Rotation leaves at
+// most two journal files; the higher one wins if its checkpoint is
+// readable (a higher journal torn before its checkpoint landed is the
+// residue of a crash mid-rotation, superseded by the lower). Replay then
+// walks the surviving journal: checkpoint, frame batches, and any commit
+// intents — each intent resolved against the database, which knows
+// whether the commit landed, so it is redone or acknowledged exactly
+// once.
+func (s *Service) recoverFeed(id string) (*Feed, error) {
+	dir := filepath.Join(s.opts.Dir, id)
+	entries, err := s.opts.FS.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("feed: scanning %s: %w", dir, err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseJournalName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) == 0 {
+		return nil, nil // an empty directory: no feed was ever durable here
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+
+	for i, seq := range seqs {
+		f, err := s.replayJournal(id, dir, seq)
+		if err == nil {
+			// Winner. Any lower journals are sealed residue of an
+			// interrupted rotation — their state is embedded in this
+			// journal's checkpoint.
+			for _, stale := range seqs[i+1:] {
+				if rerr := s.opts.FS.Remove(filepath.Join(dir, journalFileName(stale))); rerr != nil {
+					return nil, fmt.Errorf("feed: %s removing stale journal %d: %w", id, stale, rerr)
+				}
+			}
+			return f, nil
+		}
+		var missing *headlessJournalError
+		if !errors.As(err, &missing) {
+			return nil, err
+		}
+		// The journal was created but crashed before its checkpoint
+		// landed. A lower journal, if any, is authoritative; with none,
+		// the feed's creation itself crashed before anything was
+		// acknowledged — it never existed.
+		if rerr := s.opts.FS.Remove(filepath.Join(dir, journalFileName(seq))); rerr != nil {
+			return nil, fmt.Errorf("feed: %s removing headless journal %d: %w", id, seq, rerr)
+		}
+	}
+	return nil, nil
+}
+
+// headlessJournalError marks a journal with no intact checkpoint record —
+// recoverable by falling back to the previous journal in the chain.
+type headlessJournalError struct{ path string }
+
+func (e *headlessJournalError) Error() string {
+	return fmt.Sprintf("feed: %s has no readable checkpoint", e.path)
+}
+
+// replayJournal rebuilds a feed from one journal file.
+func (s *Service) replayJournal(id, dir string, seq uint64) (*Feed, error) {
+	path := filepath.Join(dir, journalFileName(seq))
+	f := &Feed{svc: s, id: id, seq: seq}
+	intents := 0
+	res, err := wal.Scan(s.opts.FS, path, func(off int64, payload []byte) error {
+		rec, err := decodeRec(payload)
+		if err != nil {
+			if off == wal.HeaderSize {
+				return &headlessJournalError{path: path}
+			}
+			return err
+		}
+		switch rec.Kind {
+		case recMeta:
+			if off != wal.HeaderSize {
+				return fmt.Errorf("feed: %s has a checkpoint mid-journal", path)
+			}
+			m := rec.Meta
+			if m == nil || m.ID != id {
+				return fmt.Errorf("feed: %s checkpoint does not describe feed %s", path, id)
+			}
+			if err := m.Meta.validate(); err != nil {
+				return err
+			}
+			b, err := strg.RestoreOnlineBuilder(*s.opts.STRG, m.Builder)
+			if err != nil {
+				return fmt.Errorf("feed: %s restoring builder: %w", path, err)
+			}
+			f.meta, f.epoch, f.next, f.b = m.Meta, m.Epoch, m.NextFrame, b
+		case recFrames:
+			if f.b == nil {
+				return &headlessJournalError{path: path}
+			}
+			for i := range rec.Frames {
+				fr := rec.Frames[i]
+				if fr.Index != f.next {
+					return fmt.Errorf("feed: %s journal frame %d where %d expected", path, fr.Index, f.next)
+				}
+				f.b.AddFrame(fr)
+				f.pending = append(f.pending, fr)
+				f.next++
+			}
+		case recIntent:
+			if f.b == nil {
+				return &headlessJournalError{path: path}
+			}
+			if rec.Epoch != f.epoch {
+				return fmt.Errorf("feed: %s intent for epoch %d where %d expected", path, rec.Epoch, f.epoch)
+			}
+			if err := s.resolveIntent(f); err != nil {
+				return err
+			}
+			intents++
+		default:
+			return fmt.Errorf("feed: %s has record of unknown kind %d", path, rec.Kind)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if f.b == nil {
+		// Empty or torn-before-checkpoint journal.
+		return nil, &headlessJournalError{path: path}
+	}
+	// A torn tail is the residue of a crash mid-append: those frames were
+	// never acknowledged, so the client re-sends them. OpenAppend
+	// truncates the tear.
+	f.log, err = wal.OpenAppend(s.opts.FS, path, res.CommittedSize)
+	if err != nil {
+		return nil, err
+	}
+	if intents > 0 {
+		// Commits resolved during replay are now checkpointed into a
+		// fresh journal, restoring the sealed-chain invariant.
+		f.mu.Lock()
+		err = f.rotateLocked()
+		f.mu.Unlock()
+		if err != nil {
+			f.log.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// resolveIntent settles one journaled commit intent: the database's
+// per-stream segment count says whether the commit landed before the
+// crash. If it did not, the redo ingests the identical segment the
+// original would have — frames and name are a pure function of the
+// journal — so the database sees exactly one commit either way.
+func (s *Service) resolveIntent(f *Feed) error {
+	if s.opts.DB.SegmentsIn(f.id) <= f.epoch {
+		seg := f.epochSegmentLocked()
+		if _, err := s.opts.DB.IngestSegment(f.id, seg); err != nil {
+			return fmt.Errorf("feed: %s redoing epoch %d commit: %w", f.id, f.epoch, err)
+		}
+	}
+	f.epoch++
+	f.pending = f.pending[:0]
+	return nil
+}

@@ -1,0 +1,73 @@
+package query
+
+import (
+	"fmt"
+
+	"strgindex/internal/dist"
+	"strgindex/internal/strg"
+)
+
+// Matcher is one query compiled for repeated single-OG evaluation — the
+// shape a standing query needs: as each commit's OG delta arrives, every
+// subscription asks "does this new OG qualify, and how far is it?" without
+// re-planning or rescanning the corpus. The where tree is compiled once to
+// a closure predicate; the similar clause keeps its trajectory and a pinned
+// exact metric.
+type Matcher struct {
+	pred   Predicate
+	sim    *SimilarClause
+	metric dist.Metric
+}
+
+// NewMatcher validates q and compiles it for incremental evaluation under
+// metric (the index's key metric; nil means EGED_M with the zero gap, the
+// index default). ModeApprox queries are rejected: the approximate tier
+// defines its answers against a trained candidate index, which has no
+// meaningful single-OG incremental form — standing queries are exact.
+func NewMatcher(q *Query, metric dist.Metric) (*Matcher, error) {
+	if err := Validate(q); err != nil {
+		return nil, err
+	}
+	if q.Similar != nil && q.Similar.Mode == ModeApprox {
+		return nil, fmt.Errorf("query: mode %q cannot stand: incremental evaluation is exact-only", ModeApprox)
+	}
+	if metric == nil {
+		metric = dist.EGEDMZero
+	}
+	m := &Matcher{pred: Compile(q.Where), metric: metric}
+	if q.Similar != nil {
+		c := *q.Similar
+		c.Trajectory = append(dist.Sequence(nil), q.Similar.Trajectory...)
+		m.sim = &c
+	}
+	return m, nil
+}
+
+// Match reports whether og satisfies the where tree (vacuously true for a
+// pure-similarity query). Safe for concurrent use.
+func (m *Matcher) Match(og *strg.OG) bool { return m.pred(og) }
+
+// Distance returns the metric distance from the similar clause's trajectory
+// to og. It panics for a query with no similar clause — check HasSimilar.
+func (m *Matcher) Distance(og *strg.OG) float64 {
+	return m.metric(m.sim.Trajectory, og.Sequence())
+}
+
+// HasSimilar reports whether the query ranks by similarity at all.
+func (m *Matcher) HasSimilar() bool { return m.sim != nil }
+
+// K returns the k-NN result bound (0 for range or predicate-only queries).
+func (m *Matcher) K() int {
+	if m.sim == nil {
+		return 0
+	}
+	return m.sim.K
+}
+
+// Radius returns the range bound (0 for k-NN or predicate-only queries).
+func (m *Matcher) Radius() float64 {
+	if m.sim == nil {
+		return 0
+	}
+	return m.sim.Radius
+}

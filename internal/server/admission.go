@@ -11,10 +11,16 @@ import (
 
 // exempt reports whether a path bypasses admission control: probes and
 // metrics must answer even when the API is saturated — that is the whole
-// point of having them.
+// point of having them. Subscription event streams are exempt too: they
+// are long-lived idle waits, so counting each against the in-flight cap
+// would let a handful of subscribers starve the working endpoints, and a
+// per-request deadline would cut every stream mid-delivery.
 func exempt(path string) bool {
 	switch path {
 	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	if strings.HasPrefix(path, "/v1/subscriptions/") && strings.HasSuffix(path, "/events") {
 		return true
 	}
 	return strings.HasPrefix(path, "/debug/pprof")

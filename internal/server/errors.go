@@ -45,6 +45,12 @@ const (
 	// primary no longer retains (410): the replica must re-bootstrap from
 	// a fresh snapshot.
 	CodeWALGone = "wal_gone"
+	// CodeFrameOrder covers a segment or feed batch whose frame indices
+	// are out of order, duplicated or gapped (the video.ErrFrameOrder
+	// family). On the feed API it means the client's cursor diverged from
+	// the feed's (409): resynchronize from the next_frame the feed
+	// reports, do not re-encode the batch.
+	CodeFrameOrder = "frame_order"
 )
 
 // errorBody is the payload of the envelope:

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"strgindex/internal/feed"
+	"strgindex/internal/query"
+	"strgindex/internal/video"
+)
+
+// Feed endpoints (mounted when Options.Feeds is set):
+//
+//	POST   /v1/feeds/{id}/frames        NDJSON frame batch -> append result
+//	POST   /v1/feeds/{id}/flush         force-commit the open epoch
+//	GET    /v1/feeds/{id}               feed state probe
+//	GET    /v1/feeds                    list feeds
+//	POST   /v1/subscriptions            DSL document -> standing query
+//	GET    /v1/subscriptions            list subscriptions
+//	GET    /v1/subscriptions/{id}       one subscription's summary
+//	DELETE /v1/subscriptions/{id}       unregister
+//	GET    /v1/subscriptions/{id}/events  Server-Sent Events stream
+//
+// The frames body is newline-delimited JSON: an optional first object
+// {"meta": {"width": W, "height": H, "fps": F}} fixing the feed's
+// geometry (required on the request that creates the feed), then one
+// video.Frame object per line. Frames before the feed's cursor are
+// idempotent duplicates; a frame beyond it rejects the batch with code
+// "frame_order" and the expected index, so a reconnecting client
+// resynchronizes from the next_frame cursor it last acked.
+//
+// The event stream replays buffered events after the client's cursor —
+// "Last-Event-ID" header or ?after=N — then follows the live feed. Each
+// event carries an id: line with the subscription's monotone sequence
+// number. A cursor that has fallen out of the bounded ring first gets an
+// un-id'd "gap" event {"missed_from": N, "resume": M} and then the
+// retained window; slow consumers lose old events, never ingest
+// throughput.
+
+// sseHeartbeat is how often an idle event stream emits a comment line so
+// intermediaries do not reap the connection.
+const sseHeartbeat = 15 * time.Second
+
+// feedLine is one NDJSON value in a frames body: either the meta header
+// or a frame (the embedded Frame's fields; no collision with "meta").
+type feedLine struct {
+	Meta *feed.Meta `json:"meta"`
+	video.Frame
+}
+
+// feedOrNotFound resolves a live feed by path ID, writing the 404
+// envelope when it does not exist.
+func (s *Server) feedOrNotFound(w http.ResponseWriter, r *http.Request) (*feed.Feed, bool) {
+	id := r.PathValue("id")
+	f, ok := s.opts.Feeds.Feed(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, CodeNotFound, "no such feed: %s", id)
+	}
+	return f, ok
+}
+
+// handleFeedFrames is POST /v1/feeds/{id}/frames.
+func (s *Server) handleFeedFrames(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !feed.ValidID(id) {
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "invalid feed ID %q", id)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxIngestBodyBytes)
+	dec := json.NewDecoder(r.Body)
+
+	var meta *feed.Meta
+	var frames []video.Frame
+	for i := 0; ; i++ {
+		var line feedLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeError(w, r, http.StatusRequestEntityTooLarge, CodeTooLarge,
+					"request body exceeds %d bytes", mbe.Limit)
+			} else {
+				writeError(w, r, http.StatusBadRequest, CodeBadRequest, "line %d: %v", i+1, err)
+			}
+			return
+		}
+		if line.Meta != nil {
+			if i != 0 {
+				writeError(w, r, http.StatusBadRequest, CodeBadRequest,
+					"meta must be the first line, got it at line %d", i+1)
+				return
+			}
+			meta = line.Meta
+			continue
+		}
+		frames = append(frames, line.Frame)
+	}
+
+	var f *feed.Feed
+	if meta != nil {
+		var err error
+		if f, err = s.opts.Feeds.Open(id, *meta); err != nil {
+			writeError(w, r, http.StatusConflict, CodeBadRequest, "%v", err)
+			return
+		}
+	} else {
+		var ok bool
+		if f, ok = s.opts.Feeds.Feed(id); !ok {
+			writeError(w, r, http.StatusNotFound, CodeNotFound,
+				"no such feed: %s (include a meta line to create it)", id)
+			return
+		}
+	}
+
+	res, err := f.Append(frames)
+	if err != nil {
+		var foe *video.FrameOrderError
+		switch {
+		case errors.As(err, &foe):
+			writeError(w, r, http.StatusConflict, CodeFrameOrder,
+				"frame %d out of order; feed expects index %d", foe.Index, foe.Want)
+		case res.Accepted > 0:
+			// The frames are journaled (the client's cursor advanced);
+			// only the epoch commit failed, and the next append or flush
+			// retries it. Answer the durable result, not an error that
+			// would make the client re-send what it cannot lose.
+			s.log.Warn("feed epoch commit deferred",
+				"feed", id, "err", err)
+			writeJSON(w, http.StatusOK, res)
+		default:
+			writeError(w, r, http.StatusUnprocessableEntity, CodeBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleFeedFlush is POST /v1/feeds/{id}/flush: commit the open epoch
+// regardless of the size thresholds.
+func (s *Server) handleFeedFlush(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.feedOrNotFound(w, r)
+	if !ok {
+		return
+	}
+	if err := f.Flush(); err != nil {
+		writeError(w, r, http.StatusInternalServerError, CodeInternal, "flush: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, f.State())
+}
+
+// handleFeedState is GET /v1/feeds/{id}.
+func (s *Server) handleFeedState(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.feedOrNotFound(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, f.State())
+}
+
+// handleFeedList is GET /v1/feeds.
+func (s *Server) handleFeedList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"feeds": s.opts.Feeds.Feeds()})
+}
+
+// handleSubscribe is POST /v1/subscriptions: the body is the same DSL
+// document POST /v1/query takes; the response is the registered
+// subscription's summary (its seeded events already buffered).
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, queryBodyLimit)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, r, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+		} else {
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		}
+		return
+	}
+	q, err := query.Parse(body)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	sub, err := s.opts.Feeds.Engine().Register(q)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sub.Info())
+}
+
+// handleSubscriptionList is GET /v1/subscriptions.
+func (s *Server) handleSubscriptionList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"subscriptions": s.opts.Feeds.Engine().Subs()})
+}
+
+// subOrNotFound resolves a live subscription by path ID.
+func (s *Server) subOrNotFound(w http.ResponseWriter, r *http.Request) (*feed.Subscription, bool) {
+	id := r.PathValue("id")
+	sub, ok := s.opts.Feeds.Engine().Get(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, CodeNotFound, "no such subscription: %s", id)
+	}
+	return sub, ok
+}
+
+// handleSubscriptionGet is GET /v1/subscriptions/{id}.
+func (s *Server) handleSubscriptionGet(w http.ResponseWriter, r *http.Request) {
+	sub, ok := s.subOrNotFound(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sub.Info())
+}
+
+// handleUnsubscribe is DELETE /v1/subscriptions/{id}.
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.opts.Feeds.Engine().Unregister(id) {
+		writeError(w, r, http.StatusNotFound, CodeNotFound, "no such subscription: %s", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "unsubscribed"})
+}
+
+// sseCursor extracts the client's resume position: the standard
+// Last-Event-ID reconnect header, or an explicit ?after=N.
+func sseCursor(r *http.Request) (uint64, error) {
+	v := r.Header.Get("Last-Event-ID")
+	if q := r.URL.Query().Get("after"); q != "" {
+		v = q
+	}
+	if v == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(v, 10, 64)
+}
+
+// handleSubscriptionEvents is GET /v1/subscriptions/{id}/events: the
+// Server-Sent Events stream. It replays buffered events after the
+// cursor, then follows live appends; ?once=1 drains the buffer and
+// returns instead of following (scripts, tests). The stream ends when
+// the client disconnects or the subscription is unregistered.
+func (s *Server) handleSubscriptionEvents(w http.ResponseWriter, r *http.Request) {
+	sub, ok := s.subOrNotFound(w, r)
+	if !ok {
+		return
+	}
+	cursor, err := sseCursor(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "bad event cursor: %v", err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, r, http.StatusInternalServerError, CodeInternal,
+			"response writer does not support streaming")
+		return
+	}
+	once := r.URL.Query().Get("once") != ""
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		// Arm the wakeup before scanning: an append between the scan and
+		// the select still fires the armed channel, so no event waits for
+		// the heartbeat.
+		wake := sub.Wait()
+		evs, gapped, missedFrom := sub.EventsSince(cursor)
+		if gapped {
+			// No id: line — a reconnect must not resume from the gap
+			// marker itself.
+			resume := sub.LastSeq()
+			if len(evs) > 0 {
+				resume = evs[0].Seq - 1
+			}
+			fmt.Fprintf(w, "event: gap\ndata: {\"missed_from\":%d,\"resume\":%d}\n\n", missedFrom, resume)
+			cursor = resume
+		}
+		for i := range evs {
+			data, err := json.Marshal(&evs[i])
+			if err != nil {
+				s.log.Error("encoding event", "subscription", sub.ID(), "err", err)
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", evs[i].Seq, evs[i].Type, data)
+			cursor = evs[i].Seq
+		}
+		if len(evs) > 0 || gapped {
+			flusher.Flush()
+		}
+		if once {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Done():
+			fmt.Fprintf(w, "event: closed\ndata: {}\n\n")
+			flusher.Flush()
+			return
+		case <-wake:
+		case <-heartbeat.C:
+			fmt.Fprintf(w, ": ping\n\n")
+			flusher.Flush()
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 
 	"strgindex/internal/obs"
@@ -43,6 +44,17 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // it wrote a body without an explicit header, or 0 if nothing was written.
 func (w *statusWriter) status() int { return w.code }
 
+// Flush forwards to the underlying writer so streaming handlers (the SSE
+// event stream) can push each event through the middleware wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // routeLabel buckets a request path into the finite endpoint set so the
 // per-endpoint metrics keep bounded cardinality no matter what paths are
 // probed.
@@ -51,6 +63,25 @@ func routeLabel(path string) string {
 	case "/v1/segments", "/v1/query/knn", "/v1/query/range", "/v1/query/select",
 		"/v1/stats", "/metrics", "/healthz", "/readyz":
 		return path
+	}
+	// Feed and subscription paths carry client-chosen IDs; bucket them by
+	// shape. The frames bucket is its own label so the feed-ingest latency
+	// histogram is directly assertable (a stalled event consumer must not
+	// move it).
+	switch {
+	case strings.HasPrefix(path, "/v1/feeds"):
+		if strings.HasSuffix(path, "/frames") {
+			return "/v1/feeds/frames"
+		}
+		if strings.HasSuffix(path, "/flush") {
+			return "/v1/feeds/flush"
+		}
+		return "/v1/feeds"
+	case strings.HasPrefix(path, "/v1/subscriptions"):
+		if strings.HasSuffix(path, "/events") {
+			return "/v1/subscriptions/events"
+		}
+		return "/v1/subscriptions"
 	}
 	return "other"
 }

@@ -53,6 +53,7 @@ import (
 
 	"strgindex/internal/core"
 	"strgindex/internal/dist"
+	"strgindex/internal/feed"
 	"strgindex/internal/geom"
 	"strgindex/internal/index"
 	"strgindex/internal/obs"
@@ -119,6 +120,9 @@ type Options struct {
 	// read_only_replica, /v1/replication/status reports the replica's
 	// view, and /readyz fails while the replica lags past its bound.
 	Replica *replica.Replica
+	// Feeds mounts the live-feed and standing-query endpoints
+	// (/v1/feeds/*, /v1/subscriptions/*) over the given service.
+	Feeds *feed.Service
 }
 
 func (o Options) withDefaults() Options {
@@ -225,6 +229,24 @@ func wrap(db *core.SharedDB, opts Options) *Server {
 	if opts.Replication != nil || opts.Replica != nil {
 		s.mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
 		allowed["/v1/replication/status"] = http.MethodGet
+	}
+	if opts.Feeds != nil {
+		s.mux.HandleFunc("POST /v1/feeds/{id}/frames", s.handleFeedFrames)
+		s.mux.HandleFunc("POST /v1/feeds/{id}/flush", s.handleFeedFlush)
+		s.mux.HandleFunc("GET /v1/feeds/{id}", s.handleFeedState)
+		s.mux.HandleFunc("GET /v1/feeds", s.handleFeedList)
+		s.mux.HandleFunc("POST /v1/subscriptions", s.handleSubscribe)
+		s.mux.HandleFunc("GET /v1/subscriptions", s.handleSubscriptionList)
+		s.mux.HandleFunc("GET /v1/subscriptions/{id}", s.handleSubscriptionGet)
+		s.mux.HandleFunc("DELETE /v1/subscriptions/{id}", s.handleUnsubscribe)
+		s.mux.HandleFunc("GET /v1/subscriptions/{id}/events", s.handleSubscriptionEvents)
+		allowed["/v1/feeds/{id}/frames"] = http.MethodPost
+		allowed["/v1/feeds/{id}/flush"] = http.MethodPost
+		allowed["/v1/feeds/{id}"] = http.MethodGet
+		allowed["/v1/feeds"] = http.MethodGet
+		allowed["/v1/subscriptions"] = "GET, POST"
+		allowed["/v1/subscriptions/{id}"] = "DELETE, GET"
+		allowed["/v1/subscriptions/{id}/events"] = http.MethodGet
 	}
 	for p, allow := range allowed {
 		allow := allow
@@ -500,6 +522,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if req.Stream == "" || req.Segment == nil || len(req.Segment.Frames) == 0 {
 		writeError(w, r, http.StatusBadRequest, CodeBadRequest,
 			"stream and a non-empty segment are required")
+		return
+	}
+	if err := req.Segment.Validate(); err != nil {
+		// A frame-numbering violation gets its own code: a streaming
+		// client resynchronizes on it instead of treating the batch as
+		// malformed JSON.
+		if errors.Is(err, video.ErrFrameOrder) {
+			writeError(w, r, http.StatusUnprocessableEntity, CodeFrameOrder, "%v", err)
+			return
+		}
+		writeError(w, r, http.StatusUnprocessableEntity, CodeBadRequest, "%v", err)
 		return
 	}
 	stats, err := s.db.IngestSegment(req.Stream, req.Segment)

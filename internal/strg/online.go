@@ -25,7 +25,10 @@ type OnlineBuilder struct {
 	// prev carries the previous frame's RAG with its neighborhood cache:
 	// the frame was tracking's nxt last round and becomes cur this round,
 	// so its lazily-built stars are reused instead of rebuilt.
-	prev   *frameNbrs
+	prev *frameNbrs
+	// last is the raw frame prev was built from — the only input needed
+	// to rebuild prev deterministically after a Checkpoint/Restore cycle.
+	last   *video.Frame
 	baseID graph.NodeID // next node ID block
 	velIn  map[graph.NodeID]geom.Vector
 
@@ -98,9 +101,12 @@ func (b *OnlineBuilder) AddFrame(f video.Frame) []*OG {
 			newVel[l.to] = l.disp
 			extended[l.to] = true
 		}
-		// Chains whose tail found no successor are closed.
-		for _, chain := range b.open {
-			b.closed = append(b.closed, chain)
+		// Chains whose tail found no successor are closed — in ascending
+		// tail-node order, so the closure order (and through grouping, the
+		// emitted OG numbering) is a pure function of the frame stream
+		// rather than of map iteration. Replay determinism depends on it.
+		for _, id := range sortedTails(b.open) {
+			b.closed = append(b.closed, b.open[id])
 		}
 		b.open = newOpen
 		b.velIn = newVel
@@ -114,6 +120,7 @@ func (b *OnlineBuilder) AddFrame(f video.Frame) []*OG {
 		}
 	}
 	b.prev = gN
+	b.last = &f
 	b.frame++
 	return b.emitReady(false)
 }
@@ -121,13 +128,44 @@ func (b *OnlineBuilder) AddFrame(f video.Frame) []*OG {
 // Flush closes every chain and emits the remaining Object Graphs. The
 // builder is reusable afterwards (frame numbering continues).
 func (b *OnlineBuilder) Flush() []*OG {
-	for _, chain := range b.open {
-		b.closed = append(b.closed, chain)
+	for _, id := range sortedTails(b.open) {
+		b.closed = append(b.closed, b.open[id])
 	}
 	b.open = make(map[graph.NodeID]*sampleChain)
 	b.velIn = make(map[graph.NodeID]geom.Vector)
 	b.prev = nil
+	b.last = nil
 	return b.emitReady(true)
+}
+
+// sortedTails returns the open chains' tail node IDs in ascending order:
+// the deterministic closure order AddFrame and Flush use in place of map
+// iteration.
+func sortedTails(open map[graph.NodeID]*sampleChain) []graph.NodeID {
+	ids := make([]graph.NodeID, 0, len(open))
+	for id := range open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// FrameCount returns the number of frames consumed so far.
+func (b *OnlineBuilder) FrameCount() int { return b.frame }
+
+// OpenMoving counts the open chains that currently look like objects
+// (length >= 2 with mean velocity at or above MinObjectVelocity). A live
+// feed uses zero as its quiescence signal: cutting a commit boundary here
+// cannot split an object chain, only background/noise chains that the
+// decomposition drops anyway.
+func (b *OnlineBuilder) OpenMoving() int {
+	n := 0
+	for _, c := range b.open {
+		if len(c.frames) >= 2 && c.meanVelocity() >= b.cfg.MinObjectVelocity {
+			n++
+		}
+	}
+	return n
 }
 
 func appendSample(c *sampleChain, g *graph.Graph, id graph.NodeID, frame int) {
